@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark file regenerates one table or figure of the paper's
+evaluation (Section 7).  The datasets and the loaded systems are prepared
+once per session; each benchmark prints its paper-style table and also writes
+it to ``benchmarks/results/<experiment>.txt`` so the numbers recorded in
+EXPERIMENTS.md can be refreshed from a single run.
+
+Scale is controlled by ``REPRO_BENCH_SCALE`` (``small`` / ``medium`` /
+``full``); the default ``medium`` keeps the whole suite in the minutes range
+on a laptop while preserving the relative behaviour of the systems.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.bench.harness import BenchmarkContext, load_all_systems, prepare_datasets
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def context() -> BenchmarkContext:
+    """Datasets (LUBM + ENGIE) shared by every benchmark."""
+    return prepare_datasets()
+
+
+@pytest.fixture(scope="session")
+def loaded_systems(context):
+    """Every evaluated system loaded with the full LUBM graph."""
+    return load_all_systems(context)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory collecting the rendered benchmark tables."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR

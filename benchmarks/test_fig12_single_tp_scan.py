@@ -1,0 +1,48 @@
+"""Figure 12 — ``(?s, P, ?o)`` queries (constant predicate, both ends variable).
+
+The answer-set sizes are the total number of triples per property, which the
+paper plots on the x-axis; the columns below report the actual sizes produced
+by the generator.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import record_table
+
+from repro.baselines.registry import SYSTEM_ORDER
+from repro.bench.harness import format_table, query_latency_row
+
+
+def test_fig12_single_tp_scan(benchmark, context, loaded_systems, results_dir):
+    """Regenerate the Figure 12 series (?s,P,?o latency vs answer-set size)."""
+    queries = [context.catalog.by_identifier()[f"S{i}"] for i in range(11, 16)]
+    succinct = loaded_systems["SuccinctEdge"]
+    sizes = [len(succinct.query(query.sparql, reasoning=False)) for query in queries]
+    columns = [str(size) for size in sizes]
+
+    rows = {}
+    for system_name in SYSTEM_ORDER:
+        system = loaded_systems[system_name]
+        cells = []
+        for query in queries:
+            measurement = query_latency_row(system, query, reasoning=False, repetitions=1)
+            assert measurement is not None
+            cells.append(measurement.total_ms)
+        rows[system_name] = cells
+    table = format_table(
+        "Figure 12: single ?s,P,?o triple pattern (answer-set size per column)",
+        columns,
+        rows,
+        unit="ms, measured + simulated",
+    )
+    record_table(results_dir, "fig12_single_tp_scan", table)
+
+    benchmark.pedantic(lambda: succinct.query(queries[0].sparql), rounds=1, iterations=1)
+
+    # The answer sets must span an increasing range, like the paper's x-axis.
+    assert sizes[0] < sizes[-1]
+    # Correctness cross-check: every system returns the same answer-set size.
+    for query, expected_size in zip(queries, sizes):
+        for system_name in SYSTEM_ORDER:
+            system = loaded_systems[system_name]
+            assert len(system.query(query.sparql, reasoning=False)) == expected_size

@@ -1,0 +1,45 @@
+"""Figure 13 — basic graph pattern queries (multiple triple patterns, joins).
+
+Queries M1-M5 of the paper's appendix: star and path joins of 2 to 11 triple
+patterns, no reasoning involved.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import record_table
+
+from repro.baselines.registry import SYSTEM_ORDER
+from repro.bench.harness import format_table, query_latency_row
+
+
+def test_fig13_bgp_queries(benchmark, context, loaded_systems, results_dir):
+    """Regenerate the Figure 13 series (join query latency)."""
+    queries = context.catalog.bgp_queries()
+    succinct = loaded_systems["SuccinctEdge"]
+    sizes = {query.identifier: len(succinct.query(query.sparql, reasoning=False)) for query in queries}
+    columns = [f"{query.identifier}({sizes[query.identifier]})" for query in queries]
+
+    rows = {}
+    for system_name in SYSTEM_ORDER:
+        system = loaded_systems[system_name]
+        cells = []
+        for query in queries:
+            measurement = query_latency_row(system, query, reasoning=False, repetitions=1)
+            cells.append(None if measurement is None else measurement.total_ms)
+        rows[system_name] = cells
+    table = format_table(
+        "Figure 13: BGP queries M1-M5 (answer-set size in parentheses)",
+        columns,
+        rows,
+        unit="ms, measured + simulated",
+    )
+    record_table(results_dir, "fig13_bgp_queries", table)
+
+    benchmark.pedantic(lambda: succinct.query(queries[4].sparql), rounds=1, iterations=1)
+
+    # Every system answers every M query; SuccinctEdge and the other stores
+    # must agree on the answer-set sizes (correctness cross-check).
+    for query in queries:
+        for system_name in SYSTEM_ORDER:
+            system = loaded_systems[system_name]
+            assert len(system.query(query.sparql, reasoning=False)) == sizes[query.identifier]

@@ -1,0 +1,48 @@
+"""Figure 14 — queries requiring RDFS reasoning.
+
+SuccinctEdge answers R1-R6 natively through LiteMat identifier intervals; the
+baselines run the UNION-of-subqueries rewriting the paper hands them.
+RDF4Led does not support UNION and therefore reports no value, exactly as in
+the paper's Figure 14.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import record_table
+
+from repro.baselines.registry import SYSTEM_ORDER
+from repro.bench.harness import format_table, query_latency_row
+
+
+def test_fig14_reasoning_queries(benchmark, context, loaded_systems, results_dir):
+    """Regenerate the Figure 14 series (reasoning query latency)."""
+    queries = context.catalog.reasoning_queries()
+    succinct = loaded_systems["SuccinctEdge"]
+    sizes = {query.identifier: len(succinct.query(query.sparql, reasoning=True)) for query in queries}
+    columns = [f"{query.identifier}({sizes[query.identifier]})" for query in queries]
+
+    rows = {}
+    for system_name in SYSTEM_ORDER:
+        system = loaded_systems[system_name]
+        cells = []
+        for query in queries:
+            measurement = query_latency_row(system, query, reasoning=True, repetitions=1)
+            cells.append(None if measurement is None else measurement.total_ms)
+        rows[system_name] = cells
+    table = format_table(
+        "Figure 14: queries with RDFS reasoning R1-R6 (answer-set size in parentheses)",
+        columns,
+        rows,
+        unit="ms, measured + simulated",
+    )
+    record_table(results_dir, "fig14_reasoning", table)
+
+    benchmark.pedantic(lambda: succinct.query(queries[0].sparql, reasoning=True), rounds=1, iterations=1)
+
+    # RDF4Led cannot answer reasoning queries (no UNION support).
+    assert all(value is None for value in rows["RDF4Led"])
+    # The UNION-capable systems agree with SuccinctEdge on the answer sets.
+    for query in queries:
+        expected = succinct.query(query.sparql, reasoning=True).to_set()
+        for system_name in ("RDF4J", "Jena_InMem"):
+            assert loaded_systems[system_name].query(query.sparql, reasoning=True).to_set() == expected

@@ -1,0 +1,103 @@
+"""Quickstart: build a SuccinctEdge store and ask SPARQL queries.
+
+This example builds a tiny sensor knowledge graph by hand, loads it into
+SuccinctEdge together with a small ontology, and runs three queries: a plain
+lookup, a join, and a query that needs RDFS reasoning (answered through
+LiteMat identifier intervals, without materialisation).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Graph, Literal, Namespace, RDF, RDFS, SuccinctEdge, Triple
+
+EX = Namespace("http://example.org/plant/")
+
+
+def build_ontology() -> Graph:
+    """A miniature concept/property hierarchy for the plant's sensors."""
+    ontology = Graph()
+    axioms = [
+        (EX.TemperatureSensor, RDFS.subClassOf, EX.Sensor),
+        (EX.PressureSensor, RDFS.subClassOf, EX.Sensor),
+        (EX.Boiler, RDFS.subClassOf, EX.Equipment),
+        (EX.Pump, RDFS.subClassOf, EX.Equipment),
+        (EX.mountedOn, RDFS.subPropertyOf, EX.attachedTo),
+    ]
+    for subject, predicate, obj in axioms:
+        ontology.add(Triple(subject, predicate, obj))
+    return ontology
+
+
+def build_data() -> Graph:
+    """A handful of sensors attached to two pieces of equipment."""
+    data = Graph()
+    triples = [
+        (EX.boiler1, RDF.type, EX.Boiler),
+        (EX.pump7, RDF.type, EX.Pump),
+        (EX.t1, RDF.type, EX.TemperatureSensor),
+        (EX.t2, RDF.type, EX.TemperatureSensor),
+        (EX.p1, RDF.type, EX.PressureSensor),
+        (EX.t1, EX.mountedOn, EX.boiler1),
+        (EX.t2, EX.attachedTo, EX.pump7),
+        (EX.p1, EX.mountedOn, EX.boiler1),
+        (EX.t1, EX.lastReading, Literal(78.4)),
+        (EX.t2, EX.lastReading, Literal(21.9)),
+        (EX.p1, EX.lastReading, Literal(3.6)),
+    ]
+    for subject, predicate, obj in triples:
+        data.add(Triple(subject, predicate, obj))
+    return data
+
+
+def main() -> None:
+    store = SuccinctEdge.from_graph(build_data(), ontology=build_ontology())
+    print(f"Loaded store: {store}")
+    print(f"  dictionary size : {store.dictionary_size_in_bytes()} bytes")
+    print(f"  triple storage  : {store.triple_storage_size_in_bytes()} bytes")
+
+    print("\n1. Plain lookup — readings of every sensor:")
+    result = store.query(
+        "SELECT ?sensor ?value WHERE { ?sensor <http://example.org/plant/lastReading> ?value }"
+    )
+    for row in result:
+        print(f"   {row['sensor']}  ->  {row['value']}")
+
+    print("\n2. Join — sensors mounted on the boiler with their reading:")
+    result = store.query(
+        """
+        SELECT ?sensor ?value WHERE {
+          ?sensor <http://example.org/plant/mountedOn> <http://example.org/plant/boiler1> .
+          ?sensor <http://example.org/plant/lastReading> ?value .
+        }
+        """
+    )
+    for row in result:
+        print(f"   {row['sensor']}  ->  {row['value']}")
+
+    print("\n3. Reasoning — every Sensor (sub-concepts included), every attachment")
+    print("   (mountedOn is a sub-property of attachedTo):")
+    result = store.query(
+        """
+        SELECT ?sensor ?target WHERE {
+          ?sensor a <http://example.org/plant/Sensor> .
+          ?sensor <http://example.org/plant/attachedTo> ?target .
+        }
+        """,
+        reasoning=True,
+    )
+    for row in result:
+        print(f"   {row['sensor']}  attached to  {row['target']}")
+
+    without = store.query(
+        "SELECT ?sensor WHERE { ?sensor a <http://example.org/plant/Sensor> }",
+        reasoning=False,
+    )
+    print(f"\n   (without reasoning the Sensor query returns {len(without)} rows)")
+
+
+if __name__ == "__main__":
+    main()

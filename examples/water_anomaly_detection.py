@@ -1,0 +1,60 @@
+"""Water-distribution anomaly detection (the paper's motivating example).
+
+Reproduces Section 2 of the paper: two monitoring stations annotate their
+pressure measurements with *different* QUDT concepts and units (bar vs
+hectopascal).  A single SPARQL query written against the abstract
+``qudt:PressureUnit`` concept — with a BIND converting units — detects
+out-of-range pressures on both stations, because LiteMat reasoning expands
+the concept to every annotation actually used by the sensors.
+
+Run with::
+
+    python examples/water_anomaly_detection.py
+"""
+
+from __future__ import annotations
+
+from repro.store import SuccinctEdge
+from repro.workloads.engie import (
+    anomaly_detection_query,
+    engie_ontology,
+    water_distribution_graph,
+)
+
+
+def main() -> None:
+    graph = water_distribution_graph(observations_per_sensor=20, stations=2, anomaly_rate=0.25, seed=17)
+    ontology = engie_ontology()
+    store = SuccinctEdge.from_graph(graph, ontology=ontology)
+
+    print(f"Measurement graph instance: {len(graph)} triples")
+    print(f"Store layouts (object / datatype / rdf:type): {store.lubm_style_summary()}")
+    print(f"In-memory footprint: {store.memory_footprint_in_bytes() / 1024:.1f} KiB\n")
+
+    query = anomaly_detection_query()
+    print("Anomaly-detection query (abstract qudt:PressureUnit concept):")
+    print(query)
+
+    with_reasoning = store.query(query, reasoning=True)
+    without_reasoning = store.query(query, reasoning=False)
+
+    print(f"Anomalies found WITH LiteMat reasoning   : {len(with_reasoning)}")
+    print(f"Anomalies found WITHOUT reasoning        : {len(without_reasoning)}")
+    print("(each station annotates pressure with a sub-concept of qudt:PressureUnit,")
+    print(" so the non-reasoning run cannot match any of them)\n")
+
+    print("Detected anomalies:")
+    for row in with_reasoning:
+        platform = row["x"]
+        timestamp = row["ts"]
+        raw_value = float(row["v1"].lexical)
+        unit = "hPa" if raw_value > 100 else "bar"
+        value_bar = raw_value / 1000.0 if unit == "hPa" else raw_value
+        print(
+            f"  [{timestamp}] {platform.local_name}: pressure {raw_value:g} {unit} "
+            f"(= {value_bar:.2f} bar, outside 3.00-4.50)"
+        )
+
+
+if __name__ == "__main__":
+    main()

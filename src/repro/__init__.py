@@ -1,0 +1,49 @@
+"""SuccinctEdge reproduction.
+
+A from-scratch, pure-Python reproduction of *Knowledge Graph Management on
+the Edge* (EDBT 2021): the SuccinctEdge compact, self-indexed, in-memory RDF
+store with LiteMat-based RDFS reasoning, together with every substrate it
+depends on (succinct data structures, RDF/SPARQL, dictionaries), the baseline
+systems of the paper's evaluation, and the LUBM / ENGIE workloads.
+
+Quickstart
+----------
+>>> from repro import SuccinctEdge, Graph, Triple, URI, RDF
+>>> data = Graph()
+>>> _ = data.add(Triple(URI("http://x.org/s1"), RDF.type, URI("http://x.org/Sensor")))
+>>> store = SuccinctEdge.from_graph(data)
+>>> len(store.query("SELECT ?s WHERE { ?s a <http://x.org/Sensor> }"))
+1
+"""
+
+from repro.rdf import (
+    BlankNode,
+    Graph,
+    Literal,
+    Namespace,
+    RDF,
+    RDFS,
+    Triple,
+    URI,
+)
+from repro.ontology import LiteMatEncoder, OntologySchema
+from repro.sparql import parse_query
+from repro.store import SuccinctEdge
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlankNode",
+    "Graph",
+    "LiteMatEncoder",
+    "Literal",
+    "Namespace",
+    "OntologySchema",
+    "RDF",
+    "RDFS",
+    "SuccinctEdge",
+    "Triple",
+    "URI",
+    "parse_query",
+    "__version__",
+]

@@ -1,0 +1,47 @@
+"""Baseline RDF stores used by the paper's evaluation.
+
+The paper compares SuccinctEdge against RDF4Led, Jena TDB, Jena in-memory and
+RDF4J on a Raspberry Pi 3B+.  Those systems (JVM-based, some disk-backed)
+cannot be run in this environment, so this package implements *analogues*
+that preserve the behaviour the comparison depends on:
+
+* :class:`~repro.baselines.multi_index_store.MultiIndexMemoryStore` — a
+  classic in-memory triple store with SPO/POS/OSP indexes (the design of
+  Jena's in-memory store and of RDF4J's MemoryStore);
+* :class:`~repro.baselines.disk_store.PagedDiskStore` — a disk-based store
+  with B-tree-style pages behind a small page cache and a simulated SD-card
+  read/write latency (the design of Jena TDB and RDF4Led);
+* :class:`~repro.baselines.base.EdgeRDFStore` — the common interface, plus a
+  generic BGP/FILTER/BIND/UNION query engine over ``match`` so every system
+  answers exactly the same SPARQL subset;
+* :class:`~repro.baselines.registry` — named system profiles ("Jena_TDB",
+  "Jena_InMem", "RDF4J", "RDF4Led", "SuccinctEdge") with the documented cost
+  model constants used by the benchmark harness.
+
+Reasoning: the baselines do not embed LiteMat; like in the paper they answer
+inference queries through a UNION rewriting
+(:func:`repro.ontology.rewriting.rewrite_query_with_unions`).  RDF4Led does
+not support UNION and therefore cannot answer the reasoning queries at all —
+also like in the paper.
+"""
+
+from repro.baselines.base import EdgeRDFStore, UnsupportedFeatureError
+from repro.baselines.disk_store import PagedDiskStore
+from repro.baselines.multi_index_store import MultiIndexMemoryStore
+from repro.baselines.registry import (
+    SuccinctEdgeSystem,
+    SystemProfile,
+    available_systems,
+    create_system,
+)
+
+__all__ = [
+    "EdgeRDFStore",
+    "MultiIndexMemoryStore",
+    "PagedDiskStore",
+    "SuccinctEdgeSystem",
+    "SystemProfile",
+    "UnsupportedFeatureError",
+    "available_systems",
+    "create_system",
+]

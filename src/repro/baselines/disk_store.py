@@ -1,0 +1,279 @@
+"""Disk-based, paged triple store (Jena TDB / RDF4Led analogue).
+
+Jena TDB and RDF4Led keep their dictionaries and B-tree indexes on persistent
+storage (an SD card on the paper's Raspberry Pi) and only cache a few pages
+in RAM.  The real systems cannot run here, so this analogue preserves the
+properties the comparison depends on:
+
+* triples are dictionary-encoded and kept in three **sorted, paged indexes**
+  (SPO, POS, OSP);
+* a pattern lookup binary-searches the index and then *reads pages*; a small
+  LRU page cache absorbs repeated reads, every miss is charged the modelled
+  SD-card page-read latency;
+* construction writes every page once and is charged the page-write latency;
+* the memory footprint only contains the page cache and bookkeeping, the
+  bulk of the data stays "on disk" — which is why these systems have small
+  RAM footprints but slow cold lookups (paper Sections 7.3.2-7.3.3).
+
+All latency constants are explicit constructor parameters, documented and
+reported separately by the benchmark harness (measured CPU time vs simulated
+I/O time).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.baselines.base import EdgeRDFStore
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Term, Triple, URI
+
+_Key = Tuple[int, int, int]
+
+
+class _PagedIndex:
+    """One sorted index (a permutation of SPO) split into fixed-size pages."""
+
+    def __init__(self, name: str, keys: List[_Key], page_size: int) -> None:
+        self.name = name
+        self.keys = keys
+        self.page_size = page_size
+
+    def page_of(self, position: int) -> str:
+        """Identifier of the page containing ``position``."""
+        return f"{self.name}:{position // self.page_size}"
+
+    def range_for_prefix(
+        self, first: Optional[int], second: Optional[int]
+    ) -> Tuple[int, int]:
+        """Index range ``[begin, end)`` of keys matching the bound prefix."""
+        low: _Key = (first if first is not None else -1, second if second is not None else -1, -1)
+        begin = bisect_left(self.keys, low)
+        if first is None:
+            return 0, len(self.keys)
+        high_first = first if second is not None else first
+        high: _Key
+        if second is not None:
+            high = (first, second, 1 << 62)
+        else:
+            high = (first, 1 << 62, 1 << 62)
+        end = bisect_left(self.keys, high)
+        return begin, end
+
+    def pages_in_range(self, begin: int, end: int) -> List[str]:
+        """Page identifiers touched by the range ``[begin, end)``."""
+        if begin >= end:
+            return []
+        first_page = begin // self.page_size
+        last_page = (end - 1) // self.page_size
+        return [f"{self.name}:{page}" for page in range(first_page, last_page + 1)]
+
+    def page_count(self) -> int:
+        """Total number of pages of the index."""
+        if not self.keys:
+            return 0
+        return (len(self.keys) + self.page_size - 1) // self.page_size
+
+
+class PagedDiskStore(EdgeRDFStore):
+    """Disk-backed triple store with three paged indexes and a page cache.
+
+    Parameters
+    ----------
+    page_size:
+        Number of index entries per page.
+    cache_pages:
+        Number of pages the LRU cache can hold in RAM.
+    page_read_ms / page_write_ms:
+        Modelled SD-card latency per page read miss / page write.
+    per_query_overhead_ms:
+        Modelled fixed query-setup cost of the emulated engine.
+    bytes_per_index_entry / bytes_per_dictionary_entry / dictionary_string_copies:
+        Modelled on-disk layout constants used by the storage accounting.
+    """
+
+    name = "PagedDisk"
+    supports_union = True
+    in_memory = False
+
+    def __init__(
+        self,
+        page_size: int = 256,
+        cache_pages: int = 8,
+        page_read_ms: float = 0.35,
+        page_write_ms: float = 0.6,
+        per_query_overhead_ms: float = 4.0,
+        bytes_per_index_entry: int = 24,
+        bytes_per_dictionary_entry: int = 24,
+        dictionary_string_copies: int = 2,
+    ) -> None:
+        super().__init__()
+        self.page_size = page_size
+        self.cache_pages = cache_pages
+        self.page_read_ms = page_read_ms
+        self.page_write_ms = page_write_ms
+        self.per_query_overhead_ms = per_query_overhead_ms
+        self.bytes_per_index_entry = bytes_per_index_entry
+        self.bytes_per_dictionary_entry = bytes_per_dictionary_entry
+        self.dictionary_string_copies = dictionary_string_copies
+
+        self._term_to_id: Dict[Term, int] = {}
+        self._id_to_term: List[Term] = []
+        self._spo: Optional[_PagedIndex] = None
+        self._pos: Optional[_PagedIndex] = None
+        self._osp: Optional[_PagedIndex] = None
+        self._count = 0
+        self._cache: "OrderedDict[str, None]" = OrderedDict()
+        self._io_cost_ms = 0.0
+        self.last_construction_cost_ms = 0.0
+
+    # ------------------------------------------------------------------ #
+    # loading
+    # ------------------------------------------------------------------ #
+
+    def load(self, data: Graph, ontology: Optional[Graph] = None) -> None:
+        """Encode, sort and page every triple; charge the page-write cost."""
+        self._remember_schema(data, ontology)
+        encoded: List[_Key] = []
+        seen = set()
+        for triple in data:
+            key = (
+                self._encode(triple.subject),
+                self._encode(triple.predicate),
+                self._encode(triple.object),
+            )
+            if key in seen:
+                continue
+            seen.add(key)
+            encoded.append(key)
+        self._count = len(encoded)
+        spo = sorted(encoded)
+        pos = sorted((p, o, s) for s, p, o in encoded)
+        osp = sorted((o, s, p) for s, p, o in encoded)
+        self._spo = _PagedIndex("spo", spo, self.page_size)
+        self._pos = _PagedIndex("pos", pos, self.page_size)
+        self._osp = _PagedIndex("osp", osp, self.page_size)
+        pages_written = sum(
+            index.page_count() for index in (self._spo, self._pos, self._osp)
+        )
+        dictionary_pages = max(1, self.dictionary_size_in_bytes() // (self.page_size * 16))
+        self.last_construction_cost_ms = (pages_written + dictionary_pages) * self.page_write_ms
+        self.last_simulated_cost_ms = self.last_construction_cost_ms
+
+    def _encode(self, term: Term) -> int:
+        identifier = self._term_to_id.get(term)
+        if identifier is None:
+            identifier = len(self._id_to_term)
+            self._term_to_id[term] = identifier
+            self._id_to_term.append(term)
+        return identifier
+
+    # ------------------------------------------------------------------ #
+    # page cache
+    # ------------------------------------------------------------------ #
+
+    def _touch_pages(self, pages: List[str]) -> None:
+        for page in pages:
+            if page in self._cache:
+                self._cache.move_to_end(page)
+                continue
+            self._io_cost_ms += self.page_read_ms
+            self._cache[page] = None
+            while len(self._cache) > self.cache_pages:
+                self._cache.popitem(last=False)
+
+    def reset_cache(self) -> None:
+        """Empty the page cache (used to measure cold runs)."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------ #
+    # matching
+    # ------------------------------------------------------------------ #
+
+    def triple_count(self) -> int:
+        """Number of stored triples."""
+        return self._count
+
+    def match(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[URI] = None,
+        obj: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        """Yield matching triples, charging page reads along the way."""
+        if self._spo is None or self._pos is None or self._osp is None:
+            return
+        s = self._term_to_id.get(subject) if subject is not None else None
+        p = self._term_to_id.get(predicate) if predicate is not None else None
+        o = self._term_to_id.get(obj) if obj is not None else None
+        if subject is not None and s is None:
+            return
+        if predicate is not None and p is None:
+            return
+        if obj is not None and o is None:
+            return
+
+        if s is not None:
+            index, first, second = self._spo, s, p
+            reorder = lambda key: key  # noqa: E731 — tiny adapters keep the scan generic
+        elif p is not None:
+            index, first, second = self._pos, p, o
+            reorder = lambda key: (key[2], key[0], key[1])  # noqa: E731
+        elif o is not None:
+            index, first, second = self._osp, o, s
+            reorder = lambda key: (key[1], key[2], key[0])  # noqa: E731
+        else:
+            index, first, second = self._spo, None, None
+            reorder = lambda key: key  # noqa: E731
+
+        begin, end = index.range_for_prefix(first, second)
+        self._touch_pages(index.pages_in_range(begin, end))
+        for position in range(begin, end):
+            key = index.keys[position]
+            s_id, p_id, o_id = reorder(key)
+            if s is not None and s_id != s:
+                continue
+            if p is not None and p_id != p:
+                continue
+            if o is not None and o_id != o:
+                continue
+            yield Triple(
+                self._id_to_term[s_id],  # type: ignore[arg-type]
+                self._id_to_term[p_id],  # type: ignore[arg-type]
+                self._id_to_term[o_id],
+            )
+
+    # ------------------------------------------------------------------ #
+    # SPARQL with simulated I/O accounting
+    # ------------------------------------------------------------------ #
+
+    def query(self, query, reasoning: bool = False):
+        """Answer a query; ``last_simulated_cost_ms`` holds setup + I/O cost."""
+        self._io_cost_ms = 0.0
+        result = super().query(query, reasoning=reasoning)
+        self.last_simulated_cost_ms = self.per_query_overhead_ms + self._io_cost_ms
+        return result
+
+    # ------------------------------------------------------------------ #
+    # storage accounting
+    # ------------------------------------------------------------------ #
+
+    def dictionary_size_in_bytes(self) -> int:
+        """Node table: string payload (possibly stored twice) plus entry overhead."""
+        total = 0
+        for term in self._id_to_term:
+            total += self.dictionary_string_copies * len(str(term).encode("utf-8"))
+            total += self.bytes_per_dictionary_entry
+        return total
+
+    def triple_storage_size_in_bytes(self) -> int:
+        """Three on-disk indexes with fixed-size entries."""
+        return self._count * 3 * self.bytes_per_index_entry
+
+    def memory_footprint_in_bytes(self) -> int:
+        """Only the page cache and bookkeeping stay in RAM."""
+        cache_bytes = len(self._cache) * self.page_size * self.bytes_per_index_entry
+        bookkeeping = 64 * 1024
+        return cache_bytes + bookkeeping

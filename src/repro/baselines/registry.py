@@ -1,0 +1,214 @@
+"""Named system profiles used by the evaluation.
+
+The paper evaluates five systems on a Raspberry Pi 3B+: SuccinctEdge,
+RDF4Led, Jena TDB, Jena in-memory and RDF4J.  The four competitors are JVM
+systems (two of them disk-based) that cannot run in this environment; the
+registry instantiates their analogues with **documented cost-model
+constants** calibrated from the absolute latencies the paper itself reports
+(Tables 1 and 2).  The benchmark harness always reports the measured CPU
+time and the simulated environment cost separately so the calibration is
+transparent.
+
+Profiles
+--------
+``SuccinctEdge``  — the real reproduction (no simulated cost).
+``RDF4Led``       — disk-based, flash-optimised multi-index store; small
+                    dictionary, no UNION support (hence no reasoning queries).
+``Jena_TDB``      — disk-based store with the largest dictionary footprint.
+``Jena_InMem``    — in-memory multi-index store with heavy per-triple overhead.
+``RDF4J``         — in-memory multi-index store, the paper's closest competitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+from repro.baselines.base import EdgeRDFStore, UnsupportedFeatureError
+from repro.baselines.disk_store import PagedDiskStore
+from repro.baselines.multi_index_store import MultiIndexMemoryStore
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Term, Triple, URI
+from repro.sparql.ast import SelectQuery
+from repro.sparql.bindings import ResultSet
+from repro.store.succinct_edge import SuccinctEdge
+
+
+class SuccinctEdgeSystem(EdgeRDFStore):
+    """Adapter exposing :class:`SuccinctEdge` through the common interface."""
+
+    name = "SuccinctEdge"
+    supports_union = True
+    in_memory = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._store: Optional[SuccinctEdge] = None
+
+    def load(self, data: Graph, ontology: Optional[Graph] = None) -> None:
+        """Build the SuccinctEdge store (LiteMat encoding + SDS layouts)."""
+        self._remember_schema(data, ontology)
+        self._store = SuccinctEdge.from_graph(data, ontology=ontology)
+        self.last_simulated_cost_ms = 0.0
+
+    @property
+    def store(self) -> SuccinctEdge:
+        """The wrapped SuccinctEdge instance (raises if not loaded)."""
+        if self._store is None:
+            raise RuntimeError("SuccinctEdgeSystem.load() has not been called")
+        return self._store
+
+    def triple_count(self) -> int:
+        """Number of stored triples."""
+        return self.store.triple_count
+
+    def match(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[URI] = None,
+        obj: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        """Triple-pattern matching over the SDS layouts."""
+        return self.store.match(subject, predicate, obj)
+
+    def query(
+        self, query: Union[str, SelectQuery], reasoning: bool = False
+    ) -> ResultSet:
+        """Native SuccinctEdge execution (LiteMat reasoning, no rewriting)."""
+        self.last_simulated_cost_ms = 0.0
+        return self.store.query(query, reasoning=reasoning)
+
+    def dictionary_size_in_bytes(self) -> int:
+        """LiteMat + instance dictionary size."""
+        return self.store.dictionary_size_in_bytes()
+
+    def triple_storage_size_in_bytes(self) -> int:
+        """SDS triple layouts size."""
+        return self.store.triple_storage_size_in_bytes()
+
+    def memory_footprint_in_bytes(self) -> int:
+        """Everything is resident: dictionaries plus SDS layouts."""
+        return self.store.memory_footprint_in_bytes()
+
+
+@dataclass(frozen=True)
+class SystemProfile:
+    """A named system with its factory and display ordering."""
+
+    name: str
+    factory: Callable[[], EdgeRDFStore]
+    in_memory: bool
+    supports_union: bool
+    description: str
+
+
+def _make_rdf4led() -> EdgeRDFStore:
+    store = PagedDiskStore(
+        page_size=128,
+        cache_pages=6,
+        page_read_ms=0.5,
+        page_write_ms=0.9,
+        per_query_overhead_ms=5.0,
+        bytes_per_index_entry=12,
+        bytes_per_dictionary_entry=12,
+        dictionary_string_copies=2,
+    )
+    store.name = "RDF4Led"
+    store.supports_union = False
+    return store
+
+
+def _make_jena_tdb() -> EdgeRDFStore:
+    store = PagedDiskStore(
+        page_size=256,
+        cache_pages=16,
+        page_read_ms=0.3,
+        page_write_ms=0.8,
+        per_query_overhead_ms=6.0,
+        bytes_per_index_entry=24,
+        bytes_per_dictionary_entry=56,
+        dictionary_string_copies=2,
+    )
+    store.name = "Jena_TDB"
+    return store
+
+
+def _make_jena_inmem() -> EdgeRDFStore:
+    store = MultiIndexMemoryStore(
+        bytes_per_index_entry=84,
+        bytes_per_dictionary_entry=56,
+        per_query_overhead_ms=4.5,
+        per_result_overhead_ms=0.04,
+    )
+    store.name = "Jena_InMem"
+    return store
+
+
+def _make_rdf4j() -> EdgeRDFStore:
+    store = MultiIndexMemoryStore(
+        bytes_per_index_entry=60,
+        bytes_per_dictionary_entry=44,
+        per_query_overhead_ms=2.5,
+        per_result_overhead_ms=0.02,
+    )
+    store.name = "RDF4J"
+    return store
+
+
+_PROFILES: Dict[str, SystemProfile] = {
+    "SuccinctEdge": SystemProfile(
+        name="SuccinctEdge",
+        factory=SuccinctEdgeSystem,
+        in_memory=True,
+        supports_union=True,
+        description="This paper: single PSO SDS index, LiteMat reasoning, in-memory.",
+    ),
+    "RDF4Led": SystemProfile(
+        name="RDF4Led",
+        factory=_make_rdf4led,
+        in_memory=False,
+        supports_union=False,
+        description="Flash-based edge RDF store analogue: paged multi-index on SD card.",
+    ),
+    "Jena_TDB": SystemProfile(
+        name="Jena_TDB",
+        factory=_make_jena_tdb,
+        in_memory=False,
+        supports_union=True,
+        description="Disk-based Jena TDB2 analogue: large node table, paged B-tree indexes.",
+    ),
+    "Jena_InMem": SystemProfile(
+        name="Jena_InMem",
+        factory=_make_jena_inmem,
+        in_memory=True,
+        supports_union=True,
+        description="Jena in-memory store analogue: three hash indexes, heavy per-triple overhead.",
+    ),
+    "RDF4J": SystemProfile(
+        name="RDF4J",
+        factory=_make_rdf4j,
+        in_memory=True,
+        supports_union=True,
+        description="RDF4J MemoryStore analogue: the paper's closest in-memory competitor.",
+    ),
+}
+
+#: The display order used by every benchmark table (mirrors the paper).
+SYSTEM_ORDER: List[str] = ["SuccinctEdge", "RDF4Led", "Jena_TDB", "Jena_InMem", "RDF4J"]
+
+
+def available_systems() -> List[str]:
+    """Names of the systems the registry can instantiate, in display order."""
+    return list(SYSTEM_ORDER)
+
+
+def get_profile(name: str) -> SystemProfile:
+    """The profile registered under ``name``."""
+    if name not in _PROFILES:
+        raise KeyError(f"unknown system {name!r}; available: {available_systems()}")
+    return _PROFILES[name]
+
+
+def create_system(name: str) -> EdgeRDFStore:
+    """Instantiate (unloaded) the system registered under ``name``."""
+    return get_profile(name).factory()

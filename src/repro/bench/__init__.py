@@ -1,0 +1,26 @@
+"""Benchmark harness.
+
+Shared measurement and reporting code used by the ``benchmarks/`` suite and
+by the scripts that regenerate EXPERIMENTS.md: dataset preparation, per-system
+loading, latency measurement (measured CPU time and simulated environment
+cost reported separately), and paper-style table rendering.
+"""
+
+from repro.bench.measure import Measurement, measure_call
+from repro.bench.harness import (
+    BenchmarkContext,
+    format_table,
+    load_all_systems,
+    prepare_datasets,
+    query_latency_row,
+)
+
+__all__ = [
+    "BenchmarkContext",
+    "Measurement",
+    "format_table",
+    "load_all_systems",
+    "measure_call",
+    "prepare_datasets",
+    "query_latency_row",
+]

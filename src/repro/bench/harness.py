@@ -1,0 +1,178 @@
+"""Shared benchmark harness.
+
+The ``benchmarks/`` suite regenerates every table and figure of the paper's
+Section 7.  All of them share the same steps — generate the datasets, load
+them into every system, measure, print a paper-style table — which this
+module centralises so each benchmark file stays focused on its experiment.
+
+Dataset sizes and the number of departments can be scaled down through the
+``REPRO_BENCH_SCALE`` environment variable (``full`` | ``medium`` | ``small``)
+so the whole suite stays tractable on modest machines; the default is
+``medium``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.baselines.base import EdgeRDFStore, UnsupportedFeatureError
+from repro.baselines.registry import SYSTEM_ORDER, create_system
+from repro.bench.measure import Measurement, measure_best_of, measure_call
+from repro.rdf.graph import Graph
+from repro.workloads.engie import water_distribution_250, water_distribution_500, engie_ontology
+from repro.workloads.lubm import LubmDataset, generate_lubm, lubm_subsets
+from repro.workloads.queries import BenchmarkQuery, QueryCatalog
+
+#: Scale profiles: (lubm departments, subset sizes).
+_SCALES = {
+    "small": (4, (1000, 5000)),
+    "medium": (10, (1000, 5000, 10000, 25000)),
+    "full": (20, (1000, 5000, 10000, 25000, 50000)),
+}
+
+
+def bench_scale() -> str:
+    """The active scale profile name (``REPRO_BENCH_SCALE``, default ``medium``)."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "medium").lower()
+    return scale if scale in _SCALES else "medium"
+
+
+@dataclass
+class BenchmarkContext:
+    """Datasets and loaded systems shared by the benchmark files."""
+
+    lubm: LubmDataset
+    datasets: Dict[str, Graph]
+    engie_ontology: Graph
+    catalog: QueryCatalog
+    systems: Dict[str, EdgeRDFStore] = field(default_factory=dict)
+    construction: Dict[str, Dict[str, Measurement]] = field(default_factory=dict)
+
+    @property
+    def full_graph(self) -> Graph:
+        """The largest LUBM graph (the paper's 100K dataset)."""
+        return self.lubm.graph
+
+
+_CONTEXT: Optional[BenchmarkContext] = None
+
+
+def prepare_datasets() -> BenchmarkContext:
+    """Build (once per process) the datasets used by every benchmark."""
+    global _CONTEXT
+    if _CONTEXT is not None:
+        return _CONTEXT
+    departments, subset_sizes = _SCALES[bench_scale()]
+    lubm = generate_lubm(departments=departments)
+    datasets: Dict[str, Graph] = {
+        "ENGIE-250": water_distribution_250(),
+        "ENGIE-500": water_distribution_500(),
+    }
+    datasets.update(lubm_subsets(lubm, sizes=subset_sizes))
+    _CONTEXT = BenchmarkContext(
+        lubm=lubm,
+        datasets=datasets,
+        engie_ontology=engie_ontology(),
+        catalog=QueryCatalog(lubm),
+    )
+    return _CONTEXT
+
+
+def load_all_systems(
+    context: BenchmarkContext,
+    graph: Optional[Graph] = None,
+    systems: Sequence[str] = SYSTEM_ORDER,
+) -> Dict[str, EdgeRDFStore]:
+    """Load ``graph`` (default: the full LUBM graph) into every system once.
+
+    Loaded systems are cached on the context so that the query benchmarks can
+    share them.
+    """
+    target = graph if graph is not None else context.full_graph
+    if context.systems:
+        return context.systems
+    for name in systems:
+        system = create_system(name)
+        system.load(target, ontology=context.lubm.ontology)
+        context.systems[name] = system
+    return context.systems
+
+
+def query_latency_row(
+    system: EdgeRDFStore,
+    query: BenchmarkQuery,
+    reasoning: Optional[bool] = None,
+    repetitions: int = 3,
+) -> Optional[Measurement]:
+    """Measure one query on one system (hot run, best of N).
+
+    Returns ``None`` when the system cannot answer the query (e.g. RDF4Led on
+    reasoning queries, which require UNION).
+    """
+    use_reasoning = query.requires_reasoning if reasoning is None else reasoning
+    try:
+        return measure_best_of(
+            lambda: system.query(query.sparql, reasoning=use_reasoning),
+            simulated_cost_getter=lambda: system.last_simulated_cost_ms,
+            repetitions=repetitions,
+        )
+    except UnsupportedFeatureError:
+        return None
+
+
+def measure_construction(
+    name: str, graph: Graph, ontology: Graph
+) -> Measurement:
+    """Measure back-end construction time of one system on one dataset."""
+    system = create_system(name)
+    return measure_call(
+        lambda: system.load(graph, ontology=ontology),
+        simulated_cost_getter=lambda: system.last_simulated_cost_ms,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# table rendering
+# --------------------------------------------------------------------------- #
+
+
+def record_table(results_dir, name: str, table: str) -> None:
+    """Print a rendered table and persist it under ``results_dir``.
+
+    Used by the ``benchmarks/`` suite so that a single run refreshes both the
+    console output and the ``benchmarks/results/*.txt`` files referenced by
+    EXPERIMENTS.md.
+    """
+    import pathlib
+
+    directory = pathlib.Path(results_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    print()
+    print(table)
+    (directory / f"{name}.txt").write_text(table + "\n", encoding="utf-8")
+
+
+def format_table(
+    title: str,
+    column_names: Sequence[str],
+    rows: Dict[str, Sequence[object]],
+    unit: str = "",
+) -> str:
+    """Render a paper-style table (systems as rows) as monospace text."""
+    width = max([len(name) for name in rows] + [12])
+    header = f"{'Systems':<{width}} " + " ".join(f"{name:>12}" for name in column_names)
+    lines = [title + (f" ({unit})" if unit else ""), "-" * len(header), header, "-" * len(header)]
+    for system_name, values in rows.items():
+        cells = []
+        for value in values:
+            if value is None:
+                cells.append(f"{'n/a':>12}")
+            elif isinstance(value, float):
+                cells.append(f"{value:>12.2f}")
+            else:
+                cells.append(f"{value!s:>12}")
+        lines.append(f"{system_name:<{width}} " + " ".join(cells))
+    lines.append("-" * len(header))
+    return "\n".join(lines)

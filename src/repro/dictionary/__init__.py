@@ -1,0 +1,28 @@
+"""Dictionary substrate.
+
+Like most RDF stores, SuccinctEdge encodes triples against dictionaries that
+map long terms (URIs, blank nodes, literals) to short integer identifiers and
+back (the ``locate`` / ``extract`` operations of the paper's Section 4).
+The concept and property dictionaries carry LiteMat identifiers (so that
+identifier intervals encode hierarchies); the instance dictionary assigns
+arbitrary sequential identifiers; literal values of datatype properties are
+kept in a flat :class:`~repro.dictionary.literal_store.LiteralStore` to avoid
+polluting the instance dictionary with a potentially unbounded number of
+measurement values.
+"""
+
+from repro.dictionary.term_dictionary import (
+    ConceptDictionary,
+    InstanceDictionary,
+    PropertyDictionary,
+)
+from repro.dictionary.literal_store import LiteralStore
+from repro.dictionary.statistics import DictionaryStatistics
+
+__all__ = [
+    "ConceptDictionary",
+    "DictionaryStatistics",
+    "InstanceDictionary",
+    "LiteralStore",
+    "PropertyDictionary",
+]

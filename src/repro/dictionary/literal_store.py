@@ -1,0 +1,56 @@
+"""Flat literal store for datatype-property objects.
+
+Sensor measurements produce a potentially unbounded stream of distinct
+numerical literals; creating an instance-dictionary entry for each of them
+would make dictionary management "complex and costly" (paper Section 4).
+SuccinctEdge therefore stores datatype-property objects as-is, possibly with
+redundancy, in a flat append-only structure; the datatype triple store keeps
+positional pointers into it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.rdf.terms import Literal
+
+
+class LiteralStore:
+    """Append-only flat storage of literal values.
+
+    ``append`` returns the position of the stored literal; ``get`` retrieves
+    it.  Unlike a dictionary the same literal may be stored several times —
+    deduplication is deliberately not attempted.
+    """
+
+    def __init__(self) -> None:
+        self._values: List[Literal] = []
+
+    def append(self, literal: Literal) -> int:
+        """Store ``literal`` and return its position."""
+        self._values.append(literal)
+        return len(self._values) - 1
+
+    def get(self, position: int) -> Literal:
+        """Literal stored at ``position``."""
+        if not 0 <= position < len(self._values):
+            raise IndexError(f"literal position {position} out of range [0, {len(self._values)})")
+        return self._values[position]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[Literal]:
+        return iter(self._values)
+
+    def __repr__(self) -> str:
+        return f"LiteralStore({len(self._values)} literals)"
+
+    def size_in_bytes(self) -> int:
+        """Approximate serialised size of the stored lexical forms."""
+        total = 0
+        for literal in self._values:
+            total += len(literal.lexical.encode("utf-8"))
+            if literal.datatype:
+                total += 4  # datatype reference (interned)
+        return total

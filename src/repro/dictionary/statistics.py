@@ -1,0 +1,100 @@
+"""Statistics used by the query optimizer.
+
+The optimizer (paper Section 5.1) combines two kinds of statistics:
+
+* **Dictionary-time statistics** — per-entry occurrence counts recorded when
+  the dictionaries are built, aggregated over concept/property hierarchies
+  (``hierarchical_occurrences``), wrapped here into one façade object.
+* **Run-time statistics** — counts computed directly on the SDS structures
+  (e.g. Algorithm 2: the number of triples holding a given predicate, derived
+  from two ``select`` calls on the PS bitmap).  Those live on the triple
+  store; this façade exposes a uniform interface over both.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dictionary.term_dictionary import (
+    ConceptDictionary,
+    InstanceDictionary,
+    PropertyDictionary,
+)
+from repro.rdf.terms import Term, URI
+
+
+class DictionaryStatistics:
+    """Cardinality estimates backed by the dictionaries' occurrence counters."""
+
+    def __init__(
+        self,
+        concepts: ConceptDictionary,
+        properties: PropertyDictionary,
+        instances: InstanceDictionary,
+    ) -> None:
+        self.concepts = concepts
+        self.properties = properties
+        self.instances = instances
+
+    # ------------------------------------------------------------------ #
+    # cardinality estimates
+    # ------------------------------------------------------------------ #
+
+    def concept_cardinality(self, concept: URI, with_hierarchy: bool = True) -> int:
+        """Estimated number of ``rdf:type`` triples for ``concept``.
+
+        With ``with_hierarchy`` (the paper's approach) the estimate sums the
+        counts over the concept's whole sub-hierarchy.
+        """
+        if concept not in self.concepts:
+            return 0
+        if with_hierarchy:
+            return self.concepts.hierarchical_occurrences(concept)
+        return self.concepts.occurrences_of_term(concept)
+
+    def property_cardinality(self, prop: URI, with_hierarchy: bool = True) -> int:
+        """Estimated number of triples whose predicate is ``prop``."""
+        if prop not in self.properties:
+            return 0
+        if with_hierarchy:
+            return self.properties.hierarchical_occurrences(prop)
+        return self.properties.occurrences_of_term(prop)
+
+    def instance_cardinality(self, term: Term) -> int:
+        """Estimated number of triples mentioning the individual ``term``."""
+        return self.instances.occurrences_of_term(term)
+
+    def triple_pattern_cardinality(
+        self,
+        subject: Optional[Term],
+        predicate: Optional[URI],
+        obj: Optional[Term],
+        is_rdf_type: bool,
+    ) -> int:
+        """Estimate for a triple pattern where ``None`` marks a variable slot.
+
+        The estimate is the minimum over the selectivity of every constant
+        slot — a standard independence-style bound that only uses statistics
+        the dictionaries actually store.
+        """
+        estimates = []
+        if is_rdf_type and isinstance(obj, URI):
+            estimates.append(self.concept_cardinality(obj))
+        elif obj is not None:
+            estimates.append(self.instance_cardinality(obj))
+        if predicate is not None and not is_rdf_type:
+            estimates.append(self.property_cardinality(predicate))
+        if subject is not None:
+            estimates.append(self.instance_cardinality(subject))
+        if not estimates:
+            # Fully unbound pattern: fall back to the total property mass.
+            total = sum(self.properties.occurrences(i) for i in self.properties.identifiers())
+            total += sum(self.concepts.occurrences(i) for i in self.concepts.identifiers())
+            return total
+        return min(estimates)
+
+    def __repr__(self) -> str:
+        return (
+            f"DictionaryStatistics(concepts={len(self.concepts)}, "
+            f"properties={len(self.properties)}, instances={len(self.instances)})"
+        )

@@ -1,0 +1,190 @@
+"""Concept, property and instance dictionaries.
+
+Every dictionary provides the two basic operations the paper requires —
+``string-to-id`` (*locate*) and ``id-to-string`` (*extract*) — plus per-entry
+occurrence counters that feed the query optimizer's statistics (paper
+Section 5.1: "each dictionary persists the number of occurrences of each of
+its entries").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.ontology.litemat import LiteMatEncoding
+from repro.rdf.terms import BlankNode, Term, URI
+
+
+class _BaseDictionary:
+    """Shared bidirectional mapping with occurrence counters."""
+
+    def __init__(self) -> None:
+        self._term_to_id: Dict[Term, int] = {}
+        self._id_to_term: Dict[int, Term] = {}
+        self._occurrences: Dict[int, int] = {}
+
+    # locate / extract --------------------------------------------------- #
+
+    def locate(self, term: Term) -> int:
+        """string-to-id: identifier of ``term``; raises :class:`KeyError` if absent."""
+        return self._term_to_id[term]
+
+    def try_locate(self, term: Term) -> Optional[int]:
+        """string-to-id, returning ``None`` for unknown terms."""
+        return self._term_to_id.get(term)
+
+    def extract(self, identifier: int) -> Term:
+        """id-to-string: term carrying ``identifier``; raises :class:`KeyError` if absent."""
+        return self._id_to_term[identifier]
+
+    def try_extract(self, identifier: int) -> Optional[Term]:
+        """id-to-string, returning ``None`` for unknown identifiers."""
+        return self._id_to_term.get(identifier)
+
+    def __contains__(self, term: Term) -> bool:
+        return term in self._term_to_id
+
+    def __len__(self) -> int:
+        return len(self._term_to_id)
+
+    def terms(self) -> List[Term]:
+        """All terms in the dictionary."""
+        return list(self._term_to_id)
+
+    def identifiers(self) -> List[int]:
+        """All identifiers in the dictionary."""
+        return list(self._id_to_term)
+
+    # occurrence statistics ---------------------------------------------- #
+
+    def record_occurrence(self, identifier: int, count: int = 1) -> None:
+        """Increment the occurrence counter of ``identifier``."""
+        self._occurrences[identifier] = self._occurrences.get(identifier, 0) + count
+
+    def occurrences(self, identifier: int) -> int:
+        """Number of recorded occurrences of ``identifier``."""
+        return self._occurrences.get(identifier, 0)
+
+    def occurrences_of_term(self, term: Term) -> int:
+        """Number of recorded occurrences of ``term`` (0 when unknown)."""
+        identifier = self.try_locate(term)
+        return 0 if identifier is None else self.occurrences(identifier)
+
+    # storage accounting -------------------------------------------------- #
+
+    def size_in_bytes(self) -> int:
+        """Approximate serialised size: term strings + fixed-size id entries."""
+        total = 0
+        for term, identifier in self._term_to_id.items():
+            total += len(str(term).encode("utf-8"))
+            total += 8  # identifier
+            total += 4  # occurrence counter
+        return total
+
+    def _register(self, term: Term, identifier: int) -> None:
+        if term in self._term_to_id:
+            existing = self._term_to_id[term]
+            if existing != identifier:
+                raise ValueError(f"term {term} already mapped to {existing}, cannot remap to {identifier}")
+            return
+        if identifier in self._id_to_term:
+            raise ValueError(f"identifier {identifier} already used by {self._id_to_term[identifier]}")
+        self._term_to_id[term] = identifier
+        self._id_to_term[identifier] = term
+
+
+class ConceptDictionary(_BaseDictionary):
+    """Dictionary of ontology concepts, keyed by LiteMat identifiers.
+
+    Besides locate/extract it exposes the LiteMat metadata needed at query
+    time (identifier intervals for subsumption reasoning).
+    """
+
+    def __init__(self, encoding: LiteMatEncoding) -> None:
+        super().__init__()
+        self._encoding = encoding
+        for term in encoding.terms():
+            self._register(term, encoding.encode(term))
+
+    @property
+    def encoding(self) -> LiteMatEncoding:
+        """The underlying LiteMat encoding."""
+        return self._encoding
+
+    def interval(self, concept: URI) -> Tuple[int, int]:
+        """Identifier interval covering ``concept`` and all its sub-concepts."""
+        return self._encoding.interval(concept)
+
+    def hierarchical_occurrences(self, concept: URI) -> int:
+        """Occurrences of ``concept`` plus all of its sub-concepts.
+
+        This is the paper's hierarchy-aware statistic: the count for a concept
+        is the sum over its whole sub-hierarchy (Section 5.1).
+        """
+        lower, upper = self.interval(concept)
+        return sum(
+            count
+            for identifier, count in self._occurrences.items()
+            if lower <= identifier < upper
+        )
+
+
+class PropertyDictionary(_BaseDictionary):
+    """Dictionary of properties, keyed by LiteMat identifiers."""
+
+    def __init__(self, encoding: LiteMatEncoding) -> None:
+        super().__init__()
+        self._encoding = encoding
+        for term in encoding.terms():
+            self._register(term, encoding.encode(term))
+
+    @property
+    def encoding(self) -> LiteMatEncoding:
+        """The underlying LiteMat encoding."""
+        return self._encoding
+
+    def interval(self, prop: URI) -> Tuple[int, int]:
+        """Identifier interval covering ``prop`` and all its sub-properties."""
+        return self._encoding.interval(prop)
+
+    def hierarchical_occurrences(self, prop: URI) -> int:
+        """Occurrences of ``prop`` plus all of its sub-properties."""
+        lower, upper = self.interval(prop)
+        return sum(
+            count
+            for identifier, count in self._occurrences.items()
+            if lower <= identifier < upper
+        )
+
+
+class InstanceDictionary(_BaseDictionary):
+    """Dictionary of individuals (URIs and blank nodes).
+
+    Each distinct entry receives an arbitrary, sequential integer identifier
+    (paper Section 3.2, last paragraph).  Identifiers start at 1; 0 is
+    reserved as the "unknown" sentinel.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._next_id = 1
+
+    def add(self, term: Term) -> int:
+        """Add ``term`` if absent; return its identifier either way."""
+        existing = self.try_locate(term)
+        if existing is not None:
+            return existing
+        identifier = self._next_id
+        self._next_id += 1
+        self._register(term, identifier)
+        return identifier
+
+    def add_all(self, terms: Iterable[Term]) -> None:
+        """Add every term of ``terms``."""
+        for term in terms:
+            self.add(term)
+
+    @property
+    def capacity(self) -> int:
+        """Smallest integer strictly greater than every assigned identifier."""
+        return self._next_id

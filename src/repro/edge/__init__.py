@@ -1,0 +1,33 @@
+"""Edge-deployment simulation.
+
+The paper deploys SuccinctEdge on IoT devices (Raspberry Pi class) that each
+receive a flow of measurement graphs and evaluate a fixed set of SPARQL
+queries once per graph instance, raising alerts towards a central
+administration server when anomalies are detected (Sections 2 and 4).
+
+* :mod:`repro.edge.device` — a resource model of the edge device (memory
+  budget, relative CPU speed, energy accounting);
+* :mod:`repro.edge.stream` — the graph-instance stream processor running the
+  registered continuous queries on every incoming graph;
+* :mod:`repro.edge.alerts` — alert objects, detection rules and the sink that
+  stands in for the central administration server.
+"""
+
+from repro.edge.alerts import Alert, AlertSink, AnomalyRule
+from repro.edge.device import DeviceProfile, EdgeDevice, RASPBERRY_PI_3B_PLUS
+from repro.edge.server import AdministrationServer, OntologyBundle, RegisteredDevice
+from repro.edge.stream import GraphStreamProcessor, StreamStatistics
+
+__all__ = [
+    "AdministrationServer",
+    "Alert",
+    "AlertSink",
+    "AnomalyRule",
+    "DeviceProfile",
+    "EdgeDevice",
+    "GraphStreamProcessor",
+    "OntologyBundle",
+    "RASPBERRY_PI_3B_PLUS",
+    "RegisteredDevice",
+    "StreamStatistics",
+]

@@ -1,0 +1,98 @@
+"""Alerts and anomaly-detection rules.
+
+An :class:`AnomalyRule` pairs a continuous SPARQL query with metadata; every
+non-empty answer set produced on a graph instance becomes an :class:`Alert`.
+The :class:`AlertSink` stands in for the administration server that receives
+alerts from the SuccinctEdge instances deployed at the edge (paper Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.rdf.terms import Term
+from repro.sparql.bindings import Binding, ResultSet
+
+
+@dataclass(frozen=True)
+class AnomalyRule:
+    """A continuous query with its alerting metadata.
+
+    Attributes
+    ----------
+    name:
+        Rule identifier (e.g. ``"pressure-out-of-range"``).
+    query:
+        SPARQL SELECT text executed once per graph instance.
+    severity:
+        Free-form severity label attached to the produced alerts.
+    requires_reasoning:
+        Whether the query needs RDFS reasoning (LiteMat intervals) to cover
+        heterogeneous sensor annotations.
+    description:
+        Human-readable description of what the rule detects.
+    """
+
+    name: str
+    query: str
+    severity: str = "warning"
+    requires_reasoning: bool = True
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One anomaly detected on one graph instance."""
+
+    rule: str
+    severity: str
+    instance_id: int
+    bindings: Dict[str, Term]
+
+    def describe(self) -> str:
+        """One-line description of the alert."""
+        details = ", ".join(f"?{name}={value}" for name, value in sorted(self.bindings.items()))
+        return f"[{self.severity}] {self.rule} (instance {self.instance_id}): {details}"
+
+
+class AlertSink:
+    """Collects alerts; stands in for the central administration server."""
+
+    def __init__(self, callback: Optional[Callable[[Alert], None]] = None) -> None:
+        self.alerts: List[Alert] = []
+        self._callback = callback
+
+    def emit(self, alert: Alert) -> None:
+        """Record (and forward) one alert."""
+        self.alerts.append(alert)
+        if self._callback is not None:
+            self._callback(alert)
+
+    def emit_result_set(self, rule: AnomalyRule, instance_id: int, results: ResultSet) -> List[Alert]:
+        """Turn every row of ``results`` into an alert."""
+        produced: List[Alert] = []
+        for binding in results:
+            alert = Alert(
+                rule=rule.name,
+                severity=rule.severity,
+                instance_id=instance_id,
+                bindings=dict(binding.items()),
+            )
+            self.emit(alert)
+            produced.append(alert)
+        return produced
+
+    def __len__(self) -> int:
+        return len(self.alerts)
+
+    def by_rule(self) -> Dict[str, List[Alert]]:
+        """Alerts grouped by rule name."""
+        grouped: Dict[str, List[Alert]] = {}
+        for alert in self.alerts:
+            grouped.setdefault(alert.rule, []).append(alert)
+        return grouped
+
+    def estimated_payload_bytes(self) -> int:
+        """Rough size of the alert payloads sent over the network."""
+        return sum(len(alert.describe().encode("utf-8")) for alert in self.alerts)

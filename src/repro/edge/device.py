@@ -1,0 +1,135 @@
+"""Edge device resource model.
+
+The paper's experimental platform is a Raspberry Pi 3B+ (1 GB of RAM, SD-card
+storage, ARM Cortex-A53).  The exact hardware is not available here, so this
+module provides a simple, documented resource model used to answer questions
+that matter for the deployment scenario:
+
+* does a given store fit in the device's RAM budget? (Section 7.3.2's
+  motivation for the compact layout);
+* how much energy does query processing cost relative to transmitting the raw
+  measures to the cloud? (the motivating example's argument for processing at
+  the edge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Static characteristics of an edge device.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name.
+    ram_bytes:
+        Total RAM; the usable budget for an RDF store is a fraction of it.
+    usable_ram_fraction:
+        Fraction of RAM available to the store (OS and runtime take the rest).
+    cpu_factor:
+        Relative CPU speed versus the machine running the benchmarks
+        (1.0 = same speed; the Pi is considerably slower than a laptop).
+    active_power_watts / idle_power_watts:
+        Power draw used by the energy model.
+    network_energy_joule_per_kb:
+        Energy cost of transmitting one kilobyte towards the cloud (used to
+        compare edge processing against ship-everything-to-the-cloud).
+    """
+
+    name: str
+    ram_bytes: int
+    usable_ram_fraction: float = 0.5
+    cpu_factor: float = 0.1
+    active_power_watts: float = 3.5
+    idle_power_watts: float = 1.9
+    network_energy_joule_per_kb: float = 0.05
+
+
+#: The paper's experimental platform.
+RASPBERRY_PI_3B_PLUS = DeviceProfile(
+    name="Raspberry Pi 3B+",
+    ram_bytes=1024 * 1024 * 1024,
+    usable_ram_fraction=0.5,
+    cpu_factor=0.12,
+    active_power_watts=3.5,
+    idle_power_watts=1.9,
+    network_energy_joule_per_kb=0.05,
+)
+
+
+class EdgeDevice:
+    """A device instance tracking memory admission and energy accounting."""
+
+    def __init__(self, profile: DeviceProfile = RASPBERRY_PI_3B_PLUS) -> None:
+        self.profile = profile
+        self.energy_spent_joules = 0.0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------ #
+    # memory admission
+    # ------------------------------------------------------------------ #
+
+    @property
+    def memory_budget_bytes(self) -> int:
+        """RAM available to the RDF store."""
+        return int(self.profile.ram_bytes * self.profile.usable_ram_fraction)
+
+    def fits_in_memory(self, footprint_bytes: int) -> bool:
+        """Whether a store of the given footprint fits in the budget."""
+        return footprint_bytes <= self.memory_budget_bytes
+
+    def max_graph_instances(self, footprint_bytes_per_instance: int) -> int:
+        """How many graph instances of the given footprint fit simultaneously."""
+        if footprint_bytes_per_instance <= 0:
+            return 0
+        return self.memory_budget_bytes // footprint_bytes_per_instance
+
+    # ------------------------------------------------------------------ #
+    # latency / energy model
+    # ------------------------------------------------------------------ #
+
+    def scale_latency_ms(self, measured_ms: float) -> float:
+        """Project a latency measured on this machine onto the device."""
+        if self.profile.cpu_factor <= 0:
+            return measured_ms
+        return measured_ms / self.profile.cpu_factor
+
+    def charge_processing(self, duration_ms: float) -> float:
+        """Account for local processing energy; returns the joules spent."""
+        joules = self.profile.active_power_watts * (duration_ms / 1000.0)
+        self.energy_spent_joules += joules
+        return joules
+
+    def charge_transmission(self, payload_bytes: int) -> float:
+        """Account for the energy of sending ``payload_bytes`` to the cloud."""
+        kilobytes = payload_bytes / 1024.0
+        joules = self.profile.network_energy_joule_per_kb * kilobytes
+        self.energy_spent_joules += joules
+        self.bytes_sent += payload_bytes
+        return joules
+
+    def edge_vs_cloud_energy(
+        self,
+        processing_ms: float,
+        alert_bytes: int,
+        raw_graph_bytes: int,
+    ) -> dict:
+        """Compare the energy of edge processing against shipping raw data.
+
+        Edge strategy: process locally (``processing_ms``) and transmit only
+        the alerts; cloud strategy: transmit the full graph instance.  Returns
+        both totals in joules (the motivating example's trade-off).
+        """
+        edge = (
+            self.profile.active_power_watts * processing_ms / 1000.0
+            + self.profile.network_energy_joule_per_kb * alert_bytes / 1024.0
+        )
+        cloud = self.profile.network_energy_joule_per_kb * raw_graph_bytes / 1024.0
+        return {"edge_joules": edge, "cloud_joules": cloud, "edge_wins": edge < cloud}
+
+    def __repr__(self) -> str:
+        return f"EdgeDevice({self.profile.name}, budget={self.memory_budget_bytes // (1024*1024)}MB)"

@@ -1,0 +1,139 @@
+"""Central administration server.
+
+In the paper's deployment (Section 4) a central computer, operated by the
+building administrator, (i) registers the IoT devices, (ii) pre-encodes the
+stable ontologies with LiteMat and broadcasts the resulting dictionaries to
+every SuccinctEdge instance running at the edge, and (iii) receives the
+alerts those instances raise.  This module simulates that server so the whole
+deployment loop can be exercised end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.edge.alerts import Alert, AlertSink, AnomalyRule
+from repro.edge.device import DeviceProfile, EdgeDevice, RASPBERRY_PI_3B_PLUS
+from repro.edge.stream import GraphStreamProcessor
+from repro.ontology.litemat import LiteMatEncoder, LiteMatEncoding
+from repro.ontology.schema import OntologySchema
+from repro.rdf.graph import Graph
+
+
+@dataclass(frozen=True)
+class OntologyBundle:
+    """The pre-encoded ontology broadcast to the edge devices.
+
+    It carries the schema (for query rewriting helpers) and the LiteMat
+    encodings of the concept and property hierarchies; devices reuse them so
+    that every SuccinctEdge instance assigns the same identifiers — the
+    property the paper relies on when the server later interprets alerts.
+    """
+
+    schema: OntologySchema
+    concepts: LiteMatEncoding
+    properties: LiteMatEncoding
+
+    @classmethod
+    def from_ontology(cls, ontology: Graph) -> "OntologyBundle":
+        """Encode an ontology graph once, centrally."""
+        schema = OntologySchema.from_graph(ontology)
+        encoder = LiteMatEncoder(schema)
+        return cls(
+            schema=schema,
+            concepts=encoder.encode_concepts(),
+            properties=encoder.encode_properties(),
+        )
+
+    def size_in_bytes(self) -> int:
+        """Rough payload size of one broadcast (terms + identifiers)."""
+        total = 0
+        for encoding in (self.concepts, self.properties):
+            for term in encoding.terms():
+                total += len(str(term).encode("utf-8")) + 8
+        return total
+
+
+@dataclass
+class RegisteredDevice:
+    """One edge device registered at the server."""
+
+    name: str
+    processor: GraphStreamProcessor
+    device: EdgeDevice
+    sink: AlertSink
+    location: str = ""
+
+
+class AdministrationServer:
+    """Registers devices, broadcasts the ontology, aggregates alerts."""
+
+    def __init__(self, ontology: Graph, rules: Optional[List[AnomalyRule]] = None) -> None:
+        self.ontology = ontology
+        self.bundle = OntologyBundle.from_ontology(ontology)
+        self.rules: List[AnomalyRule] = list(rules or [])
+        self.devices: Dict[str, RegisteredDevice] = {}
+        self.received_alerts: List[Alert] = []
+
+    # ------------------------------------------------------------------ #
+    # administration
+    # ------------------------------------------------------------------ #
+
+    def register_rule(self, rule: AnomalyRule) -> None:
+        """Add a continuous query; it applies to devices registered afterwards."""
+        self.rules.append(rule)
+
+    def register_device(
+        self,
+        name: str,
+        profile: DeviceProfile = RASPBERRY_PI_3B_PLUS,
+        location: str = "",
+    ) -> RegisteredDevice:
+        """Register a new edge device and ship it the rules and the ontology."""
+        if name in self.devices:
+            raise ValueError(f"device {name!r} is already registered")
+        device = EdgeDevice(profile)
+        sink = AlertSink(callback=self._receive_alert)
+        processor = GraphStreamProcessor(
+            ontology=self.ontology, rules=list(self.rules), sink=sink, device=device
+        )
+        registered = RegisteredDevice(
+            name=name, processor=processor, device=device, sink=sink, location=location
+        )
+        self.devices[name] = registered
+        return registered
+
+    def _receive_alert(self, alert: Alert) -> None:
+        self.received_alerts.append(alert)
+
+    # ------------------------------------------------------------------ #
+    # operation
+    # ------------------------------------------------------------------ #
+
+    def ingest(self, device_name: str, graph: Graph) -> List[Alert]:
+        """Deliver one measurement graph instance to a registered device."""
+        if device_name not in self.devices:
+            raise KeyError(f"unknown device {device_name!r}")
+        return self.devices[device_name].processor.process_instance(graph)
+
+    def alerts_by_device(self) -> Dict[str, List[Alert]]:
+        """Received alerts grouped by the device that raised them."""
+        grouped: Dict[str, List[Alert]] = {name: [] for name in self.devices}
+        for name, registered in self.devices.items():
+            grouped[name] = list(registered.sink.alerts)
+        return grouped
+
+    def fleet_statistics(self) -> Dict[str, Dict[str, float]]:
+        """Per-device stream statistics (instances, alerts, mean latency)."""
+        summary: Dict[str, Dict[str, float]] = {}
+        for name, registered in self.devices.items():
+            statistics = registered.processor.statistics
+            summary[name] = {
+                "instances": statistics.instances_processed,
+                "triples": statistics.triples_processed,
+                "alerts": statistics.alerts_raised,
+                "mean_ms": statistics.mean_processing_ms,
+                "energy_joules": registered.device.energy_spent_joules,
+            }
+        return summary

@@ -1,0 +1,26 @@
+"""Ontology substrate: RDFS schema extraction, LiteMat encoding, ρdf reasoning.
+
+SuccinctEdge performs RDFS (ρdf subset) reasoning at query time through the
+LiteMat semantic-aware encoding: concept and property identifiers embed the
+identifier of their direct parent, so the full set of direct and indirect
+sub-entities of a term maps to one contiguous identifier interval (paper
+Section 3.2).  The baselines reason instead by rewriting queries into UNIONs
+of non-inferential queries (:mod:`repro.ontology.rewriting`), and the
+materialisation rules of ρdf (:mod:`repro.ontology.rhodf`) serve as the
+ground-truth oracle in tests.
+"""
+
+from repro.ontology.schema import OntologySchema
+from repro.ontology.litemat import LiteMatEncoder, LiteMatEncoding, EncodedEntity
+from repro.ontology.rhodf import materialize_rhodf, saturate_types
+from repro.ontology.rewriting import rewrite_query_with_unions
+
+__all__ = [
+    "EncodedEntity",
+    "LiteMatEncoder",
+    "LiteMatEncoding",
+    "OntologySchema",
+    "materialize_rhodf",
+    "rewrite_query_with_unions",
+    "saturate_types",
+]

@@ -1,0 +1,218 @@
+"""LiteMat semantic-aware encoding (paper Section 3.2).
+
+LiteMat assigns integer identifiers to ontology terms such that the
+identifier of a term is *prefixed* (in binary) by the identifier of its
+direct parent.  After right-padding every identifier to a common bit length
+(the *normalisation* step), the set of all direct and indirect sub-entities
+of a term ``T`` corresponds to one contiguous identifier interval::
+
+    [ id(T), id(T) + 2 ** (total_length - local_length(T)) )
+
+computed with two bit shifts and one addition — which is how SuccinctEdge
+answers inference queries without materialisation and without UNION
+rewriting.
+
+Example (Figure 2 of the paper) — axioms ``A ⊑ Thing``, ``B ⊑ Thing``,
+``C ⊑ B``, ``D ⊑ B``::
+
+    Thing -> 10000 (16)   interval [16, 32)
+    A     -> 10100 (20)   interval [20, 24)
+    B     -> 11000 (24)   interval [24, 28)
+    C     -> 11001 (25)
+    D     -> 11010 (26)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.ontology.schema import OntologySchema
+from repro.rdf.namespaces import OWL_THING
+from repro.rdf.terms import URI
+
+
+@dataclass(frozen=True)
+class EncodedEntity:
+    """LiteMat metadata of a single encoded concept or property.
+
+    Attributes
+    ----------
+    identifier:
+        Final (normalised) integer identifier.
+    local_length:
+        Number of significant bits before normalisation: the parent prefix
+        plus the local encoding (Figure 2(b) "start of the normalization").
+    total_length:
+        The common normalised bit length of the hierarchy.
+    """
+
+    identifier: int
+    local_length: int
+    total_length: int
+
+    @property
+    def interval(self) -> Tuple[int, int]:
+        """Identifier interval ``[lower, upper)`` covering the entity and all its descendants."""
+        span = 1 << (self.total_length - self.local_length)
+        return self.identifier, self.identifier + span
+
+    def covers(self, identifier: int) -> bool:
+        """Whether ``identifier`` denotes this entity or one of its descendants."""
+        lower, upper = self.interval
+        return lower <= identifier < upper
+
+
+class LiteMatEncoding:
+    """The result of encoding one hierarchy (concepts *or* properties)."""
+
+    def __init__(
+        self,
+        entries: Dict[URI, EncodedEntity],
+        total_length: int,
+        root: Optional[URI] = None,
+    ) -> None:
+        self._entries = dict(entries)
+        self._by_id: Dict[int, URI] = {}
+        for term, encoded in entries.items():
+            # Two terms can never share an identifier; guard against it.
+            if encoded.identifier in self._by_id:
+                raise ValueError(
+                    f"duplicate LiteMat identifier {encoded.identifier} for "
+                    f"{term} and {self._by_id[encoded.identifier]}"
+                )
+            self._by_id[encoded.identifier] = term
+        self.total_length = total_length
+        self.root = root
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, term: URI) -> bool:
+        return term in self._entries
+
+    def terms(self) -> List[URI]:
+        """All encoded terms."""
+        return list(self._entries)
+
+    def encode(self, term: URI) -> int:
+        """The identifier of ``term``; raises :class:`KeyError` when unknown."""
+        return self._entries[term].identifier
+
+    def try_encode(self, term: URI) -> Optional[int]:
+        """The identifier of ``term`` or ``None`` when unknown."""
+        entry = self._entries.get(term)
+        return None if entry is None else entry.identifier
+
+    def decode(self, identifier: int) -> URI:
+        """The term carrying ``identifier``; raises :class:`KeyError` when unknown."""
+        return self._by_id[identifier]
+
+    def try_decode(self, identifier: int) -> Optional[URI]:
+        """The term carrying ``identifier`` or ``None``."""
+        return self._by_id.get(identifier)
+
+    def entry(self, term: URI) -> EncodedEntity:
+        """Full LiteMat metadata of ``term``."""
+        return self._entries[term]
+
+    def interval(self, term: URI) -> Tuple[int, int]:
+        """Identifier interval ``[lower, upper)`` of ``term`` and its descendants."""
+        return self._entries[term].interval
+
+    def is_descendant(self, candidate: URI, ancestor: URI) -> bool:
+        """Interval-based subsumption test (includes equality)."""
+        return self._entries[ancestor].covers(self._entries[candidate].identifier)
+
+    def identifiers(self) -> Dict[URI, int]:
+        """Mapping term -> identifier (copy)."""
+        return {term: entry.identifier for term, entry in self._entries.items()}
+
+    def __repr__(self) -> str:
+        return f"LiteMatEncoding({len(self._entries)} terms, total_length={self.total_length})"
+
+
+class LiteMatEncoder:
+    """Builds :class:`LiteMatEncoding` objects from an :class:`OntologySchema`.
+
+    Entities that appear in the data but not in the ontology (e.g. plain
+    datatype properties of sensors) are attached directly under the hierarchy
+    root so that every term receives an identifier and interval reasoning
+    stays sound.
+    """
+
+    def __init__(self, schema: Optional[OntologySchema] = None) -> None:
+        self.schema = schema or OntologySchema()
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    def encode_concepts(self, extra_concepts: Iterable[URI] = ()) -> LiteMatEncoding:
+        """Encode the concept hierarchy (plus undeclared ``extra_concepts``)."""
+        roots = list(self.schema.concept_roots())
+        for concept in extra_concepts:
+            if concept not in self.schema.concepts and concept not in roots:
+                roots.append(concept)
+        return self._encode_forest(
+            roots=roots,
+            children_of=self.schema.concept_children,
+            root_term=OWL_THING,
+        )
+
+    def encode_properties(self, extra_properties: Iterable[URI] = ()) -> LiteMatEncoding:
+        """Encode the property hierarchy (plus undeclared ``extra_properties``)."""
+        roots = list(self.schema.property_roots())
+        for prop in extra_properties:
+            if prop not in self.schema.properties and prop not in roots:
+                roots.append(prop)
+        return self._encode_forest(
+            roots=roots,
+            children_of=self.schema.property_children,
+            root_term=None,
+        )
+
+    # ------------------------------------------------------------------ #
+    # encoding core
+    # ------------------------------------------------------------------ #
+
+    def _encode_forest(
+        self,
+        roots: List[URI],
+        children_of,
+        root_term: Optional[URI],
+    ) -> LiteMatEncoding:
+        # Bit strings before normalisation; the virtual root is "1" so that
+        # identifier 0 is never produced (0 is reserved for "unknown").
+        prefixes: Dict[URI, str] = {}
+        ordered: List[URI] = []
+
+        def assign(children: List[URI], parent_prefix: str) -> None:
+            if not children:
+                return
+            # Local identifiers run from 1 to len(children); 0 is never used so
+            # that a child's padded identifier can never collide with its parent.
+            local_bits = len(children).bit_length()
+            for position, child in enumerate(children, start=1):
+                prefix = parent_prefix + format(position, f"0{local_bits}b")
+                prefixes[child] = prefix
+                ordered.append(child)
+                assign(children_of(child), prefix)
+
+        virtual_root_prefix = "1"
+        if root_term is not None:
+            prefixes[root_term] = virtual_root_prefix
+            ordered.append(root_term)
+        assign(roots, virtual_root_prefix)
+
+        total_length = max((len(prefix) for prefix in prefixes.values()), default=1)
+        entries: Dict[URI, EncodedEntity] = {}
+        for term in ordered:
+            prefix = prefixes[term]
+            identifier = int(prefix.ljust(total_length, "0"), 2)
+            entries[term] = EncodedEntity(
+                identifier=identifier,
+                local_length=len(prefix),
+                total_length=total_length,
+            )
+        return LiteMatEncoding(entries, total_length, root=root_term)

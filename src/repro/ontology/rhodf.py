@@ -1,0 +1,91 @@
+"""ρdf (minimal RDFS) inference rules.
+
+The paper reasons over the ρdf subset of RDFS (Muñoz et al. 2009):
+``rdfs:subClassOf``, ``rdfs:subPropertyOf``, ``rdfs:domain`` and
+``rdfs:range``.  SuccinctEdge never materialises these inferences (LiteMat
+intervals answer them at query time); this module exists as the **ground
+truth oracle** for tests and as the baseline "full materialisation" strategy
+that some competitor systems would use.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+from repro.ontology.schema import OntologySchema
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import RDF_TYPE
+from repro.rdf.terms import Triple, URI
+
+
+def saturate_types(graph: Graph, schema: OntologySchema) -> Graph:
+    """Add the ``rdf:type`` triples entailed by the concept hierarchy.
+
+    For every explicit ``x rdf:type C`` triple, adds ``x rdf:type D`` for
+    every super-concept ``D`` of ``C``.
+    """
+    result = graph.copy()
+    for triple in graph:
+        if triple.predicate != RDF_TYPE or not isinstance(triple.object, URI):
+            continue
+        for ancestor in schema.superconcepts(triple.object, include_self=False):
+            result.add(Triple(triple.subject, RDF_TYPE, ancestor))
+    return result
+
+
+def saturate_properties(graph: Graph, schema: OntologySchema) -> Graph:
+    """Add the triples entailed by the property hierarchy.
+
+    For every triple ``x p y`` where ``p rdfs:subPropertyOf q`` (transitively),
+    adds ``x q y``.
+    """
+    result = graph.copy()
+    for triple in graph:
+        for ancestor in schema.superproperties(triple.predicate, include_self=False):
+            result.add(Triple(triple.subject, ancestor, triple.object))
+    return result
+
+
+def apply_domain_range(graph: Graph, schema: OntologySchema) -> Graph:
+    """Add the ``rdf:type`` triples entailed by domain/range declarations."""
+    result = graph.copy()
+    for triple in graph:
+        domain = schema.domain_of(triple.predicate)
+        if domain is not None:
+            result.add(Triple(triple.subject, RDF_TYPE, domain))
+        range_concept = schema.range_of(triple.predicate)
+        if range_concept is not None and isinstance(triple.object, URI):
+            result.add(Triple(triple.object, RDF_TYPE, range_concept))
+    return result
+
+
+def materialize_rhodf(graph: Graph, schema: OntologySchema, max_rounds: int = 8) -> Graph:
+    """Compute the ρdf closure of ``graph`` under ``schema``.
+
+    Applies property saturation, domain/range typing and type saturation to a
+    fixed point (a handful of rounds suffices because the rules only feed each
+    other through freshly derived triples).
+    """
+    current = graph.copy()
+    for _round in range(max_rounds):
+        before = len(current)
+        current = saturate_properties(current, schema)
+        current = apply_domain_range(current, schema)
+        current = saturate_types(current, schema)
+        if len(current) == before:
+            break
+    return current
+
+
+def entailed_types(
+    subject_types: Iterable[URI], schema: OntologySchema
+) -> List[URI]:
+    """All concepts entailed for a subject given its explicit types."""
+    seen: Set[URI] = set()
+    result: List[URI] = []
+    for concept in subject_types:
+        for entailed in schema.superconcepts(concept, include_self=True):
+            if entailed not in seen:
+                seen.add(entailed)
+                result.append(entailed)
+    return result

@@ -1,0 +1,223 @@
+"""RDFS schema (concept and property hierarchies) extraction.
+
+An :class:`OntologySchema` holds the ``rdfs:subClassOf`` / ``rdfs:subPropertyOf``
+hierarchies plus ``rdfs:domain`` / ``rdfs:range`` assertions of an ontology
+graph — the ρdf subset the paper reasons over.  It is the input of the LiteMat
+encoder and of the UNION query rewriter used by the baseline systems.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import (
+    OWL_THING,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+    RDFS_SUBCLASSOF,
+    RDFS_SUBPROPERTYOF,
+)
+from repro.rdf.terms import Triple, URI
+
+
+class OntologySchema:
+    """Concept and property hierarchies of an RDFS ontology.
+
+    The hierarchies are forests rooted (conceptually) at ``owl:Thing`` for
+    concepts and at a virtual top property for properties; multiple
+    inheritance is reduced to the first declared parent (the restriction the
+    original LiteMat encoding also makes — its multiple-inheritance extension
+    is future work in the paper).
+    """
+
+    def __init__(self) -> None:
+        self._concept_parent: Dict[URI, Optional[URI]] = {}
+        self._property_parent: Dict[URI, Optional[URI]] = {}
+        self._domains: Dict[URI, URI] = {}
+        self._ranges: Dict[URI, URI] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "OntologySchema":
+        """Extract the schema from an ontology graph."""
+        schema = cls()
+        for triple in graph:
+            schema._ingest(triple)
+        return schema
+
+    @classmethod
+    def from_triples(cls, triples: Iterable[Triple]) -> "OntologySchema":
+        """Extract the schema from an iterable of triples."""
+        schema = cls()
+        for triple in triples:
+            schema._ingest(triple)
+        return schema
+
+    def _ingest(self, triple: Triple) -> None:
+        subject, predicate, obj = triple
+        if not isinstance(subject, URI) or not isinstance(obj, URI):
+            return
+        if predicate == RDFS_SUBCLASSOF:
+            self.add_subclass(subject, obj)
+        elif predicate == RDFS_SUBPROPERTYOF:
+            self.add_subproperty(subject, obj)
+        elif predicate == RDFS_DOMAIN:
+            self._domains[subject] = obj
+            self.add_property(subject)
+            self.add_concept(obj)
+        elif predicate == RDFS_RANGE:
+            self._ranges[subject] = obj
+            self.add_property(subject)
+            self.add_concept(obj)
+
+    def add_concept(self, concept: URI, parent: Optional[URI] = None) -> None:
+        """Declare ``concept`` (optionally under ``parent``)."""
+        if parent is not None:
+            self.add_subclass(concept, parent)
+        else:
+            self._concept_parent.setdefault(concept, None)
+
+    def add_subclass(self, child: URI, parent: URI) -> None:
+        """Declare ``child rdfs:subClassOf parent``."""
+        if parent == OWL_THING:
+            self._concept_parent.setdefault(child, None)
+            return
+        self._concept_parent.setdefault(parent, None)
+        existing = self._concept_parent.get(child)
+        if existing is None:
+            self._concept_parent[child] = parent
+
+    def add_property(self, prop: URI, parent: Optional[URI] = None) -> None:
+        """Declare ``prop`` (optionally under ``parent``)."""
+        if parent is not None:
+            self.add_subproperty(prop, parent)
+        else:
+            self._property_parent.setdefault(prop, None)
+
+    def add_subproperty(self, child: URI, parent: URI) -> None:
+        """Declare ``child rdfs:subPropertyOf parent``."""
+        self._property_parent.setdefault(parent, None)
+        existing = self._property_parent.get(child)
+        if existing is None:
+            self._property_parent[child] = parent
+
+    def add_domain(self, prop: URI, concept: URI) -> None:
+        """Declare ``prop rdfs:domain concept``."""
+        self._domains[prop] = concept
+        self.add_property(prop)
+        self.add_concept(concept)
+
+    def add_range(self, prop: URI, concept: URI) -> None:
+        """Declare ``prop rdfs:range concept``."""
+        self._ranges[prop] = concept
+        self.add_property(prop)
+        self.add_concept(concept)
+
+    # ------------------------------------------------------------------ #
+    # hierarchy queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def concepts(self) -> List[URI]:
+        """All declared concepts."""
+        return list(self._concept_parent)
+
+    @property
+    def properties(self) -> List[URI]:
+        """All declared properties."""
+        return list(self._property_parent)
+
+    def concept_parent(self, concept: URI) -> Optional[URI]:
+        """Direct parent concept, or ``None`` for hierarchy roots."""
+        return self._concept_parent.get(concept)
+
+    def property_parent(self, prop: URI) -> Optional[URI]:
+        """Direct parent property, or ``None`` for hierarchy roots."""
+        return self._property_parent.get(prop)
+
+    def concept_children(self, concept: URI) -> List[URI]:
+        """Direct sub-concepts, in declaration order."""
+        return [child for child, parent in self._concept_parent.items() if parent == concept]
+
+    def property_children(self, prop: URI) -> List[URI]:
+        """Direct sub-properties, in declaration order."""
+        return [child for child, parent in self._property_parent.items() if parent == prop]
+
+    def concept_roots(self) -> List[URI]:
+        """Concepts without a declared parent (direct children of owl:Thing)."""
+        return [concept for concept, parent in self._concept_parent.items() if parent is None]
+
+    def property_roots(self) -> List[URI]:
+        """Properties without a declared parent."""
+        return [prop for prop, parent in self._property_parent.items() if parent is None]
+
+    def subconcepts(self, concept: URI, include_self: bool = True) -> List[URI]:
+        """All direct and indirect sub-concepts (the reasoning closure)."""
+        return self._descendants(concept, self.concept_children, include_self)
+
+    def subproperties(self, prop: URI, include_self: bool = True) -> List[URI]:
+        """All direct and indirect sub-properties."""
+        return self._descendants(prop, self.property_children, include_self)
+
+    def superconcepts(self, concept: URI, include_self: bool = False) -> List[URI]:
+        """All ancestors of ``concept`` walking up the hierarchy."""
+        return self._ancestors(concept, self.concept_parent, include_self)
+
+    def superproperties(self, prop: URI, include_self: bool = False) -> List[URI]:
+        """All ancestors of ``prop`` walking up the hierarchy."""
+        return self._ancestors(prop, self.property_parent, include_self)
+
+    def domain_of(self, prop: URI) -> Optional[URI]:
+        """The declared ``rdfs:domain`` of ``prop``."""
+        return self._domains.get(prop)
+
+    def range_of(self, prop: URI) -> Optional[URI]:
+        """The declared ``rdfs:range`` of ``prop``."""
+        return self._ranges.get(prop)
+
+    def is_subconcept_of(self, child: URI, ancestor: URI) -> bool:
+        """Whether ``child`` is ``ancestor`` or one of its descendants."""
+        return ancestor in self.superconcepts(child, include_self=True)
+
+    def is_subproperty_of(self, child: URI, ancestor: URI) -> bool:
+        """Whether ``child`` is ``ancestor`` or one of its descendants."""
+        return ancestor in self.superproperties(child, include_self=True)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _descendants(start: URI, children_of, include_self: bool) -> List[URI]:
+        result: List[URI] = [start] if include_self else []
+        seen: Set[URI] = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop(0)
+            for child in children_of(node):
+                if child not in seen:
+                    seen.add(child)
+                    result.append(child)
+                    frontier.append(child)
+        return result
+
+    @staticmethod
+    def _ancestors(start: URI, parent_of, include_self: bool) -> List[URI]:
+        result: List[URI] = [start] if include_self else []
+        seen: Set[URI] = {start}
+        node = parent_of(start)
+        while node is not None and node not in seen:
+            result.append(node)
+            seen.add(node)
+            node = parent_of(node)
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"OntologySchema(concepts={len(self._concept_parent)}, "
+            f"properties={len(self._property_parent)})"
+        )

@@ -1,0 +1,28 @@
+"""Query optimization and processing (paper Section 5).
+
+* :mod:`repro.query.query_graph` — the query graph (TP nodes, SS/SO join edges);
+* :mod:`repro.query.optimizer` — Algorithm 1: heuristic + statistics join ordering;
+* :mod:`repro.query.plan` — the left-deep physical plan description;
+* :mod:`repro.query.tp_eval` — triple-pattern evaluation as SDS operations
+  (Algorithms 3 and 4) with LiteMat interval reasoning;
+* :mod:`repro.query.engine` — the full SELECT pipeline (BGP joins, FILTER,
+  BIND, UNION, projection);
+* :mod:`repro.query.rewriter` — the "high-level concept" query helper of the
+  paper's contribution (iv).
+"""
+
+from repro.query.engine import QueryEngine
+from repro.query.optimizer import JoinOrderOptimizer
+from repro.query.plan import AccessPath, PhysicalPlan, PlanStep
+from repro.query.query_graph import JoinEdge, QueryGraph, QueryNode
+
+__all__ = [
+    "AccessPath",
+    "JoinEdge",
+    "JoinOrderOptimizer",
+    "PhysicalPlan",
+    "PlanStep",
+    "QueryEngine",
+    "QueryGraph",
+    "QueryNode",
+]

@@ -1,0 +1,222 @@
+"""Join-order optimizer (paper Section 5.1, Algorithm 1).
+
+The optimizer only produces left-deep join trees (memory-friendly on edge
+devices) and combines:
+
+* **Heuristic 1** — a triple-pattern priority adapted from Tsialiamanis et
+  al. to SuccinctEdge's access paths::
+
+      (s, rdf:type, ?o) > (?s, rdf:type, o) > (s, p, ?o) > (?s, p, o) > (?s, p, ?o)
+
+* **Heuristic 2** — join-type preference induced by the PSO self-index:
+  subject-subject joins are preferred over subject-object joins, which are
+  preferred over the remaining combinations;
+* **Statistics** — per-entry occurrence counts recorded at dictionary
+  creation time, aggregated over concept/property hierarchies, plus run-time
+  counts computed on the SDS structures (Algorithm 2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.dictionary.statistics import DictionaryStatistics
+from repro.query.plan import (
+    AccessPath,
+    JoinMethod,
+    PhysicalPlan,
+    PlanStep,
+    classify_access_path,
+)
+from repro.query.query_graph import QueryGraph, QueryNode
+from repro.sparql.ast import TriplePattern, Variable
+
+#: Heuristic-1 priority ranks (lower executes earlier).
+_SHAPE_RANK = {
+    "s,p,o": 0,        # fully bound: an existence check, maximally selective
+    "s,?p,o": 0,
+    "s,p,?o": 2,
+    "?s,p,o": 3,
+    "s,?p,?o": 4,
+    "?s,p,?o": 4,
+    "?s,?p,o": 4,
+    "?s,?p,?o": 5,
+}
+
+#: Heuristic-2 join-type preference (lower is better).
+_JOIN_RANK = {"SS": 0, "SO": 1, "OS": 1, "OO": 2, "SP": 3, "PS": 3, "OP": 3, "PO": 3, "PP": 4}
+
+
+class JoinOrderOptimizer:
+    """Computes a left-deep execution order for the triple patterns of a BGP."""
+
+    def __init__(self, statistics: Optional[DictionaryStatistics] = None) -> None:
+        self.statistics = statistics
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    def optimize(self, patterns: Sequence[TriplePattern]) -> PhysicalPlan:
+        """Produce the physical plan (ordered steps) for ``patterns``."""
+        if not patterns:
+            return PhysicalPlan(steps=[])
+        graph = QueryGraph.from_patterns(patterns)
+        order = self.order_patterns(graph)
+        steps: List[PlanStep] = []
+        done: Set[int] = set()
+        bound_variables: Set[str] = set()
+        for position, index in enumerate(order):
+            node = graph.nodes[index]
+            access_path = classify_access_path(node.pattern)
+            join_type = ""
+            join_method = JoinMethod.NONE
+            if position > 0:
+                edges = graph.edges_between(done, index)
+                if edges:
+                    join_type = min(edges[0].join_types, key=lambda t: _JOIN_RANK.get(t, 9))
+                    join_method = self._pick_join_method(node, bound_variables)
+                else:
+                    join_method = JoinMethod.BIND_PROPAGATION  # cartesian fallback
+            steps.append(
+                PlanStep(
+                    pattern_index=index,
+                    pattern=node.pattern,
+                    access_path=access_path,
+                    join_method=join_method,
+                    join_type=join_type,
+                    estimated_cardinality=self._estimate(node),
+                )
+            )
+            done.add(index)
+            bound_variables.update(node.pattern.variable_names())
+        return PhysicalPlan(steps=steps)
+
+    def order_patterns(self, graph: QueryGraph) -> List[int]:
+        """Algorithm 1: the execution order of the query-graph nodes."""
+        if not graph.nodes:
+            return []
+        order: List[int] = []
+        done: Set[int] = set()
+
+        first = self._most_selective_start(graph)
+        order.append(first)
+        done.add(first)
+
+        while len(done) < len(graph.nodes):
+            next_node = self._most_selective_next(graph, done)
+            order.append(next_node)
+            done.add(next_node)
+        return order
+
+    # ------------------------------------------------------------------ #
+    # getMostSelective — start node
+    # ------------------------------------------------------------------ #
+
+    def _most_selective_start(self, graph: QueryGraph) -> int:
+        # Preferred start: an rdf:type TP attached to the rest through an SS join.
+        candidates: List[Tuple[Tuple, int]] = []
+        for node in graph.nodes:
+            if not node.is_rdf_type:
+                continue
+            edges = graph.neighbours(node.index)
+            has_ss = any("SS" in edge.join_types for _other, edge in edges)
+            if edges and not has_ss:
+                # Only SO-connected rdf:type patterns: de-prioritised by Algorithm 1.
+                continue
+            candidates.append((self._selectivity_key(node, graph), node.index))
+        if candidates:
+            return min(candidates)[1]
+        # Fallback: any TP, ranked by heuristic shape then statistics.
+        all_candidates = [(self._selectivity_key(node, graph), node.index) for node in graph.nodes]
+        return min(all_candidates)[1]
+
+    # ------------------------------------------------------------------ #
+    # getMostSelective — next node given the current prefix
+    # ------------------------------------------------------------------ #
+
+    def _most_selective_next(self, graph: QueryGraph, done: Set[int]) -> int:
+        connected: List[Tuple[Tuple, int]] = []
+        disconnected: List[Tuple[Tuple, int]] = []
+        for node in graph.nodes:
+            if node.index in done:
+                continue
+            edges = graph.edges_between(done, node.index)
+            key = self._selectivity_key(node, graph, edges_to_prefix=edges)
+            if edges:
+                connected.append((key, node.index))
+            else:
+                disconnected.append((key, node.index))
+        if connected:
+            return min(connected)[1]
+        return min(disconnected)[1]
+
+    # ------------------------------------------------------------------ #
+    # ranking helpers
+    # ------------------------------------------------------------------ #
+
+    def _selectivity_key(
+        self,
+        node: QueryNode,
+        graph: QueryGraph,
+        edges_to_prefix: Optional[List] = None,
+    ) -> Tuple:
+        shape_rank = self._shape_rank(node)
+        if edges_to_prefix:
+            join_rank = min(
+                _JOIN_RANK.get(label, 9)
+                for edge in edges_to_prefix
+                for label in edge.join_types
+            )
+        else:
+            join_rank = 5
+        cardinality = self._estimate(node)
+        if cardinality is None:
+            cardinality = 1 << 30
+        return (shape_rank, join_rank, cardinality, node.index)
+
+    def _shape_rank(self, node: QueryNode) -> int:
+        pattern = node.pattern
+        if node.is_rdf_type:
+            # rdf:type patterns use the dedicated red-black-tree store, which is
+            # cheaper than the SDS navigation — they rank above the PSO shapes:
+            # (s, rdf:type, ?o) > (?s, rdf:type, o) > every non-type shape.
+            if not isinstance(pattern.subject, Variable):
+                return 0
+            if not isinstance(pattern.object, Variable):
+                return 1
+            return 5
+        return _SHAPE_RANK.get(pattern.shape(), 5)
+
+    def _estimate(self, node: QueryNode) -> Optional[int]:
+        if self.statistics is None:
+            return None
+        pattern = node.pattern
+        subject = None if isinstance(pattern.subject, Variable) else pattern.subject
+        predicate = None if isinstance(pattern.predicate, Variable) else pattern.predicate
+        obj = None if isinstance(pattern.object, Variable) else pattern.object
+        return self.statistics.triple_pattern_cardinality(
+            subject=subject,
+            predicate=predicate,  # type: ignore[arg-type]
+            obj=obj,
+            is_rdf_type=node.is_rdf_type,
+        )
+
+    @staticmethod
+    def _pick_join_method(node: QueryNode, bound_variables: Set[str]) -> JoinMethod:
+        """Merge joins apply when the new TP re-enumerates an ordered subject run.
+
+        The PSO layout keeps subjects ordered inside a property run, so a
+        star-shaped ``?s p ?o`` pattern whose subject variable is already
+        bound by the prefix can be merge-joined; every other case falls back
+        to bind propagation (index nested loop), as in the paper.
+        """
+        pattern = node.pattern
+        subject_is_shared_variable = (
+            isinstance(pattern.subject, Variable) and pattern.subject.name in bound_variables
+        )
+        object_unbound = isinstance(pattern.object, Variable) and pattern.object.name not in bound_variables
+        predicate_bound = not isinstance(pattern.predicate, Variable)
+        if subject_is_shared_variable and object_unbound and predicate_bound and not node.is_rdf_type:
+            return JoinMethod.MERGE
+        return JoinMethod.BIND_PROPAGATION

@@ -1,0 +1,103 @@
+"""Physical plan description.
+
+The optimizer produces a left-deep sequence of plan steps; each step records
+the access path the executor will use (which storage layout and which of the
+paper's algorithms) and the join type linking it to the already-computed
+prefix.  The plan is purely descriptive — the executor interprets it — but it
+doubles as an ``EXPLAIN`` output for debugging and for the optimizer tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.sparql.ast import TriplePattern, Variable
+
+
+class AccessPath(enum.Enum):
+    """How a triple pattern is evaluated against the storage layouts."""
+
+    RDFTYPE_OS = "rdftype-os"          # (?s, rdf:type, C) — OS lookup in the red-black tree
+    RDFTYPE_SO = "rdftype-so"          # (s, rdf:type, ?o) — SO lookup in the red-black tree
+    RDFTYPE_SCAN = "rdftype-scan"      # (?s, rdf:type, ?o) — full scan of the type store
+    PSO_SP = "pso-sp"                  # (s, p, ?o) — Algorithm 3
+    PSO_PO = "pso-po"                  # (?s, p, o) — Algorithm 4
+    PSO_P = "pso-p"                    # (?s, p, ?o) — property run scan
+    PSO_FULL = "pso-full"              # unbound predicate — full scan
+    LITERAL_SCAN = "literal-scan"      # datatype store scan for literal-bound objects
+
+
+class JoinMethod(enum.Enum):
+    """Join algorithm used to combine a step with the current intermediate result."""
+
+    NONE = "none"                      # first step of the plan
+    BIND_PROPAGATION = "bind"          # index nested-loop: propagate bindings into the TP
+    MERGE = "merge"                    # merge join on ordered subject runs
+
+
+@dataclass
+class PlanStep:
+    """One step of the left-deep plan."""
+
+    pattern_index: int
+    pattern: TriplePattern
+    access_path: AccessPath
+    join_method: JoinMethod = JoinMethod.NONE
+    join_type: str = ""
+    estimated_cardinality: Optional[int] = None
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        parts = [f"tp{self.pattern_index + 1} [{self.access_path.value}]"]
+        if self.join_method != JoinMethod.NONE:
+            parts.append(f"join={self.join_method.value}({self.join_type})")
+        if self.estimated_cardinality is not None:
+            parts.append(f"card~{self.estimated_cardinality}")
+        parts.append(str(self.pattern))
+        return " ".join(parts)
+
+
+@dataclass
+class PhysicalPlan:
+    """Ordered sequence of plan steps (a left-deep join tree)."""
+
+    steps: List[PlanStep] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def order(self) -> List[int]:
+        """Pattern indexes in execution order."""
+        return [step.pattern_index for step in self.steps]
+
+    def explain(self) -> str:
+        """Multi-line EXPLAIN-style description of the plan."""
+        return "\n".join(step.describe() for step in self.steps)
+
+
+def classify_access_path(pattern: TriplePattern) -> AccessPath:
+    """Access path implied by the shape of a triple pattern."""
+    subject_is_variable = isinstance(pattern.subject, Variable)
+    object_is_variable = isinstance(pattern.object, Variable)
+    predicate_is_variable = isinstance(pattern.predicate, Variable)
+    if predicate_is_variable:
+        return AccessPath.PSO_FULL
+    if pattern.is_rdf_type:
+        if not object_is_variable:
+            return AccessPath.RDFTYPE_OS
+        if not subject_is_variable:
+            return AccessPath.RDFTYPE_SO
+        return AccessPath.RDFTYPE_SCAN
+    if not subject_is_variable and object_is_variable:
+        return AccessPath.PSO_SP
+    if subject_is_variable and not object_is_variable:
+        return AccessPath.PSO_PO
+    if subject_is_variable and object_is_variable:
+        return AccessPath.PSO_P
+    # Fully bound pattern: treated as an existence check through Algorithm 3.
+    return AccessPath.PSO_SP

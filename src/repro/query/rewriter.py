@@ -1,0 +1,110 @@
+"""High-level-concept query helper (paper contribution iv).
+
+The paper's fourth contribution is "a simple and automatic approach to express
+complex queries requiring inferences by preventing end-users to learn the
+details of used ontologies": maintenance personnel write a query against an
+abstract concept (e.g. ``qudt:PressureUnit``) and the system automatically
+covers every sensor annotated with any sub-concept, in any unit, through the
+LiteMat intervals — no manual enumeration of the ontology.
+
+:class:`HighLevelQueryBuilder` wraps that idea in a small fluent API that
+produces a regular :class:`~repro.sparql.ast.SelectQuery` answerable by the
+engine with reasoning enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.rdf.namespaces import QUDT, RDF_TYPE, SOSA
+from repro.rdf.terms import URI
+from repro.sparql.ast import (
+    BasicGraphPattern,
+    BooleanExpression,
+    Comparison,
+    Filter,
+    GroupGraphPattern,
+    Literal,
+    SelectQuery,
+    TriplePattern,
+    Variable,
+)
+
+
+@dataclass
+class HighLevelQueryBuilder:
+    """Builds anomaly-detection queries from high-level concepts only.
+
+    The generated query follows the fixed SOSA/QUDT observation topology of
+    the paper's motivating example (platform → sensor → observation → result)
+    and constrains the *unit concept* and the *value range*; reasoning over
+    the unit concept hierarchy is delegated to LiteMat at execution time.
+    """
+
+    unit_concept: Optional[URI] = None
+    value_bounds: Optional[Tuple[Optional[float], Optional[float]]] = None
+    platform_concept: URI = field(default_factory=lambda: SOSA.Platform)
+
+    # ------------------------------------------------------------------ #
+    # fluent configuration
+    # ------------------------------------------------------------------ #
+
+    def measuring(self, unit_concept: URI) -> "HighLevelQueryBuilder":
+        """Constrain the observation's unit to ``unit_concept`` (or any sub-concept)."""
+        self.unit_concept = unit_concept
+        return self
+
+    def outside_range(self, low: Optional[float], high: Optional[float]) -> "HighLevelQueryBuilder":
+        """Flag values strictly below ``low`` or strictly above ``high``."""
+        self.value_bounds = (low, high)
+        return self
+
+    def on_platforms(self, platform_concept: URI) -> "HighLevelQueryBuilder":
+        """Restrict to platforms of the given concept (default ``sosa:Platform``)."""
+        self.platform_concept = platform_concept
+        return self
+
+    # ------------------------------------------------------------------ #
+    # query generation
+    # ------------------------------------------------------------------ #
+
+    def build(self) -> SelectQuery:
+        """Produce the SELECT query implementing the configured detection."""
+        platform = Variable("platform")
+        sensor = Variable("sensor")
+        observation = Variable("observation")
+        result = Variable("result")
+        value = Variable("value")
+        unit = Variable("unit")
+        timestamp = Variable("timestamp")
+
+        patterns: List[TriplePattern] = [
+            TriplePattern(platform, RDF_TYPE, self.platform_concept),
+            TriplePattern(platform, SOSA.hosts, sensor),
+            TriplePattern(sensor, RDF_TYPE, SOSA.Sensor),
+            TriplePattern(sensor, SOSA.observes, observation),
+            TriplePattern(observation, SOSA.hasResult, result),
+            TriplePattern(observation, SOSA.resultTime, timestamp),
+            TriplePattern(result, QUDT.numericValue, value),
+            TriplePattern(result, QUDT.unit, unit),
+        ]
+        if self.unit_concept is not None:
+            patterns.append(TriplePattern(unit, RDF_TYPE, self.unit_concept))
+
+        filters: List[Filter] = []
+        if self.value_bounds is not None:
+            low, high = self.value_bounds
+            clauses = []
+            if low is not None:
+                clauses.append(Comparison("<", value, Literal(float(low))))
+            if high is not None:
+                clauses.append(Comparison(">", value, Literal(float(high))))
+            if len(clauses) == 1:
+                filters.append(Filter(clauses[0]))
+            elif clauses:
+                filters.append(Filter(BooleanExpression("or", tuple(clauses))))
+
+        where = GroupGraphPattern(bgp=BasicGraphPattern(patterns=patterns), filters=filters)
+        projection = [platform, sensor, timestamp, value, unit]
+        return SelectQuery(projection=projection, where=where)

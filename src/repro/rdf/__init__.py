@@ -1,0 +1,45 @@
+"""RDF data-model substrate.
+
+A from-scratch implementation of the parts of RDF 1.1 that SuccinctEdge
+needs: terms (URIs, blank nodes, typed literals), triples, an in-memory
+:class:`~repro.rdf.graph.Graph`, N-Triples serialisation, and a Turtle-subset
+parser sufficient for the ontologies and datasets of the paper's evaluation
+(LUBM's univ-bench, SOSA, QUDT extracts, and the generated instance data).
+"""
+
+from repro.rdf.terms import BlankNode, Literal, Term, Triple, URI
+from repro.rdf.namespaces import (
+    LUBM,
+    OWL,
+    QUDT,
+    QUDT_UNIT,
+    RDF,
+    RDFS,
+    SOSA,
+    XSD,
+    Namespace,
+)
+from repro.rdf.graph import Graph
+from repro.rdf.ntriples import parse_ntriples, serialize_ntriples
+from repro.rdf.turtle import parse_turtle
+
+__all__ = [
+    "BlankNode",
+    "Graph",
+    "LUBM",
+    "Literal",
+    "Namespace",
+    "OWL",
+    "QUDT",
+    "QUDT_UNIT",
+    "RDF",
+    "RDFS",
+    "SOSA",
+    "Term",
+    "Triple",
+    "URI",
+    "XSD",
+    "parse_ntriples",
+    "parse_turtle",
+    "serialize_ntriples",
+]

@@ -1,0 +1,143 @@
+"""In-memory RDF graph.
+
+:class:`Graph` is the neutral exchange format between the parsers, the
+workload generators, the SuccinctEdge store builder and the baseline stores.
+It keeps triples in insertion order (deduplicated) and offers simple pattern
+matching used by tests as a ground-truth oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.rdf.namespaces import RDF_TYPE
+from repro.rdf.terms import BlankNode, Literal, Term, Triple, URI
+
+_SubjectType = Union[URI, BlankNode]
+
+
+class Graph:
+    """A mutable, set-like collection of RDF triples.
+
+    The class intentionally stays simple: SuccinctEdge and the baselines build
+    their own indexes; :class:`Graph` is the common loading format and the
+    naive oracle used to validate query answers in tests.
+    """
+
+    def __init__(self, triples: Iterable[Triple] = ()) -> None:
+        self._triples: List[Triple] = []
+        self._seen: Set[Triple] = set()
+        for triple in triples:
+            self.add(triple)
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+
+    def add(self, triple: Triple) -> bool:
+        """Add ``triple``; return ``True`` when it was not already present."""
+        if triple in self._seen:
+            return False
+        self._seen.add(triple)
+        self._triples.append(triple)
+        return True
+
+    def add_triple(self, subject: _SubjectType, predicate: URI, obj: Term) -> bool:
+        """Convenience wrapper building the :class:`Triple` in place."""
+        return self.add(Triple(subject, predicate, obj))
+
+    def update(self, triples: Iterable[Triple]) -> int:
+        """Add every triple of ``triples``; return the number actually added."""
+        return sum(1 for triple in triples if self.add(triple))
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._seen
+
+    def __repr__(self) -> str:
+        return f"Graph({len(self._triples)} triples)"
+
+    def triples(
+        self,
+        subject: Optional[_SubjectType] = None,
+        predicate: Optional[URI] = None,
+        obj: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        """Yield triples matching the given pattern (``None`` = wildcard).
+
+        This linear scan is the ground-truth oracle; the stores under test
+        implement the same contract with their own indexes.
+        """
+        for triple in self._triples:
+            if subject is not None and triple.subject != subject:
+                continue
+            if predicate is not None and triple.predicate != predicate:
+                continue
+            if obj is not None and triple.object != obj:
+                continue
+            yield triple
+
+    def subjects(self, predicate: Optional[URI] = None, obj: Optional[Term] = None) -> Iterator[_SubjectType]:
+        """Yield subjects of triples matching ``(?, predicate, obj)``."""
+        for triple in self.triples(None, predicate, obj):
+            yield triple.subject
+
+    def objects(self, subject: Optional[_SubjectType] = None, predicate: Optional[URI] = None) -> Iterator[Term]:
+        """Yield objects of triples matching ``(subject, predicate, ?)``."""
+        for triple in self.triples(subject, predicate, None):
+            yield triple.object
+
+    def predicates(self) -> List[URI]:
+        """Distinct predicates, in first-seen order."""
+        seen: Dict[URI, None] = {}
+        for triple in self._triples:
+            seen.setdefault(triple.predicate, None)
+        return list(seen)
+
+    def types_of(self, subject: _SubjectType) -> List[Term]:
+        """All ``rdf:type`` objects of ``subject``."""
+        return [t.object for t in self.triples(subject, RDF_TYPE, None)]
+
+    def instances_of(self, concept: URI) -> List[_SubjectType]:
+        """All subjects explicitly typed with ``concept``."""
+        return [t.subject for t in self.triples(None, RDF_TYPE, concept)]
+
+    # ------------------------------------------------------------------ #
+    # statistics / slicing used by the evaluation datasets
+    # ------------------------------------------------------------------ #
+
+    def term_counts(self) -> Tuple[int, int, int]:
+        """Return ``(distinct subjects, distinct predicates, distinct objects)``."""
+        subjects = {t.subject for t in self._triples}
+        predicates = {t.predicate for t in self._triples}
+        objects = {t.object for t in self._triples}
+        return len(subjects), len(predicates), len(objects)
+
+    def head(self, count: int) -> "Graph":
+        """A new graph holding the first ``count`` triples (dataset slicing).
+
+        The paper derives its 1K/5K/10K/25K/50K datasets by truncating the
+        LUBM(1) triple set; this helper reproduces that slicing.
+        """
+        return Graph(self._triples[:count])
+
+    def copy(self) -> "Graph":
+        """A shallow copy of the graph."""
+        return Graph(self._triples)
+
+    def literals(self) -> List[Literal]:
+        """All literal objects, in insertion order (with duplicates removed)."""
+        seen: Dict[Literal, None] = {}
+        for triple in self._triples:
+            if isinstance(triple.object, Literal):
+                seen.setdefault(triple.object, None)
+        return list(seen)

@@ -1,0 +1,74 @@
+"""Namespaces and the vocabularies used by the paper.
+
+The motivating example of the paper (Section 2) annotates sensor data with
+SOSA and QUDT; the evaluation uses the LUBM univ-bench ontology.  This module
+centralises the namespace IRIs so that workload generators, queries and tests
+all agree on the exact terms.
+"""
+
+from __future__ import annotations
+
+from repro.rdf.terms import URI
+
+
+class Namespace:
+    """A factory of :class:`~repro.rdf.terms.URI` sharing a common prefix.
+
+    >>> SOSA = Namespace("http://www.w3.org/ns/sosa/")
+    >>> SOSA.Sensor
+    URI('http://www.w3.org/ns/sosa/Sensor')
+    >>> SOSA["observes"]
+    URI('http://www.w3.org/ns/sosa/observes')
+    """
+
+    def __init__(self, prefix: str) -> None:
+        self._prefix = prefix
+
+    @property
+    def prefix(self) -> str:
+        """The namespace IRI prefix."""
+        return self._prefix
+
+    def __getattr__(self, name: str) -> URI:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return URI(self._prefix + name)
+
+    def __getitem__(self, name: str) -> URI:
+        return URI(self._prefix + name)
+
+    def __contains__(self, uri: URI) -> bool:
+        return isinstance(uri, URI) and uri.value.startswith(self._prefix)
+
+    def __repr__(self) -> str:
+        return f"Namespace({self._prefix!r})"
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+SOSA = Namespace("http://www.w3.org/ns/sosa/")
+QUDT = Namespace("http://qudt.org/schema/qudt/")
+QUDT_UNIT = Namespace("http://qudt.org/vocab/unit/")
+LUBM = Namespace("http://swat.cse.lehigh.edu/onto/univ-bench.owl#")
+
+#: Prefix map used by the SPARQL parser and the serialisers.
+WELL_KNOWN_PREFIXES = {
+    "rdf": RDF.prefix,
+    "rdfs": RDFS.prefix,
+    "owl": OWL.prefix,
+    "xsd": XSD.prefix,
+    "sosa": SOSA.prefix,
+    "qudt": QUDT.prefix,
+    "unit": QUDT_UNIT.prefix,
+    "lubm": LUBM.prefix,
+}
+
+#: ``rdf:type`` is special-cased throughout SuccinctEdge (RDFType store).
+RDF_TYPE = RDF.type
+RDFS_SUBCLASSOF = RDFS.subClassOf
+RDFS_SUBPROPERTYOF = RDFS.subPropertyOf
+RDFS_DOMAIN = RDFS.domain
+RDFS_RANGE = RDFS.range
+OWL_THING = OWL.Thing

@@ -1,0 +1,193 @@
+"""RDF terms and triples.
+
+Terms follow RDF 1.1: URIs (IRIs), blank nodes and literals (with optional
+datatype and language tag).  All term classes are immutable, hashable and
+totally ordered, which lets graphs, dictionaries and store builders sort and
+deduplicate them deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional, Union
+
+
+class URI:
+    """An IRI reference, e.g. ``http://www.w3.org/1999/02/22-rdf-syntax-ns#type``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str) -> None:
+        if not value:
+            raise ValueError("URI value must be a non-empty string")
+        self.value = value
+
+    def __str__(self) -> str:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"URI({self.value!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, URI) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("URI", self.value))
+
+    def __lt__(self, other: "Term") -> bool:
+        return _sort_key(self) < _sort_key(other)
+
+    def n3(self) -> str:
+        """N-Triples serialisation of the term."""
+        return f"<{self.value}>"
+
+    @property
+    def local_name(self) -> str:
+        """The fragment or last path segment of the IRI."""
+        for separator in ("#", "/"):
+            if separator in self.value:
+                return self.value.rsplit(separator, 1)[1]
+        return self.value
+
+
+class BlankNode:
+    """A blank (anonymous) node identified only within a local graph."""
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: str) -> None:
+        if not label:
+            raise ValueError("BlankNode label must be a non-empty string")
+        self.label = label
+
+    def __str__(self) -> str:
+        return f"_:{self.label}"
+
+    def __repr__(self) -> str:
+        return f"BlankNode({self.label!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BlankNode) and self.label == other.label
+
+    def __hash__(self) -> int:
+        return hash(("BlankNode", self.label))
+
+    def __lt__(self, other: "Term") -> bool:
+        return _sort_key(self) < _sort_key(other)
+
+    def n3(self) -> str:
+        """N-Triples serialisation of the term."""
+        return f"_:{self.label}"
+
+
+_XSD = "http://www.w3.org/2001/XMLSchema#"
+XSD_STRING = _XSD + "string"
+XSD_INTEGER = _XSD + "integer"
+XSD_DECIMAL = _XSD + "decimal"
+XSD_DOUBLE = _XSD + "double"
+XSD_BOOLEAN = _XSD + "boolean"
+XSD_DATETIME = _XSD + "dateTime"
+
+_NUMERIC_DATATYPES = frozenset({XSD_INTEGER, XSD_DECIMAL, XSD_DOUBLE})
+
+
+class Literal:
+    """An RDF literal with optional datatype IRI and language tag."""
+
+    __slots__ = ("lexical", "datatype", "language")
+
+    def __init__(
+        self,
+        lexical: Union[str, int, float, bool],
+        datatype: Optional[str] = None,
+        language: Optional[str] = None,
+    ) -> None:
+        if isinstance(lexical, bool):
+            datatype = datatype or XSD_BOOLEAN
+            lexical = "true" if lexical else "false"
+        elif isinstance(lexical, int):
+            datatype = datatype or XSD_INTEGER
+            lexical = str(lexical)
+        elif isinstance(lexical, float):
+            datatype = datatype or XSD_DOUBLE
+            lexical = repr(lexical)
+        if language is not None and datatype is not None:
+            raise ValueError("a literal cannot carry both a language tag and a datatype")
+        self.lexical = lexical
+        self.datatype = datatype if (datatype or language) else XSD_STRING
+        self.language = language
+
+    def __str__(self) -> str:
+        return self.lexical
+
+    def __repr__(self) -> str:
+        return f"Literal({self.lexical!r}, datatype={self.datatype!r}, language={self.language!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Literal)
+            and self.lexical == other.lexical
+            and self.datatype == other.datatype
+            and self.language == other.language
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Literal", self.lexical, self.datatype, self.language))
+
+    def __lt__(self, other: "Term") -> bool:
+        return _sort_key(self) < _sort_key(other)
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether the literal carries an xsd numeric datatype."""
+        return self.datatype in _NUMERIC_DATATYPES
+
+    def to_python(self) -> Union[str, int, float, bool]:
+        """Convert the literal to the closest Python value."""
+        if self.datatype == XSD_INTEGER:
+            return int(self.lexical)
+        if self.datatype in (XSD_DECIMAL, XSD_DOUBLE):
+            return float(self.lexical)
+        if self.datatype == XSD_BOOLEAN:
+            return self.lexical.strip().lower() in ("true", "1")
+        return self.lexical
+
+    def n3(self) -> str:
+        """N-Triples serialisation of the term."""
+        escaped = (
+            self.lexical.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\r", "\\r")
+            .replace("\t", "\\t")
+        )
+        if self.language:
+            return f'"{escaped}"@{self.language}'
+        if self.datatype and self.datatype != XSD_STRING:
+            return f'"{escaped}"^^<{self.datatype}>'
+        return f'"{escaped}"'
+
+
+Term = Union[URI, BlankNode, Literal]
+
+
+def _sort_key(term: Term) -> tuple:
+    if isinstance(term, URI):
+        return (0, term.value)
+    if isinstance(term, BlankNode):
+        return (1, term.label)
+    return (2, term.lexical, term.datatype or "", term.language or "")
+
+
+class Triple(NamedTuple):
+    """A single RDF statement ``(subject, predicate, object)``."""
+
+    subject: Union[URI, BlankNode]
+    predicate: URI
+    object: Term
+
+    def n3(self) -> str:
+        """N-Triples serialisation, without the trailing newline."""
+        return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+
+    def __repr__(self) -> str:
+        return f"Triple({self.subject!r}, {self.predicate!r}, {self.object!r})"

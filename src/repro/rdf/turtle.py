@@ -1,0 +1,208 @@
+"""Turtle-subset parser.
+
+Ontologies such as SOSA, QUDT extracts or univ-bench are commonly distributed
+as Turtle.  This parser supports the subset needed for those documents:
+
+* ``@prefix`` / ``PREFIX`` declarations and prefixed names,
+* the ``a`` keyword for ``rdf:type``,
+* predicate lists (``;``) and object lists (``,``),
+* IRIs, blank node labels (``_:b1``), and literals with ``^^`` datatypes,
+  ``@lang`` tags, plain integers/decimals/booleans.
+
+It does not support anonymous blank nodes (``[...]``), collections or
+multi-line literals — none of which appear in the reproduction's inputs.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple, Union
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import RDF, WELL_KNOWN_PREFIXES
+from repro.rdf.terms import BlankNode, Literal, Term, Triple, URI
+from repro.rdf.terms import XSD_BOOLEAN, XSD_DECIMAL, XSD_INTEGER
+
+
+class TurtleParseError(ValueError):
+    """Raised when the document falls outside the supported Turtle subset."""
+
+
+_TOKEN = re.compile(
+    r"""
+    (?P<comment>\#[^\n]*)
+  | (?P<prefix_decl>@prefix|@PREFIX|PREFIX|prefix)
+  | (?P<iri><[^<>"\s]*>)
+  | (?P<literal>"(?:[^"\\]|\\.)*"(?:\^\^<[^<>\s]*>|\^\^[A-Za-z_][\w\-]*:[\w\-]*|@[A-Za-z0-9\-]+)?)
+  | (?P<bnode>_:[A-Za-z0-9_.\-]+)
+  | (?P<number>[+-]?\d+\.\d+|[+-]?\d+)
+  | (?P<boolean>true|false)
+  | (?P<a>\ba\b)
+  | (?P<pname>[A-Za-z_][\w\-]*:[\w.\-]*|:[\w.\-]+)
+  | (?P<punct>[;,.])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+_ESCAPES = {"\\n": "\n", "\\r": "\r", "\\t": "\t", '\\"': '"', "\\\\": "\\"}
+
+
+def _unescape(text: str) -> str:
+    result = text
+    for escaped, raw in _ESCAPES.items():
+        result = result.replace(escaped, raw)
+    return result
+
+
+def _tokenize(document: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(document):
+        match = _TOKEN.match(document, position)
+        if not match:
+            snippet = document[position : position + 40]
+            raise TurtleParseError(f"unexpected input at offset {position}: {snippet!r}")
+        kind = match.lastgroup or ""
+        if kind not in ("ws", "comment"):
+            tokens.append((kind, match.group()))
+        position = match.end()
+    return tokens
+
+
+class _TurtleReader:
+    def __init__(self, document: str) -> None:
+        self._tokens = _tokenize(document)
+        self._index = 0
+        self._prefixes = dict(WELL_KNOWN_PREFIXES)
+        self._base: Optional[str] = None
+
+    # -------------------------------------------------------------- #
+    # token helpers
+    # -------------------------------------------------------------- #
+
+    def _peek(self) -> Optional[Tuple[str, str]]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> Tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise TurtleParseError("unexpected end of document")
+        self._index += 1
+        return token
+
+    def _expect_punct(self, char: str) -> None:
+        kind, value = self._next()
+        if kind != "punct" or value != char:
+            raise TurtleParseError(f"expected {char!r}, got {value!r}")
+
+    # -------------------------------------------------------------- #
+    # term parsing
+    # -------------------------------------------------------------- #
+
+    def _resolve_pname(self, pname: str) -> URI:
+        prefix, _, local = pname.partition(":")
+        if prefix not in self._prefixes:
+            raise TurtleParseError(f"unknown prefix {prefix!r} in {pname!r}")
+        return URI(self._prefixes[prefix] + local)
+
+    def _parse_literal(self, raw: str) -> Literal:
+        closing = raw.rindex('"')
+        lexical = _unescape(raw[1:closing])
+        suffix = raw[closing + 1 :]
+        if suffix.startswith("^^<"):
+            return Literal(lexical, datatype=suffix[3:-1])
+        if suffix.startswith("^^"):
+            return Literal(lexical, datatype=self._resolve_pname(suffix[2:]).value)
+        if suffix.startswith("@"):
+            return Literal(lexical, language=suffix[1:])
+        return Literal(lexical)
+
+    def _parse_term(self, kind: str, value: str) -> Term:
+        if kind == "iri":
+            return URI(value[1:-1])
+        if kind == "pname":
+            return self._resolve_pname(value)
+        if kind == "bnode":
+            return BlankNode(value[2:])
+        if kind == "literal":
+            return self._parse_literal(value)
+        if kind == "number":
+            datatype = XSD_DECIMAL if "." in value else XSD_INTEGER
+            return Literal(value, datatype=datatype)
+        if kind == "boolean":
+            return Literal(value, datatype=XSD_BOOLEAN)
+        if kind == "a":
+            return RDF.type
+        raise TurtleParseError(f"unexpected token {value!r}")
+
+    # -------------------------------------------------------------- #
+    # statements
+    # -------------------------------------------------------------- #
+
+    def parse(self) -> Graph:
+        graph = Graph()
+        while self._peek() is not None:
+            kind, value = self._peek()  # type: ignore[misc]
+            if kind == "prefix_decl":
+                self._parse_prefix()
+                continue
+            self._parse_triples_block(graph)
+        return graph
+
+    def _parse_prefix(self) -> None:
+        decl_kind, decl = self._next()
+        kind, value = self._next()
+        if kind != "pname" or not value.endswith(":"):
+            raise TurtleParseError(f"expected prefix name after {decl!r}, got {value!r}")
+        prefix = value[:-1]
+        kind, iri = self._next()
+        if kind != "iri":
+            raise TurtleParseError(f"expected IRI in prefix declaration, got {iri!r}")
+        self._prefixes[prefix] = iri[1:-1]
+        if decl.lower() == "@prefix":
+            self._expect_punct(".")
+
+    def _parse_triples_block(self, graph: Graph) -> None:
+        kind, value = self._next()
+        subject = self._parse_term(kind, value)
+        if isinstance(subject, Literal):
+            raise TurtleParseError("literal cannot be a subject")
+        while True:
+            kind, value = self._next()
+            predicate = self._parse_term(kind, value)
+            if not isinstance(predicate, URI):
+                raise TurtleParseError(f"predicate must be an IRI, got {predicate!r}")
+            while True:
+                kind, value = self._next()
+                obj = self._parse_term(kind, value)
+                graph.add(Triple(subject, predicate, obj))  # type: ignore[arg-type]
+                punct_kind, punct = self._next()
+                if punct_kind != "punct":
+                    raise TurtleParseError(f"expected punctuation, got {punct!r}")
+                if punct == ",":
+                    continue
+                break
+            if punct == ";":
+                next_token = self._peek()
+                # A dangling ';' before '.' is legal Turtle.
+                if next_token is not None and next_token == ("punct", "."):
+                    self._next()
+                    return
+                continue
+            if punct == ".":
+                return
+            raise TurtleParseError(f"unexpected punctuation {punct!r}")
+
+
+def parse_turtle(document: str) -> Graph:
+    """Parse a Turtle document (supported subset) into a graph."""
+    return _TurtleReader(document).parse()
+
+
+def read_turtle(path: str) -> Graph:
+    """Read a Turtle file into a graph."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_turtle(handle.read())

@@ -1,0 +1,30 @@
+"""Succinct data structures (SDS) substrate.
+
+SuccinctEdge (EDBT 2021) relies on the sdsl-lite C++ library for its bitmaps
+and wavelet trees.  This package is a from-scratch pure-Python replacement
+that preserves the operations the paper needs:
+
+* :class:`~repro.sds.bitvector.BitVector` — a compressed-friendly bit sequence
+  with O(1) ``rank`` and near-O(1) ``select`` through two-level rank
+  directories and sampled select hints.
+* :class:`~repro.sds.wavelet_tree.WaveletTree` — a balanced binary wavelet
+  tree over an integer alphabet supporting ``access``, ``rank``, ``select``
+  and the paper's ``range_search`` primitive in O(log sigma).
+* :class:`~repro.sds.int_sequence.IntSequence` — a fixed-width packed integer
+  array used for flat layers (e.g. the datatype-property literal pointers).
+* :class:`~repro.sds.rbtree.RedBlackTree` — the ordered map backing the
+  RDFType store layout (Section 4 of the paper).
+"""
+
+from repro.sds.bitvector import BitVector, BitVectorBuilder
+from repro.sds.int_sequence import IntSequence
+from repro.sds.rbtree import RedBlackTree
+from repro.sds.wavelet_tree import WaveletTree
+
+__all__ = [
+    "BitVector",
+    "BitVectorBuilder",
+    "IntSequence",
+    "RedBlackTree",
+    "WaveletTree",
+]

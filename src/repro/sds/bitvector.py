@@ -1,0 +1,289 @@
+"""Bit vector with constant-time rank and fast select.
+
+The bitmaps (BM) of SuccinctEdge connect the property, subject and object
+layers of its PSO representation (paper Section 4, Figure 5).  They must
+support the three SDS primitives:
+
+* ``access(i)`` — the bit at position ``i``;
+* ``rank(i, c)`` — number of occurrences of bit ``c`` in positions ``[0, i)``
+  (the sdsl-lite convention, exclusive of ``i``);
+* ``select(j, c)`` — position of the ``j``-th (1-based) occurrence of ``c``.
+
+The implementation packs bits into 64-bit words and keeps a two-level rank
+directory (superblocks of 8 words, per-word cumulative counts) giving O(1)
+``rank``.  ``select`` binary-searches the superblock directory and then scans
+at most one superblock, which is O(log n / superblock) — in practice a handful
+of word popcounts, faithful to the "efficient select" promise of the paper
+without the engineering burden of a full select directory.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable, Iterator, List
+
+_WORD_BITS = 64
+_WORDS_PER_SUPERBLOCK = 8
+_SUPERBLOCK_BITS = _WORD_BITS * _WORDS_PER_SUPERBLOCK
+_WORD_MASK = (1 << _WORD_BITS) - 1
+
+
+def _popcount(word: int) -> int:
+    """Number of set bits in a 64-bit word."""
+    return bin(word).count("1")
+
+
+class BitVectorBuilder:
+    """Incremental builder for :class:`BitVector`.
+
+    Appending bits one by one avoids materialising an intermediate Python
+    list when constructing the store layers (the bitmaps can be as long as
+    the number of triples).
+    """
+
+    def __init__(self) -> None:
+        self._words: List[int] = []
+        self._length = 0
+
+    def append(self, bit: int) -> None:
+        """Append a single bit (``0`` or ``1``)."""
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+        word_index, offset = divmod(self._length, _WORD_BITS)
+        if word_index == len(self._words):
+            self._words.append(0)
+        if bit:
+            self._words[word_index] |= 1 << offset
+        self._length += 1
+
+    def extend(self, bits: Iterable[int]) -> None:
+        """Append every bit of ``bits`` in order."""
+        for bit in bits:
+            self.append(bit)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def build(self) -> "BitVector":
+        """Freeze the builder into an immutable :class:`BitVector`."""
+        return BitVector._from_words(self._words, self._length)
+
+
+class BitVector:
+    """Immutable bit sequence with rank/select support.
+
+    Instances are typically produced by :class:`BitVectorBuilder` or by the
+    convenience constructor ``BitVector(bits)`` where ``bits`` is any iterable
+    of 0/1 integers.
+    """
+
+    __slots__ = ("_words", "_length", "_superblock_ranks", "_word_ranks", "_ones")
+
+    def __init__(self, bits: Iterable[int] = ()) -> None:
+        builder = BitVectorBuilder()
+        builder.extend(bits)
+        frozen = builder.build()
+        self._words = frozen._words
+        self._length = frozen._length
+        self._superblock_ranks = frozen._superblock_ranks
+        self._word_ranks = frozen._word_ranks
+        self._ones = frozen._ones
+
+    @classmethod
+    def _from_words(cls, words: List[int], length: int) -> "BitVector":
+        self = object.__new__(cls)
+        self._words = array("Q", words)
+        self._length = length
+        self._build_directories()
+        return self
+
+    def _build_directories(self) -> None:
+        superblock_ranks = array("Q")
+        word_ranks = array("Q")
+        running = 0
+        for index, word in enumerate(self._words):
+            if index % _WORDS_PER_SUPERBLOCK == 0:
+                superblock_ranks.append(running)
+            word_ranks.append(running)
+            running += _popcount(word)
+        self._superblock_ranks = superblock_ranks
+        self._word_ranks = word_ranks
+        self._ones = running
+
+    # ------------------------------------------------------------------ #
+    # basic protocol
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self) -> Iterator[int]:
+        for i in range(self._length):
+            yield self.access(i)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitVector):
+            return NotImplemented
+        return self._length == other._length and list(self._words) == list(other._words)
+
+    def __hash__(self) -> int:
+        return hash((self._length, bytes(self._words.tobytes())))
+
+    def __repr__(self) -> str:
+        preview = "".join(str(b) for b in list(self)[:32])
+        suffix = "..." if self._length > 32 else ""
+        return f"BitVector(len={self._length}, bits={preview}{suffix})"
+
+    # ------------------------------------------------------------------ #
+    # SDS operations
+    # ------------------------------------------------------------------ #
+
+    def access(self, index: int) -> int:
+        """Return the bit stored at ``index``."""
+        if not 0 <= index < self._length:
+            raise IndexError(f"bit index {index} out of range [0, {self._length})")
+        word_index, offset = divmod(index, _WORD_BITS)
+        return (self._words[word_index] >> offset) & 1
+
+    __getitem__ = access
+
+    def count(self, bit: int = 1) -> int:
+        """Total number of occurrences of ``bit`` in the vector."""
+        if bit == 1:
+            return self._ones
+        if bit == 0:
+            return self._length - self._ones
+        raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+
+    def rank(self, index: int, bit: int = 1) -> int:
+        """Number of occurrences of ``bit`` in positions ``[0, index)``.
+
+        ``index`` may equal ``len(self)`` (ranking the whole vector).
+        """
+        if not 0 <= index <= self._length:
+            raise IndexError(f"rank index {index} out of range [0, {self._length}]")
+        ones = self._rank1(index)
+        if bit == 1:
+            return ones
+        if bit == 0:
+            return index - ones
+        raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+
+    def _rank1(self, index: int) -> int:
+        if index == 0:
+            return 0
+        word_index, offset = divmod(index, _WORD_BITS)
+        if word_index >= len(self._words):
+            return self._ones
+        partial = self._words[word_index] & ((1 << offset) - 1) if offset else 0
+        return self._word_ranks[word_index] + _popcount(partial)
+
+    def select(self, occurrence: int, bit: int = 1) -> int:
+        """Index of the ``occurrence``-th (1-based) occurrence of ``bit``.
+
+        Raises :class:`ValueError` when the vector holds fewer than
+        ``occurrence`` occurrences of ``bit``.
+        """
+        if occurrence <= 0:
+            raise ValueError("select occurrence is 1-based and must be positive")
+        if bit == 1:
+            return self._select1(occurrence)
+        if bit == 0:
+            return self._select0(occurrence)
+        raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+
+    def _select1(self, occurrence: int) -> int:
+        if occurrence > self._ones:
+            raise ValueError(
+                f"select(1) out of range: asked occurrence {occurrence}, "
+                f"vector has {self._ones} set bits"
+            )
+        word_index = self._find_word(occurrence, self._word_ranks)
+        remaining = occurrence - self._word_ranks[word_index]
+        return word_index * _WORD_BITS + _nth_set_bit(self._words[word_index], remaining)
+
+    def _select0(self, occurrence: int) -> int:
+        zeros_total = self._length - self._ones
+        if occurrence > zeros_total:
+            raise ValueError(
+                f"select(0) out of range: asked occurrence {occurrence}, "
+                f"vector has {zeros_total} zero bits"
+            )
+        # Largest word index whose preceding zero count is < occurrence.
+        lo, hi = 0, len(self._words) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            zeros_before = mid * _WORD_BITS - self._word_ranks[mid]
+            if zeros_before < occurrence:
+                lo = mid
+            else:
+                hi = mid - 1
+        word_index = lo
+        zeros_before = word_index * _WORD_BITS - self._word_ranks[word_index]
+        remaining = occurrence - zeros_before
+        inverted = (~self._words[word_index]) & _WORD_MASK
+        position = word_index * _WORD_BITS + _nth_set_bit(inverted, remaining)
+        if position >= self._length:
+            raise ValueError(
+                f"select(0) out of range: occurrence {occurrence} falls past "
+                f"the end of the vector"
+            )
+        return position
+
+    def _find_word(self, occurrence: int, ranks: "array[int]") -> int:
+        """Largest word index whose cumulative rank is < ``occurrence``."""
+        lo, hi = 0, len(ranks) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if ranks[mid] < occurrence:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    # ------------------------------------------------------------------ #
+    # storage accounting
+    # ------------------------------------------------------------------ #
+
+    def size_in_bytes(self, include_directories: bool = True) -> int:
+        """Approximate storage footprint in bytes.
+
+        ``include_directories`` distinguishes the raw bit payload from the
+        auxiliary rank directory.  The directory overhead is accounted at the
+        reference layout cost of sdsl-lite's ``rank_support_v`` (25% of the
+        payload) rather than at the cost of this Python implementation's
+        bookkeeping, so that storage comparisons reflect the data-structure
+        design and not CPython object sizes.
+        """
+        payload = len(self._words) * 8
+        if not include_directories:
+            return payload
+        directories = (payload + 3) // 4 + len(self._superblock_ranks) * 8
+        return payload + directories
+
+    def to_list(self) -> List[int]:
+        """Materialise the bits as a plain Python list (testing helper)."""
+        return list(self)
+
+
+def _nth_set_bit(word: int, n: int) -> int:
+    """Offset (0-based) of the ``n``-th (1-based) set bit inside ``word``."""
+    seen = 0
+    offset = 0
+    w = word
+    while w:
+        # Skip whole bytes when possible to keep the scan cheap.
+        low_byte = w & 0xFF
+        byte_count = _popcount(low_byte)
+        if seen + byte_count < n:
+            seen += byte_count
+            w >>= 8
+            offset += 8
+            continue
+        for bit_offset in range(8):
+            if (low_byte >> bit_offset) & 1:
+                seen += 1
+                if seen == n:
+                    return offset + bit_offset
+        break
+    raise ValueError(f"word {word:#x} has fewer than {n} set bits")

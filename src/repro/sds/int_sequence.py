@@ -1,0 +1,93 @@
+"""Fixed-width packed integer sequence.
+
+SuccinctEdge stores flat identifier layers (for example the pointers from
+datatype-property subjects into the literal store) as packed integer arrays:
+every value is stored with ``ceil(log2(max_value + 1))`` bits, which keeps the
+memory footprint close to the information-theoretic minimum while retaining
+O(1) random access.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+
+class IntSequence:
+    """Immutable fixed-width integer array with O(1) access.
+
+    Values are packed into a single Python integer used as a bit buffer; the
+    width is derived from the maximum value unless given explicitly.
+    """
+
+    __slots__ = ("_buffer", "_width", "_length", "_mask")
+
+    def __init__(self, values: Sequence[int], width: int | None = None) -> None:
+        data = list(values)
+        for value in data:
+            if value < 0:
+                raise ValueError(f"IntSequence values must be non-negative, got {value}")
+        if width is None:
+            width = max(1, max(data).bit_length()) if data else 1
+        if data and max(data).bit_length() > width:
+            raise ValueError(
+                f"value {max(data)} does not fit in declared width {width}"
+            )
+        self._width = width
+        self._length = len(data)
+        self._mask = (1 << width) - 1
+        buffer = 0
+        for index, value in enumerate(data):
+            buffer |= value << (index * width)
+        self._buffer = buffer
+
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self) -> Iterator[int]:
+        for index in range(self._length):
+            yield self.access(index)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntSequence):
+            return NotImplemented
+        return (
+            self._length == other._length
+            and self._width == other._width
+            and self._buffer == other._buffer
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._length, self._width, self._buffer))
+
+    def __repr__(self) -> str:
+        preview = ", ".join(str(v) for v in list(self)[:8])
+        suffix = ", ..." if self._length > 8 else ""
+        return f"IntSequence([{preview}{suffix}], width={self._width})"
+
+    @property
+    def width(self) -> int:
+        """Number of bits used per value."""
+        return self._width
+
+    def access(self, index: int) -> int:
+        """Return the value stored at ``index``."""
+        if not 0 <= index < self._length:
+            raise IndexError(f"index {index} out of range [0, {self._length})")
+        return (self._buffer >> (index * self._width)) & self._mask
+
+    __getitem__ = access
+
+    def to_list(self) -> List[int]:
+        """Materialise the sequence as a plain list."""
+        return list(self)
+
+    def size_in_bytes(self) -> int:
+        """Approximate packed storage footprint in bytes."""
+        return (self._length * self._width + 7) // 8
+
+    @classmethod
+    def from_iterable(cls, values: Iterable[int], width: int | None = None) -> "IntSequence":
+        """Build from any iterable of non-negative integers."""
+        return cls(list(values), width=width)

@@ -1,0 +1,266 @@
+"""Red-black tree ordered map.
+
+SuccinctEdge stores ``rdf:type`` triples in a dedicated *RDFType store* backed
+by a red-black tree (paper Section 4): insertion during database construction
+stays O(log n) and lookups by subject or by concept remain logarithmic.  This
+module provides a classic left-leaning-free, textbook red-black tree with an
+ordered-map interface plus range iteration, which the RDFType store uses for
+both its SO and OS access paths.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+_RED = True
+_BLACK = False
+
+
+class _RBNode:
+    __slots__ = ("key", "value", "color", "left", "right", "parent")
+
+    def __init__(self, key: Any, value: Any, color: bool, parent: Optional["_RBNode"]) -> None:
+        self.key = key
+        self.value = value
+        self.color = color
+        self.left: Optional["_RBNode"] = None
+        self.right: Optional["_RBNode"] = None
+        self.parent = parent
+
+
+class RedBlackTree:
+    """Ordered map with O(log n) insert, lookup and in-order iteration.
+
+    Keys must be mutually comparable (the RDFType store uses integer tuples).
+    Duplicate keys overwrite the stored value, matching ``dict`` semantics.
+    """
+
+    def __init__(self) -> None:
+        self._root: Optional[_RBNode] = None
+        self._size = 0
+
+    # ------------------------------------------------------------------ #
+    # basic protocol
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: Any) -> bool:
+        return self._find(key) is not None
+
+    def __iter__(self) -> Iterator[Any]:
+        for key, _value in self.items():
+            yield key
+
+    def __getitem__(self, key: Any) -> Any:
+        node = self._find(key)
+        if node is None:
+            raise KeyError(key)
+        return node.value
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self.insert(key, value)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Return the value stored under ``key`` or ``default``."""
+        node = self._find(key)
+        return default if node is None else node.value
+
+    # ------------------------------------------------------------------ #
+    # search
+    # ------------------------------------------------------------------ #
+
+    def _find(self, key: Any) -> Optional[_RBNode]:
+        node = self._root
+        while node is not None:
+            if key == node.key:
+                return node
+            node = node.left if key < node.key else node.right
+        return None
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Yield ``(key, value)`` pairs in ascending key order."""
+        stack: List[_RBNode] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.value
+            node = node.right
+
+    def keys(self) -> Iterator[Any]:
+        """Yield keys in ascending order."""
+        for key, _value in self.items():
+            yield key
+
+    def values(self) -> Iterator[Any]:
+        """Yield values in ascending key order."""
+        for _key, value in self.items():
+            yield value
+
+    def range_items(self, low: Any, high: Any) -> Iterator[Tuple[Any, Any]]:
+        """Yield ``(key, value)`` pairs with ``low <= key < high`` in order.
+
+        This is the access path the RDFType store uses to enumerate every
+        subject of a given concept (keys are ``(concept_id, subject_id)``
+        tuples, so a concept corresponds to a contiguous key range).
+        """
+        yield from self._range(self._root, low, high)
+
+    def _range(self, node: Optional[_RBNode], low: Any, high: Any) -> Iterator[Tuple[Any, Any]]:
+        if node is None:
+            return
+        if low < node.key:
+            yield from self._range(node.left, low, high)
+        if low <= node.key and node.key < high:
+            yield node.key, node.value
+        if node.key < high:
+            yield from self._range(node.right, low, high)
+
+    def min_key(self) -> Any:
+        """Smallest key in the tree; raises :class:`KeyError` when empty."""
+        if self._root is None:
+            raise KeyError("min_key() on empty tree")
+        node = self._root
+        while node.left is not None:
+            node = node.left
+        return node.key
+
+    def max_key(self) -> Any:
+        """Largest key in the tree; raises :class:`KeyError` when empty."""
+        if self._root is None:
+            raise KeyError("max_key() on empty tree")
+        node = self._root
+        while node.right is not None:
+            node = node.right
+        return node.key
+
+    # ------------------------------------------------------------------ #
+    # insertion (standard red-black fix-up)
+    # ------------------------------------------------------------------ #
+
+    def insert(self, key: Any, value: Any = None) -> None:
+        """Insert ``key`` with ``value``; overwrites an existing key."""
+        parent = None
+        node = self._root
+        while node is not None:
+            parent = node
+            if key == node.key:
+                node.value = value
+                return
+            node = node.left if key < node.key else node.right
+        new_node = _RBNode(key, value, _RED, parent)
+        if parent is None:
+            self._root = new_node
+        elif key < parent.key:
+            parent.left = new_node
+        else:
+            parent.right = new_node
+        self._size += 1
+        self._fix_insert(new_node)
+
+    def _fix_insert(self, node: _RBNode) -> None:
+        while node.parent is not None and node.parent.color == _RED:
+            parent = node.parent
+            grandparent = parent.parent
+            if grandparent is None:
+                break
+            if parent is grandparent.left:
+                uncle = grandparent.right
+                if uncle is not None and uncle.color == _RED:
+                    parent.color = _BLACK
+                    uncle.color = _BLACK
+                    grandparent.color = _RED
+                    node = grandparent
+                else:
+                    if node is parent.right:
+                        node = parent
+                        self._rotate_left(node)
+                    node.parent.color = _BLACK  # type: ignore[union-attr]
+                    grandparent.color = _RED
+                    self._rotate_right(grandparent)
+            else:
+                uncle = grandparent.left
+                if uncle is not None and uncle.color == _RED:
+                    parent.color = _BLACK
+                    uncle.color = _BLACK
+                    grandparent.color = _RED
+                    node = grandparent
+                else:
+                    if node is parent.left:
+                        node = parent
+                        self._rotate_right(node)
+                    node.parent.color = _BLACK  # type: ignore[union-attr]
+                    grandparent.color = _RED
+                    self._rotate_left(grandparent)
+        assert self._root is not None
+        self._root.color = _BLACK
+
+    def _rotate_left(self, node: _RBNode) -> None:
+        pivot = node.right
+        assert pivot is not None
+        node.right = pivot.left
+        if pivot.left is not None:
+            pivot.left.parent = node
+        pivot.parent = node.parent
+        if node.parent is None:
+            self._root = pivot
+        elif node is node.parent.left:
+            node.parent.left = pivot
+        else:
+            node.parent.right = pivot
+        pivot.left = node
+        node.parent = pivot
+
+    def _rotate_right(self, node: _RBNode) -> None:
+        pivot = node.left
+        assert pivot is not None
+        node.left = pivot.right
+        if pivot.right is not None:
+            pivot.right.parent = node
+        pivot.parent = node.parent
+        if node.parent is None:
+            self._root = pivot
+        elif node is node.parent.right:
+            node.parent.right = pivot
+        else:
+            node.parent.left = pivot
+        pivot.right = node
+        node.parent = pivot
+
+    # ------------------------------------------------------------------ #
+    # invariant checking (used by the property-based tests)
+    # ------------------------------------------------------------------ #
+
+    def check_invariants(self) -> None:
+        """Raise :class:`AssertionError` if any red-black invariant is broken."""
+        if self._root is None:
+            return
+        if self._root.color != _BLACK:
+            raise AssertionError("root must be black")
+        self._check_node(self._root)
+
+    def _check_node(self, node: Optional[_RBNode]) -> int:
+        if node is None:
+            return 1
+        if node.color == _RED:
+            for child in (node.left, node.right):
+                if child is not None and child.color == _RED:
+                    raise AssertionError("red node has a red child")
+        left_black = self._check_node(node.left)
+        right_black = self._check_node(node.right)
+        if left_black != right_black:
+            raise AssertionError("black-height mismatch")
+        if node.left is not None and not node.left.key < node.key:
+            raise AssertionError("BST order violated on the left")
+        if node.right is not None and not node.key < node.right.key:
+            raise AssertionError("BST order violated on the right")
+        return left_black + (1 if node.color == _BLACK else 0)
+
+    def size_in_bytes(self) -> int:
+        """Rough storage footprint estimate (pointers + keys)."""
+        # 5 machine words per node (key, value, colour, two children).
+        return self._size * 5 * 8

@@ -1,0 +1,307 @@
+"""Balanced wavelet tree over an integer alphabet.
+
+The wavelet tree (WT) is the workhorse of SuccinctEdge's PSO layout: one WT
+per layer (property, subject, object) stores the identifier sequence of that
+layer and answers ``access`` / ``rank`` / ``select`` in O(log sigma), plus the
+``range_search`` primitive used by Algorithms 3 and 4 of the paper and the
+symbol-interval variant used by LiteMat reasoning (Section 5.2).
+
+The tree is balanced over the symbol interval ``[0, sigma)``: each node holds
+a :class:`~repro.sds.bitvector.BitVector` whose ``i``-th bit says whether the
+``i``-th element of the node's subsequence belongs to the lower (0) or the
+upper (1) half of the node's symbol interval.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.sds.bitvector import BitVector, BitVectorBuilder
+
+
+class _Node:
+    """Internal wavelet-tree node covering the symbol interval [lo, hi)."""
+
+    __slots__ = ("lo", "hi", "bits", "left", "right")
+
+    def __init__(self, lo: int, hi: int) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.bits: Optional[BitVector] = None
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+
+    @property
+    def mid(self) -> int:
+        return (self.lo + self.hi) // 2
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.hi - self.lo <= 1
+
+
+class WaveletTree:
+    """Immutable wavelet tree over a sequence of non-negative integers.
+
+    Parameters
+    ----------
+    sequence:
+        The integer sequence to index.
+    alphabet_size:
+        Optional explicit alphabet size ``sigma``; symbols must fall in
+        ``[0, sigma)``.  Defaults to ``max(sequence) + 1``.
+    """
+
+    def __init__(self, sequence: Sequence[int], alphabet_size: Optional[int] = None) -> None:
+        data = list(sequence)
+        for value in data:
+            if value < 0:
+                raise ValueError(f"wavelet tree symbols must be non-negative, got {value}")
+        if alphabet_size is None:
+            alphabet_size = (max(data) + 1) if data else 1
+        if data and max(data) >= alphabet_size:
+            raise ValueError(
+                f"symbol {max(data)} outside declared alphabet [0, {alphabet_size})"
+            )
+        self._length = len(data)
+        self._sigma = max(1, alphabet_size)
+        self._root = self._build(data, 0, self._sigma)
+        self._symbol_counts: Dict[int, int] = {}
+        for value in data:
+            self._symbol_counts[value] = self._symbol_counts.get(value, 0) + 1
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    def _build(self, data: List[int], lo: int, hi: int) -> _Node:
+        node = _Node(lo, hi)
+        if hi - lo <= 1 or not data:
+            # Leaves store no bitmap: the symbol is implied by the interval.
+            if hi - lo > 1:
+                node.left = self._build([], lo, node.mid)
+                node.right = self._build([], node.mid, hi)
+            return node
+        mid = node.mid
+        builder = BitVectorBuilder()
+        left_data: List[int] = []
+        right_data: List[int] = []
+        for value in data:
+            if value < mid:
+                builder.append(0)
+                left_data.append(value)
+            else:
+                builder.append(1)
+                right_data.append(value)
+        node.bits = builder.build()
+        node.left = self._build(left_data, lo, mid)
+        node.right = self._build(right_data, mid, hi)
+        return node
+
+    # ------------------------------------------------------------------ #
+    # basic protocol
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self) -> Iterator[int]:
+        for i in range(self._length):
+            yield self.access(i)
+
+    def __repr__(self) -> str:
+        return f"WaveletTree(len={self._length}, sigma={self._sigma})"
+
+    @property
+    def alphabet_size(self) -> int:
+        """Size of the symbol alphabet ``sigma``."""
+        return self._sigma
+
+    def to_list(self) -> List[int]:
+        """Materialise the sequence (testing helper)."""
+        return list(self)
+
+    # ------------------------------------------------------------------ #
+    # SDS operations
+    # ------------------------------------------------------------------ #
+
+    def access(self, index: int) -> int:
+        """Return the symbol stored at position ``index``."""
+        if not 0 <= index < self._length:
+            raise IndexError(f"index {index} out of range [0, {self._length})")
+        node = self._root
+        while not node.is_leaf:
+            assert node.bits is not None
+            bit = node.bits.access(index)
+            if bit == 0:
+                index = node.bits.rank(index, 0)
+                node = node.left  # type: ignore[assignment]
+            else:
+                index = node.bits.rank(index, 1)
+                node = node.right  # type: ignore[assignment]
+        return node.lo
+
+    __getitem__ = access
+
+    def rank(self, index: int, symbol: int) -> int:
+        """Number of occurrences of ``symbol`` in positions ``[0, index)``."""
+        if not 0 <= index <= self._length:
+            raise IndexError(f"rank index {index} out of range [0, {self._length}]")
+        if not 0 <= symbol < self._sigma:
+            return 0
+        node = self._root
+        while not node.is_leaf:
+            if node.bits is None:
+                # Empty internal node: the subtree holds no elements.
+                return 0
+            if symbol < node.mid:
+                index = node.bits.rank(index, 0)
+                node = node.left  # type: ignore[assignment]
+            else:
+                index = node.bits.rank(index, 1)
+                node = node.right  # type: ignore[assignment]
+        return index
+
+    def count(self, symbol: int) -> int:
+        """Total number of occurrences of ``symbol`` in the sequence."""
+        return self._symbol_counts.get(symbol, 0)
+
+    def select(self, occurrence: int, symbol: int) -> int:
+        """Index of the ``occurrence``-th (1-based) occurrence of ``symbol``."""
+        if occurrence <= 0:
+            raise ValueError("select occurrence is 1-based and must be positive")
+        if self.count(symbol) < occurrence:
+            raise ValueError(
+                f"symbol {symbol} occurs {self.count(symbol)} times, "
+                f"cannot select occurrence {occurrence}"
+            )
+        path: List[Tuple[_Node, int]] = []
+        node = self._root
+        while not node.is_leaf:
+            bit = 0 if symbol < node.mid else 1
+            path.append((node, bit))
+            node = node.left if bit == 0 else node.right  # type: ignore[assignment]
+        position = occurrence - 1
+        for parent, bit in reversed(path):
+            assert parent.bits is not None
+            position = parent.bits.select(position + 1, bit)
+        return position
+
+    def range_search(self, begin: int, end: int, symbol: int) -> List[int]:
+        """All positions of ``symbol`` inside ``[begin, end)``, in order.
+
+        This is the paper's ``rangeSearch(a, b, c)`` primitive: it prunes the
+        search using rank on the boundaries instead of scanning the interval.
+        """
+        begin = max(0, begin)
+        end = min(self._length, end)
+        if begin >= end:
+            return []
+        first = self.rank(begin, symbol)
+        last = self.rank(end, symbol)
+        return [self.select(occurrence, symbol) for occurrence in range(first + 1, last + 1)]
+
+    def count_in_range(self, begin: int, end: int, symbol: int) -> int:
+        """Number of occurrences of ``symbol`` inside ``[begin, end)``."""
+        begin = max(0, begin)
+        end = min(self._length, end)
+        if begin >= end:
+            return 0
+        return self.rank(end, symbol) - self.rank(begin, symbol)
+
+    def range_search_symbols(
+        self, begin: int, end: int, symbol_lo: int, symbol_hi: int
+    ) -> List[Tuple[int, int]]:
+        """Positions in ``[begin, end)`` whose symbol lies in ``[symbol_lo, symbol_hi)``.
+
+        Returns ``(position, symbol)`` pairs sorted by position.  This is the
+        wavelet-tree range-report used to evaluate LiteMat identifier
+        intervals (reasoning over concept/property hierarchies) without
+        enumerating every individual sub-concept.
+        """
+        begin = max(0, begin)
+        end = min(self._length, end)
+        symbol_lo = max(0, symbol_lo)
+        symbol_hi = min(self._sigma, symbol_hi)
+        if begin >= end or symbol_lo >= symbol_hi:
+            return []
+        results: List[Tuple[int, int]] = []
+        self._collect_range(self._root, begin, end, symbol_lo, symbol_hi, results)
+        results.sort()
+        return results
+
+    def _collect_range(
+        self,
+        node: _Node,
+        begin: int,
+        end: int,
+        symbol_lo: int,
+        symbol_hi: int,
+        results: List[Tuple[int, int]],
+    ) -> None:
+        if begin >= end:
+            return
+        if symbol_hi <= node.lo or symbol_lo >= node.hi:
+            return
+        if node.is_leaf:
+            # Every position in [begin, end) at this leaf holds symbol node.lo;
+            # map them back to positions in the root sequence.
+            symbol = node.lo
+            for occurrence in range(begin + 1, end + 1):
+                results.append((self.select(occurrence, symbol), symbol))
+            return
+        assert node.bits is not None
+        left_begin = node.bits.rank(begin, 0)
+        left_end = node.bits.rank(end, 0)
+        right_begin = node.bits.rank(begin, 1)
+        right_end = node.bits.rank(end, 1)
+        self._collect_range(node.left, left_begin, left_end, symbol_lo, symbol_hi, results)  # type: ignore[arg-type]
+        self._collect_range(node.right, right_begin, right_end, symbol_lo, symbol_hi, results)  # type: ignore[arg-type]
+
+    def count_symbols_in_range(
+        self, begin: int, end: int, symbol_lo: int, symbol_hi: int
+    ) -> int:
+        """Count positions in ``[begin, end)`` with symbol in ``[symbol_lo, symbol_hi)``."""
+        begin = max(0, begin)
+        end = min(self._length, end)
+        symbol_lo = max(0, symbol_lo)
+        symbol_hi = min(self._sigma, symbol_hi)
+        if begin >= end or symbol_lo >= symbol_hi:
+            return 0
+        return self._count_range(self._root, begin, end, symbol_lo, symbol_hi)
+
+    def _count_range(
+        self, node: _Node, begin: int, end: int, symbol_lo: int, symbol_hi: int
+    ) -> int:
+        if begin >= end:
+            return 0
+        if symbol_hi <= node.lo or symbol_lo >= node.hi:
+            return 0
+        if symbol_lo <= node.lo and node.hi <= symbol_hi:
+            return end - begin
+        assert node.bits is not None
+        left = self._count_range(
+            node.left, node.bits.rank(begin, 0), node.bits.rank(end, 0), symbol_lo, symbol_hi  # type: ignore[arg-type]
+        )
+        right = self._count_range(
+            node.right, node.bits.rank(begin, 1), node.bits.rank(end, 1), symbol_lo, symbol_hi  # type: ignore[arg-type]
+        )
+        return left + right
+
+    # ------------------------------------------------------------------ #
+    # storage accounting
+    # ------------------------------------------------------------------ #
+
+    def size_in_bytes(self) -> int:
+        """Approximate storage footprint of every node bitmap."""
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.bits is not None:
+                total += node.bits.size_in_bytes()
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+        return total

@@ -1,0 +1,39 @@
+"""SPARQL substrate (subset).
+
+SuccinctEdge answers SELECT queries whose WHERE clause is a basic graph
+pattern optionally extended with FILTER, BIND and UNION (the latter is what
+the baselines need for reasoning by query rewriting).  This package provides:
+
+* :mod:`repro.sparql.ast` — the query abstract syntax tree,
+* :mod:`repro.sparql.parser` — a recursive-descent parser for the subset,
+* :mod:`repro.sparql.expressions` — FILTER/BIND expression evaluation,
+* :mod:`repro.sparql.bindings` — solution mappings (variable bindings).
+"""
+
+from repro.sparql.ast import (
+    BasicGraphPattern,
+    Bind,
+    Filter,
+    GroupGraphPattern,
+    SelectQuery,
+    TriplePattern,
+    Union,
+    Variable,
+)
+from repro.sparql.bindings import Binding, ResultSet
+from repro.sparql.parser import SparqlParseError, parse_query
+
+__all__ = [
+    "BasicGraphPattern",
+    "Bind",
+    "Binding",
+    "Filter",
+    "GroupGraphPattern",
+    "ResultSet",
+    "SelectQuery",
+    "SparqlParseError",
+    "TriplePattern",
+    "Union",
+    "Variable",
+    "parse_query",
+]

@@ -1,0 +1,209 @@
+"""Abstract syntax tree of the supported SPARQL subset.
+
+The grammar covers what the paper's 26 evaluation queries and its motivating
+example need: ``SELECT`` (possibly ``*``) over a WHERE clause made of triple
+patterns, ``FILTER`` constraints, ``BIND`` assignments and ``UNION`` branches
+(the baselines' reasoning rewrites are unions of BGPs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union as TypingUnion
+
+from repro.rdf.namespaces import RDF_TYPE
+from repro.rdf.terms import BlankNode, Literal, Term, URI
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A SPARQL variable, e.g. ``?x``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+#: A slot of a triple pattern: either a constant RDF term or a variable.
+PatternTerm = TypingUnion[URI, BlankNode, Literal, Variable]
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    """A single triple pattern of a basic graph pattern."""
+
+    subject: PatternTerm
+    predicate: PatternTerm
+    object: PatternTerm
+
+    def variables(self) -> List[Variable]:
+        """Variables appearing in the pattern, in subject/predicate/object order."""
+        return [slot for slot in (self.subject, self.predicate, self.object) if isinstance(slot, Variable)]
+
+    def variable_names(self) -> List[str]:
+        """Names of the variables appearing in the pattern."""
+        return [variable.name for variable in self.variables()]
+
+    @property
+    def is_rdf_type(self) -> bool:
+        """Whether the predicate is the constant ``rdf:type``."""
+        return isinstance(self.predicate, URI) and self.predicate == RDF_TYPE
+
+    def shape(self) -> str:
+        """The paper's TP classification string, e.g. ``"s,p,?o"``.
+
+        Constants are lower-case letters, variables are prefixed with ``?``.
+        """
+        subject = "?s" if isinstance(self.subject, Variable) else "s"
+        predicate = "?p" if isinstance(self.predicate, Variable) else "p"
+        obj = "?o" if isinstance(self.object, Variable) else "o"
+        return f"{subject},{predicate},{obj}"
+
+    def __str__(self) -> str:
+        def fmt(slot: PatternTerm) -> str:
+            if isinstance(slot, Variable):
+                return str(slot)
+            return slot.n3()
+
+        return f"{fmt(self.subject)} {fmt(self.predicate)} {fmt(self.object)} ."
+
+
+# --------------------------------------------------------------------- #
+# FILTER / BIND expression nodes
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A binary comparison such as ``?v < 3.0`` or ``?c >= 42``."""
+
+    operator: str  # one of <, <=, >, >=, =, !=
+    left: "Expression"
+    right: "Expression"
+
+
+@dataclass(frozen=True)
+class BooleanExpression:
+    """Logical conjunction/disjunction of sub-expressions (``&&`` / ``||``)."""
+
+    operator: str  # "and" | "or"
+    operands: Tuple["Expression", ...]
+
+
+@dataclass(frozen=True)
+class Negation:
+    """Logical negation (``!expr``)."""
+
+    operand: "Expression"
+
+
+@dataclass(frozen=True)
+class Arithmetic:
+    """Binary arithmetic: ``+``, ``-``, ``*``, ``/``."""
+
+    operator: str
+    left: "Expression"
+    right: "Expression"
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """Builtin call such as ``regex(str(?u), "BAR")``, ``if(...)``, ``bound(?x)``."""
+
+    name: str
+    arguments: Tuple["Expression", ...]
+
+
+#: Expression nodes: constants, variables, or composite nodes above.
+Expression = TypingUnion[
+    URI, Literal, Variable, Comparison, BooleanExpression, Negation, Arithmetic, FunctionCall
+]
+
+
+@dataclass(frozen=True)
+class Filter:
+    """A FILTER constraint applying to the enclosing group."""
+
+    expression: Expression
+
+
+@dataclass(frozen=True)
+class Bind:
+    """A BIND assignment ``BIND(expression AS ?variable)``."""
+
+    expression: Expression
+    variable: Variable
+
+
+@dataclass
+class BasicGraphPattern:
+    """An ordered list of triple patterns."""
+
+    patterns: List[TriplePattern] = field(default_factory=list)
+
+    def variables(self) -> List[str]:
+        """Distinct variable names across all patterns, in first-use order."""
+        seen: List[str] = []
+        for pattern in self.patterns:
+            for name in pattern.variable_names():
+                if name not in seen:
+                    seen.append(name)
+        return seen
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def __iter__(self):
+        return iter(self.patterns)
+
+
+@dataclass
+class Union:
+    """A UNION of group graph patterns."""
+
+    branches: List["GroupGraphPattern"] = field(default_factory=list)
+
+
+@dataclass
+class GroupGraphPattern:
+    """A WHERE-clause group: BGP + filters + binds + unions."""
+
+    bgp: BasicGraphPattern = field(default_factory=BasicGraphPattern)
+    filters: List[Filter] = field(default_factory=list)
+    binds: List[Bind] = field(default_factory=list)
+    unions: List[Union] = field(default_factory=list)
+
+    def variables(self) -> List[str]:
+        """All variable names bound in the group (BGP, BINDs and UNION branches)."""
+        names = self.bgp.variables()
+        for bind in self.binds:
+            if bind.variable.name not in names:
+                names.append(bind.variable.name)
+        for union in self.unions:
+            for branch in union.branches:
+                for name in branch.variables():
+                    if name not in names:
+                        names.append(name)
+        return names
+
+
+@dataclass
+class SelectQuery:
+    """A parsed SELECT query."""
+
+    projection: Optional[List[Variable]]  # None means SELECT *
+    where: GroupGraphPattern
+    distinct: bool = False
+    limit: Optional[int] = None
+
+    def projected_names(self) -> List[str]:
+        """Names of the projected variables (all bound variables for ``*``)."""
+        if self.projection is None:
+            return self.where.variables()
+        return [variable.name for variable in self.projection]
+
+    @property
+    def triple_patterns(self) -> Sequence[TriplePattern]:
+        """Triple patterns of the top-level BGP (convenience accessor)."""
+        return self.where.bgp.patterns

@@ -1,0 +1,119 @@
+"""Solution mappings (variable bindings) and result sets.
+
+A :class:`Binding` maps variable names to RDF terms; a :class:`ResultSet`
+is an ordered collection of bindings together with the projected variable
+names, comparable to the SPARQL JSON results a full engine would emit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.rdf.terms import Term
+
+
+class Binding:
+    """An immutable mapping from variable names to RDF terms."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Optional[Dict[str, Term]] = None) -> None:
+        self._values: Dict[str, Term] = dict(values or {})
+
+    def get(self, name: str, default: Optional[Term] = None) -> Optional[Term]:
+        """Value bound to ``name`` or ``default``."""
+        return self._values.get(name, default)
+
+    def __getitem__(self, name: str) -> Term:
+        return self._values[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def items(self) -> Iterable[Tuple[str, Term]]:
+        """Iterate over ``(variable, term)`` pairs."""
+        return self._values.items()
+
+    def extended(self, name: str, value: Term) -> "Binding":
+        """A new binding with ``name`` additionally bound to ``value``."""
+        merged = dict(self._values)
+        merged[name] = value
+        return Binding(merged)
+
+    def merged(self, other: "Binding") -> Optional["Binding"]:
+        """Merge with ``other``; return ``None`` when they conflict."""
+        merged = dict(self._values)
+        for name, value in other.items():
+            if name in merged and merged[name] != value:
+                return None
+            merged[name] = value
+        return Binding(merged)
+
+    def compatible(self, other: "Binding") -> bool:
+        """Whether the two bindings agree on every shared variable."""
+        for name, value in other.items():
+            if name in self._values and self._values[name] != value:
+                return False
+        return True
+
+    def project(self, names: Sequence[str]) -> "Binding":
+        """Restrict to the given variable names (unbound names are dropped)."""
+        return Binding({name: self._values[name] for name in names if name in self._values})
+
+    def as_dict(self) -> Dict[str, Term]:
+        """A plain-dict copy of the mapping."""
+        return dict(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Binding):
+            return NotImplemented
+        return self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._values.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"?{k}={v}" for k, v in sorted(self._values.items()))
+        return f"Binding({inner})"
+
+
+class ResultSet:
+    """An ordered collection of bindings with the projected variable names."""
+
+    def __init__(self, variables: Sequence[str], bindings: Iterable[Binding] = ()) -> None:
+        self.variables = list(variables)
+        self.bindings = list(bindings)
+
+    def __len__(self) -> int:
+        return len(self.bindings)
+
+    def __iter__(self) -> Iterator[Binding]:
+        return iter(self.bindings)
+
+    def __repr__(self) -> str:
+        return f"ResultSet(variables={self.variables}, rows={len(self.bindings)})"
+
+    def to_tuples(self) -> List[Tuple[Optional[Term], ...]]:
+        """Rows as tuples following the projected variable order."""
+        return [tuple(binding.get(name) for name in self.variables) for binding in self.bindings]
+
+    def to_set(self) -> set:
+        """Rows as a set of tuples (order-insensitive comparison helper)."""
+        return set(self.to_tuples())
+
+    def distinct(self) -> "ResultSet":
+        """A new result set with duplicate rows removed (order preserved)."""
+        seen = set()
+        unique: List[Binding] = []
+        for binding in self.bindings:
+            row = tuple(binding.get(name) for name in self.variables)
+            if row not in seen:
+                seen.add(row)
+                unique.append(binding)
+        return ResultSet(self.variables, unique)

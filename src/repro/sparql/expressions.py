@@ -1,0 +1,275 @@
+"""Evaluation of FILTER / BIND expressions over solution bindings.
+
+SPARQL effective boolean value (EBV) rules are applied where the paper's
+queries need them: numeric comparisons, string regex, ``if`` conditionals and
+arithmetic over observation values (the anomaly-detection query of Section 2
+converts hectopascal to bar with ``?v1 / 1000`` inside an ``if``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, Union
+
+from repro.rdf.terms import Literal, Term, URI
+from repro.rdf.terms import XSD_BOOLEAN, XSD_DOUBLE, XSD_STRING
+from repro.sparql.ast import (
+    Arithmetic,
+    BooleanExpression,
+    Comparison,
+    Expression,
+    FunctionCall,
+    Negation,
+    Variable,
+)
+from repro.sparql.bindings import Binding
+
+
+class ExpressionError(ValueError):
+    """Raised when an expression cannot be evaluated (SPARQL type error)."""
+
+
+#: Python-level value of an evaluated expression.
+Value = Union[Term, int, float, bool, str, None]
+
+
+def evaluate(expression: Expression, binding: Binding) -> Value:
+    """Evaluate ``expression`` under ``binding``.
+
+    Returns a Python value (number, string, boolean) or an RDF term; returns
+    ``None`` when a referenced variable is unbound (SPARQL "error" value,
+    which makes enclosing FILTERs evaluate to false).
+    """
+    if isinstance(expression, Variable):
+        return binding.get(expression.name)
+    if isinstance(expression, Literal):
+        return expression.to_python()
+    if isinstance(expression, URI):
+        return expression
+    if isinstance(expression, Comparison):
+        return _evaluate_comparison(expression, binding)
+    if isinstance(expression, BooleanExpression):
+        return _evaluate_boolean(expression, binding)
+    if isinstance(expression, Negation):
+        inner = effective_boolean_value(evaluate(expression.operand, binding))
+        return None if inner is None else not inner
+    if isinstance(expression, Arithmetic):
+        return _evaluate_arithmetic(expression, binding)
+    if isinstance(expression, FunctionCall):
+        return _evaluate_function(expression, binding)
+    raise ExpressionError(f"unsupported expression node: {expression!r}")
+
+
+def evaluate_filter(expression: Expression, binding: Binding) -> bool:
+    """FILTER semantics: the effective boolean value, with errors as false."""
+    try:
+        value = evaluate(expression, binding)
+    except ExpressionError:
+        return False
+    result = effective_boolean_value(value)
+    return bool(result)
+
+
+def evaluate_bind(expression: Expression, binding: Binding) -> Optional[Term]:
+    """BIND semantics: evaluate and convert back to an RDF term (or ``None``)."""
+    try:
+        value = evaluate(expression, binding)
+    except ExpressionError:
+        return None
+    return to_term(value)
+
+
+# --------------------------------------------------------------------- #
+# helpers
+# --------------------------------------------------------------------- #
+
+
+def to_number(value: Value) -> Optional[float]:
+    """Coerce a value to a float, or ``None`` when it is not numeric."""
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, Literal):
+        try:
+            return float(value.lexical)
+        except ValueError:
+            return None
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            return None
+    return None
+
+
+def to_string(value: Value) -> Optional[str]:
+    """Coerce a value to its string form (the SPARQL ``str()`` builtin)."""
+    if value is None:
+        return None
+    if isinstance(value, URI):
+        return value.value
+    if isinstance(value, Literal):
+        return value.lexical
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def to_term(value: Value) -> Optional[Term]:
+    """Convert a Python value back to an RDF term (for BIND results)."""
+    if value is None:
+        return None
+    if isinstance(value, (URI, Literal)):
+        return value
+    if isinstance(value, bool):
+        return Literal("true" if value else "false", datatype=XSD_BOOLEAN)
+    if isinstance(value, (int, float)):
+        return Literal(repr(float(value)), datatype=XSD_DOUBLE)
+    return Literal(str(value), datatype=XSD_STRING)
+
+
+def effective_boolean_value(value: Value) -> Optional[bool]:
+    """SPARQL effective boolean value; ``None`` when undefined."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    if isinstance(value, str):
+        return len(value) > 0
+    if isinstance(value, Literal):
+        python_value = value.to_python()
+        if isinstance(python_value, bool):
+            return python_value
+        if isinstance(python_value, (int, float)):
+            return python_value != 0
+        return len(value.lexical) > 0
+    if isinstance(value, URI):
+        return True
+    return None
+
+
+def _evaluate_comparison(expression: Comparison, binding: Binding) -> Optional[bool]:
+    left = evaluate(expression.left, binding)
+    right = evaluate(expression.right, binding)
+    if left is None or right is None:
+        return None
+    left_number = to_number(left)
+    right_number = to_number(right)
+    if left_number is not None and right_number is not None:
+        left_value: Union[float, str] = left_number
+        right_value: Union[float, str] = right_number
+    else:
+        # Fall back to string / term comparison.
+        if isinstance(left, (URI, Literal)) or isinstance(right, (URI, Literal)):
+            left_str, right_str = to_string(left), to_string(right)
+            if left_str is None or right_str is None:
+                return None
+            left_value, right_value = left_str, right_str
+        else:
+            left_value, right_value = str(left), str(right)
+    operator = expression.operator
+    if operator == "=":
+        return left_value == right_value
+    if operator == "!=":
+        return left_value != right_value
+    if operator == "<":
+        return left_value < right_value
+    if operator == "<=":
+        return left_value <= right_value
+    if operator == ">":
+        return left_value > right_value
+    if operator == ">=":
+        return left_value >= right_value
+    raise ExpressionError(f"unknown comparison operator {operator!r}")
+
+
+def _evaluate_boolean(expression: BooleanExpression, binding: Binding) -> Optional[bool]:
+    values = [effective_boolean_value(evaluate(operand, binding)) for operand in expression.operands]
+    if expression.operator == "and":
+        if any(value is False for value in values):
+            return False
+        if any(value is None for value in values):
+            return None
+        return True
+    if expression.operator == "or":
+        if any(value is True for value in values):
+            return True
+        if any(value is None for value in values):
+            return None
+        return False
+    raise ExpressionError(f"unknown boolean operator {expression.operator!r}")
+
+
+def _evaluate_arithmetic(expression: Arithmetic, binding: Binding) -> Optional[float]:
+    left = to_number(evaluate(expression.left, binding))
+    right = to_number(evaluate(expression.right, binding))
+    if left is None or right is None:
+        return None
+    operator = expression.operator
+    if operator == "+":
+        return left + right
+    if operator == "-":
+        return left - right
+    if operator == "*":
+        return left * right
+    if operator == "/":
+        if right == 0:
+            raise ExpressionError("division by zero")
+        return left / right
+    raise ExpressionError(f"unknown arithmetic operator {operator!r}")
+
+
+def _evaluate_function(expression: FunctionCall, binding: Binding) -> Value:
+    name = expression.name
+    arguments = expression.arguments
+    if name == "str":
+        _require_arity(name, arguments, 1)
+        return to_string(evaluate(arguments[0], binding))
+    if name == "regex":
+        if len(arguments) not in (2, 3):
+            raise ExpressionError("regex() expects 2 or 3 arguments")
+        text = to_string(evaluate(arguments[0], binding))
+        pattern = to_string(evaluate(arguments[1], binding))
+        if text is None or pattern is None:
+            return None
+        flags = 0
+        if len(arguments) == 3:
+            flag_text = to_string(evaluate(arguments[2], binding)) or ""
+            if "i" in flag_text:
+                flags |= re.IGNORECASE
+        return re.search(pattern, text, flags) is not None
+    if name == "if":
+        _require_arity(name, arguments, 3)
+        condition = effective_boolean_value(evaluate(arguments[0], binding))
+        if condition is None:
+            return None
+        return evaluate(arguments[1] if condition else arguments[2], binding)
+    if name == "bound":
+        _require_arity(name, arguments, 1)
+        argument = arguments[0]
+        if not isinstance(argument, Variable):
+            raise ExpressionError("bound() expects a variable")
+        return argument.name in binding
+    if name == "abs":
+        _require_arity(name, arguments, 1)
+        number = to_number(evaluate(arguments[0], binding))
+        return None if number is None else abs(number)
+    if name == "isuri" or name == "isiri":
+        _require_arity(name, arguments, 1)
+        return isinstance(evaluate(arguments[0], binding), URI)
+    if name == "isliteral":
+        _require_arity(name, arguments, 1)
+        value = evaluate(arguments[0], binding)
+        return isinstance(value, (Literal, int, float, str, bool)) and not isinstance(value, URI)
+    if name == "xsd:double" or name == "xsd:decimal" or name == "xsd:integer":
+        _require_arity(name, arguments, 1)
+        return to_number(evaluate(arguments[0], binding))
+    raise ExpressionError(f"unsupported function {name!r}")
+
+
+def _require_arity(name: str, arguments: tuple, arity: int) -> None:
+    if len(arguments) != arity:
+        raise ExpressionError(f"{name}() expects {arity} argument(s), got {len(arguments)}")

@@ -1,0 +1,429 @@
+"""Recursive-descent parser for the supported SPARQL subset.
+
+Supported grammar (sufficient for the paper's 26 evaluation queries, the
+motivating anomaly-detection query of Section 2, and the UNION rewritings
+used by the baseline systems)::
+
+    Query      := Prologue SELECT (DISTINCT)? (Var+ | '*') WHERE? Group (LIMIT INT)?
+    Prologue   := (PREFIX pname: <iri>)*
+    Group      := '{' (TriplesBlock | Filter | Bind | GroupUnion)* '}'
+    GroupUnion := Group (UNION Group)+
+    Filter     := FILTER '(' Expression ')'
+    Bind       := BIND '(' Expression AS Var ')'
+
+Triple blocks support the ``a`` keyword, ``;`` predicate lists and ``,``
+object lists.  Expressions support ``||``, ``&&``, ``!``, comparisons,
+arithmetic, and the builtins ``regex``, ``str``, ``if``, ``bound``, ``abs``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.rdf.namespaces import RDF, WELL_KNOWN_PREFIXES
+from repro.rdf.terms import BlankNode, Literal, URI
+from repro.rdf.terms import XSD_BOOLEAN, XSD_DECIMAL, XSD_INTEGER
+from repro.sparql.ast import (
+    Arithmetic,
+    BasicGraphPattern,
+    Bind,
+    BooleanExpression,
+    Comparison,
+    Expression,
+    Filter,
+    FunctionCall,
+    GroupGraphPattern,
+    Negation,
+    PatternTerm,
+    SelectQuery,
+    TriplePattern,
+    Union,
+    Variable,
+)
+
+
+class SparqlParseError(ValueError):
+    """Raised when a query falls outside the supported SPARQL subset."""
+
+
+_TOKEN = re.compile(
+    r"""
+    (?P<comment>\#[^\n]*)
+  | (?P<iri><[^<>"\s]*>)
+  | (?P<literal>"(?:[^"\\]|\\.)*"(?:\^\^<[^<>\s]*>|\^\^[A-Za-z_][\w\-]*:[\w\-]*|@[A-Za-z0-9\-]+)?)
+  | (?P<var>\?[A-Za-z_][\w]*)
+  | (?P<bnode>_:[A-Za-z0-9_.\-]+)
+  | (?P<number>[+-]?\d+\.\d+|[+-]?\d+)
+  | (?P<comparator><=|>=|!=|=|<|>)
+  | (?P<logic>\|\||&&)
+  | (?P<keyword>\b(?:SELECT|DISTINCT|WHERE|FILTER|BIND|AS|UNION|PREFIX|BASE|LIMIT|true|false|a)\b)
+  | (?P<pname>[A-Za-z_][\w\-]*:[\w.\-]*|:[\w.\-]+)
+  | (?P<name>[A-Za-z_][\w]*)
+  | (?P<punct>[{}().;,!*/+\-])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE | re.IGNORECASE,
+)
+
+_ESCAPES = {"\\n": "\n", "\\r": "\r", "\\t": "\t", '\\"': '"', "\\\\": "\\"}
+
+
+def _unescape(text: str) -> str:
+    result = text
+    for escaped, raw in _ESCAPES.items():
+        result = result.replace(escaped, raw)
+    return result
+
+
+def _tokenize(query: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(query):
+        match = _TOKEN.match(query, position)
+        if not match:
+            snippet = query[position : position + 40]
+            raise SparqlParseError(f"unexpected input at offset {position}: {snippet!r}")
+        kind = match.lastgroup or ""
+        if kind not in ("ws", "comment"):
+            tokens.append((kind, match.group()))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, query: str) -> None:
+        self._tokens = _tokenize(query)
+        self._index = 0
+        self._prefixes = dict(WELL_KNOWN_PREFIXES)
+
+    # -------------------------------------------------------------- #
+    # token helpers
+    # -------------------------------------------------------------- #
+
+    def _peek(self, offset: int = 0) -> Optional[Tuple[str, str]]:
+        index = self._index + offset
+        if index < len(self._tokens):
+            return self._tokens[index]
+        return None
+
+    def _next(self) -> Tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise SparqlParseError("unexpected end of query")
+        self._index += 1
+        return token
+
+    def _accept_keyword(self, *keywords: str) -> Optional[str]:
+        token = self._peek()
+        if token and token[0] == "keyword" and token[1].upper() in {k.upper() for k in keywords}:
+            self._index += 1
+            return token[1].upper()
+        return None
+
+    def _expect_keyword(self, keyword: str) -> None:
+        if not self._accept_keyword(keyword):
+            token = self._peek()
+            raise SparqlParseError(f"expected {keyword!r}, got {token!r}")
+
+    def _accept_punct(self, char: str) -> bool:
+        token = self._peek()
+        if token and token[0] == "punct" and token[1] == char:
+            self._index += 1
+            return True
+        return False
+
+    def _expect_punct(self, char: str) -> None:
+        if not self._accept_punct(char):
+            token = self._peek()
+            raise SparqlParseError(f"expected {char!r}, got {token!r}")
+
+    # -------------------------------------------------------------- #
+    # prologue and query form
+    # -------------------------------------------------------------- #
+
+    def parse(self) -> SelectQuery:
+        self._parse_prologue()
+        self._expect_keyword("SELECT")
+        distinct = bool(self._accept_keyword("DISTINCT"))
+        projection = self._parse_projection()
+        self._accept_keyword("WHERE")
+        where = self._parse_group()
+        limit = self._parse_limit()
+        if self._peek() is not None:
+            raise SparqlParseError(f"trailing tokens after query: {self._peek()!r}")
+        return SelectQuery(projection=projection, where=where, distinct=distinct, limit=limit)
+
+    def _parse_prologue(self) -> None:
+        while self._accept_keyword("PREFIX"):
+            kind, value = self._next()
+            if kind != "pname" or not value.endswith(":"):
+                raise SparqlParseError(f"expected prefix name, got {value!r}")
+            prefix = value[:-1]
+            kind, iri = self._next()
+            if kind != "iri":
+                raise SparqlParseError(f"expected IRI after prefix {prefix!r}, got {iri!r}")
+            self._prefixes[prefix] = iri[1:-1]
+
+    def _parse_projection(self) -> Optional[List[Variable]]:
+        token = self._peek()
+        if token and token[0] == "punct" and token[1] == "*":
+            self._index += 1
+            return None
+        variables: List[Variable] = []
+        while True:
+            token = self._peek()
+            if token and token[0] == "var":
+                self._index += 1
+                variables.append(Variable(token[1][1:]))
+            else:
+                break
+        if not variables:
+            raise SparqlParseError("SELECT clause must project '*' or at least one variable")
+        return variables
+
+    def _parse_limit(self) -> Optional[int]:
+        if self._accept_keyword("LIMIT"):
+            kind, value = self._next()
+            if kind != "number":
+                raise SparqlParseError(f"expected integer after LIMIT, got {value!r}")
+            return int(value)
+        return None
+
+    # -------------------------------------------------------------- #
+    # group graph pattern
+    # -------------------------------------------------------------- #
+
+    def _parse_group(self) -> GroupGraphPattern:
+        self._expect_punct("{")
+        group = GroupGraphPattern()
+        while True:
+            token = self._peek()
+            if token is None:
+                raise SparqlParseError("unterminated group graph pattern")
+            if token == ("punct", "}"):
+                self._index += 1
+                return group
+            if token[0] == "keyword" and token[1].upper() == "FILTER":
+                self._index += 1
+                group.filters.append(self._parse_filter())
+                self._accept_punct(".")
+                continue
+            if token[0] == "keyword" and token[1].upper() == "BIND":
+                self._index += 1
+                group.binds.append(self._parse_bind())
+                self._accept_punct(".")
+                continue
+            if token == ("punct", "{"):
+                group.unions.append(self._parse_union())
+                self._accept_punct(".")
+                continue
+            self._parse_triples_block(group.bgp)
+
+    def _parse_union(self) -> Union:
+        branches = [self._parse_group()]
+        while self._accept_keyword("UNION"):
+            branches.append(self._parse_group())
+        return Union(branches=branches)
+
+    def _parse_filter(self) -> Filter:
+        self._expect_punct("(")
+        expression = self._parse_expression()
+        self._expect_punct(")")
+        return Filter(expression=expression)
+
+    def _parse_bind(self) -> Bind:
+        self._expect_punct("(")
+        expression = self._parse_expression()
+        self._expect_keyword("AS")
+        kind, value = self._next()
+        if kind != "var":
+            raise SparqlParseError(f"expected variable after AS, got {value!r}")
+        self._expect_punct(")")
+        return Bind(expression=expression, variable=Variable(value[1:]))
+
+    # -------------------------------------------------------------- #
+    # triples
+    # -------------------------------------------------------------- #
+
+    def _parse_triples_block(self, bgp: BasicGraphPattern) -> None:
+        subject = self._parse_pattern_term()
+        while True:
+            predicate = self._parse_pattern_term(allow_a=True)
+            while True:
+                obj = self._parse_pattern_term()
+                bgp.patterns.append(TriplePattern(subject, predicate, obj))
+                if self._accept_punct(","):
+                    continue
+                break
+            if self._accept_punct(";"):
+                token = self._peek()
+                # A dangling ';' before '.' or '}' is tolerated.
+                if token in (("punct", "."), ("punct", "}")):
+                    self._accept_punct(".")
+                    return
+                continue
+            self._accept_punct(".")
+            return
+
+    def _parse_pattern_term(self, allow_a: bool = False) -> PatternTerm:
+        kind, value = self._next()
+        if kind == "var":
+            return Variable(value[1:])
+        if kind == "iri":
+            return URI(value[1:-1])
+        if kind == "pname":
+            return self._resolve_pname(value)
+        if kind == "bnode":
+            return BlankNode(value[2:])
+        if kind == "literal":
+            return self._parse_literal(value)
+        if kind == "number":
+            datatype = XSD_DECIMAL if "." in value else XSD_INTEGER
+            return Literal(value, datatype=datatype)
+        if kind == "keyword":
+            upper = value.upper()
+            if upper == "A":
+                return RDF.type
+            if upper in ("TRUE", "FALSE"):
+                return Literal(value.lower(), datatype=XSD_BOOLEAN)
+        raise SparqlParseError(f"unexpected token {value!r} in triple pattern")
+
+    def _resolve_pname(self, pname: str) -> URI:
+        prefix, _, local = pname.partition(":")
+        if prefix not in self._prefixes:
+            raise SparqlParseError(f"unknown prefix {prefix!r} in {pname!r}")
+        return URI(self._prefixes[prefix] + local)
+
+    def _parse_literal(self, raw: str) -> Literal:
+        closing = raw.rindex('"')
+        lexical = _unescape(raw[1:closing])
+        suffix = raw[closing + 1 :]
+        if suffix.startswith("^^<"):
+            return Literal(lexical, datatype=suffix[3:-1])
+        if suffix.startswith("^^"):
+            return Literal(lexical, datatype=self._resolve_pname(suffix[2:]).value)
+        if suffix.startswith("@"):
+            return Literal(lexical, language=suffix[1:])
+        return Literal(lexical)
+
+    # -------------------------------------------------------------- #
+    # expressions (precedence climbing)
+    # -------------------------------------------------------------- #
+
+    def _parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        left = self._parse_and()
+        operands = [left]
+        while True:
+            token = self._peek()
+            if token and token[0] == "logic" and token[1] == "||":
+                self._index += 1
+                operands.append(self._parse_and())
+            else:
+                break
+        if len(operands) == 1:
+            return left
+        return BooleanExpression(operator="or", operands=tuple(operands))
+
+    def _parse_and(self) -> Expression:
+        left = self._parse_comparison()
+        operands = [left]
+        while True:
+            token = self._peek()
+            if token and token[0] == "logic" and token[1] == "&&":
+                self._index += 1
+                operands.append(self._parse_comparison())
+            else:
+                break
+        if len(operands) == 1:
+            return left
+        return BooleanExpression(operator="and", operands=tuple(operands))
+
+    def _parse_comparison(self) -> Expression:
+        left = self._parse_additive()
+        token = self._peek()
+        if token and token[0] == "comparator":
+            self._index += 1
+            right = self._parse_additive()
+            return Comparison(operator=token[1], left=left, right=right)
+        return left
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token and token[0] == "punct" and token[1] in "+-":
+                self._index += 1
+                right = self._parse_multiplicative()
+                left = Arithmetic(operator=token[1], left=left, right=right)
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Expression:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token and token[0] == "punct" and token[1] in "*/":
+                self._index += 1
+                right = self._parse_unary()
+                left = Arithmetic(operator=token[1], left=left, right=right)
+            else:
+                return left
+
+    def _parse_unary(self) -> Expression:
+        if self._accept_punct("!"):
+            return Negation(operand=self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expression:
+        token = self._peek()
+        if token is None:
+            raise SparqlParseError("unexpected end of expression")
+        kind, value = token
+        if kind == "punct" and value == "(":
+            self._index += 1
+            inner = self._parse_expression()
+            self._expect_punct(")")
+            return inner
+        if kind == "var":
+            self._index += 1
+            return Variable(value[1:])
+        if kind == "iri":
+            self._index += 1
+            return URI(value[1:-1])
+        if kind == "literal":
+            self._index += 1
+            return self._parse_literal(value)
+        if kind == "number":
+            self._index += 1
+            datatype = XSD_DECIMAL if "." in value else XSD_INTEGER
+            return Literal(value, datatype=datatype)
+        if kind == "keyword" and value.upper() in ("TRUE", "FALSE"):
+            self._index += 1
+            return Literal(value.lower(), datatype=XSD_BOOLEAN)
+        if kind in ("name", "keyword", "pname"):
+            # Function call: name '(' args ')'
+            next_token = self._peek(1)
+            if next_token == ("punct", "("):
+                self._index += 2
+                arguments: List[Expression] = []
+                if not self._accept_punct(")"):
+                    while True:
+                        arguments.append(self._parse_expression())
+                        if self._accept_punct(","):
+                            continue
+                        self._expect_punct(")")
+                        break
+                return FunctionCall(name=value.lower(), arguments=tuple(arguments))
+            if kind == "pname":
+                self._index += 1
+                return self._resolve_pname(value)
+        raise SparqlParseError(f"unexpected token {value!r} in expression")
+
+
+def parse_query(query: str) -> SelectQuery:
+    """Parse a SPARQL SELECT query (supported subset) into its AST."""
+    return _Parser(query).parse()

@@ -1,0 +1,33 @@
+"""SuccinctEdge store: the paper's primary contribution.
+
+The store is split exactly along the paper's architecture (Figure 4):
+
+* :class:`~repro.store.triple_store.ObjectTripleStore` — object-property
+  triples in a single PSO index made of wavelet trees linked by bitmaps;
+* :class:`~repro.store.datatype_store.DatatypeTripleStore` — datatype-property
+  triples whose objects live in a flat literal store;
+* :class:`~repro.store.rdftype_store.RDFTypeStore` — ``rdf:type`` triples in a
+  red-black tree with SO and OS access paths;
+* :class:`~repro.store.builder.StoreBuilder` — dictionary creation (LiteMat),
+  triple partitioning and SDS construction;
+* :class:`~repro.store.succinct_edge.SuccinctEdge` — the user-facing facade
+  (load a graph, run SPARQL queries with or without reasoning).
+"""
+
+from repro.store.builder import StoreBuilder
+from repro.store.datatype_store import DatatypeTripleStore
+from repro.store.persistence import load_store, save_store, serialized_size_in_bytes
+from repro.store.rdftype_store import RDFTypeStore
+from repro.store.succinct_edge import SuccinctEdge
+from repro.store.triple_store import ObjectTripleStore
+
+__all__ = [
+    "DatatypeTripleStore",
+    "ObjectTripleStore",
+    "RDFTypeStore",
+    "StoreBuilder",
+    "SuccinctEdge",
+    "load_store",
+    "save_store",
+    "serialized_size_in_bytes",
+]

@@ -1,0 +1,226 @@
+"""Datatype-property triple store.
+
+Datatype properties relate an individual to a literal (a measurement value,
+a timestamp, a name...).  Creating dictionary entries for every literal would
+be wasteful — sensors emit a practically unbounded stream of distinct values —
+so SuccinctEdge stores them as-is in a flat literal store and keeps only
+positional pointers in the PS layout (paper Section 4, "Datatype-triple-store").
+
+The layout mirrors :class:`~repro.store.triple_store.ObjectTripleStore` for
+the property and subject layers (``wt_p``, ``bm_ps``, ``wt_s``, ``bm_so``) but
+the object layer is an :class:`~repro.sds.int_sequence.IntSequence` of
+positions into the shared :class:`~repro.dictionary.literal_store.LiteralStore`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.dictionary.literal_store import LiteralStore
+from repro.rdf.terms import Literal
+from repro.sds.bitvector import BitVector, BitVectorBuilder
+from repro.sds.int_sequence import IntSequence
+from repro.sds.wavelet_tree import WaveletTree
+
+#: An encoded datatype triple ``(property_id, subject_id, literal)``.
+EncodedDatatypeTriple = Tuple[int, int, Literal]
+
+
+class DatatypeTripleStore:
+    """Immutable PS(+flat literal) store over datatype-property triples."""
+
+    def __init__(
+        self,
+        triples: Sequence[EncodedDatatypeTriple],
+        literal_store: Optional[LiteralStore] = None,
+    ) -> None:
+        self.literals = literal_store if literal_store is not None else LiteralStore()
+        # Sort by (property, subject); keep literal insertion order within a pair.
+        ordered = sorted(triples, key=lambda triple: (triple[0], triple[1]))
+        self._triple_count = len(ordered)
+
+        property_layer: List[int] = []
+        subject_layer: List[int] = []
+        literal_pointers: List[int] = []
+        ps_bits = BitVectorBuilder()
+        so_bits = BitVectorBuilder()
+
+        previous_property: Optional[int] = None
+        previous_pair: Optional[Tuple[int, int]] = None
+        for prop, subject, literal in ordered:
+            if prop != previous_property:
+                property_layer.append(prop)
+                previous_property = prop
+                new_property = True
+            else:
+                new_property = False
+            pair = (prop, subject)
+            if pair != previous_pair:
+                subject_layer.append(subject)
+                ps_bits.append(1 if new_property else 0)
+                previous_pair = pair
+                new_pair = True
+            else:
+                new_pair = False
+            literal_pointers.append(self.literals.append(literal))
+            so_bits.append(1 if new_pair else 0)
+        ps_bits.append(1)
+        so_bits.append(1)
+
+        max_symbol = max(property_layer + subject_layer, default=0)
+        alphabet = max_symbol + 1
+        self.wt_p = WaveletTree(property_layer, alphabet_size=alphabet)
+        self.wt_s = WaveletTree(subject_layer, alphabet_size=alphabet)
+        self.object_pointers = IntSequence(literal_pointers)
+        self.bm_ps: BitVector = ps_bits.build()
+        self.bm_so: BitVector = so_bits.build()
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._triple_count
+
+    def __repr__(self) -> str:
+        return f"DatatypeTripleStore({self._triple_count} triples, {len(self.wt_p)} properties)"
+
+    @property
+    def properties(self) -> List[int]:
+        """Distinct datatype-property identifiers, ascending."""
+        return self.wt_p.to_list()
+
+    def has_property(self, property_id: int) -> bool:
+        """Whether the store holds at least one triple with ``property_id``."""
+        return self.wt_p.count(property_id) > 0
+
+    # ------------------------------------------------------------------ #
+    # navigation primitives
+    # ------------------------------------------------------------------ #
+
+    def _property_index(self, property_id: int) -> Optional[int]:
+        if self.wt_p.count(property_id) == 0:
+            return None
+        return self.wt_p.select(1, property_id)
+
+    def _subject_run(self, property_index: int) -> Tuple[int, int]:
+        begin = self.bm_ps.select(property_index + 1, 1)
+        end = self.bm_ps.select(property_index + 2, 1)
+        return begin, end
+
+    def _object_run(self, subject_index: int) -> Tuple[int, int]:
+        begin = self.bm_so.select(subject_index + 1, 1)
+        end = self.bm_so.select(subject_index + 2, 1)
+        return begin, end
+
+    def count_triples_with_property(self, property_id: int) -> int:
+        """Algorithm 2 applied to the datatype layout."""
+        property_index = self._property_index(property_id)
+        if property_index is None:
+            return 0
+        subject_begin, subject_end = self._subject_run(property_index)
+        object_begin = self.bm_so.select(subject_begin + 1, 1)
+        object_end = self.bm_so.select(subject_end + 1, 1)
+        return object_end - object_begin
+
+    def count_subjects_with_property(self, property_id: int) -> int:
+        """Number of distinct subjects attached to ``property_id``."""
+        property_index = self._property_index(property_id)
+        if property_index is None:
+            return 0
+        subject_begin, subject_end = self._subject_run(property_index)
+        return subject_end - subject_begin
+
+    # ------------------------------------------------------------------ #
+    # triple pattern evaluation
+    # ------------------------------------------------------------------ #
+
+    def literals_for(self, subject_id: int, property_id: int) -> List[Literal]:
+        """Literal objects of ``(subject, property, ?o)``."""
+        property_index = self._property_index(property_id)
+        if property_index is None:
+            return []
+        subject_begin, subject_end = self._subject_run(property_index)
+        results: List[Literal] = []
+        for subject_index in self.wt_s.range_search(subject_begin, subject_end, subject_id):
+            object_begin, object_end = self._object_run(subject_index)
+            for object_index in range(object_begin, object_end):
+                results.append(self.literals.get(self.object_pointers.access(object_index)))
+        return results
+
+    def subjects_for(self, property_id: int, literal: Literal) -> List[int]:
+        """Subjects of ``(?s, property, literal)``.
+
+        Literals are not dictionary-encoded, so this scans the property's
+        object run and compares values — the paper accepts this cost because
+        literal-bound patterns are rare in its IoT workload.
+        """
+        property_index = self._property_index(property_id)
+        if property_index is None:
+            return []
+        subject_begin, subject_end = self._subject_run(property_index)
+        results: List[int] = []
+        for subject_index in range(subject_begin, subject_end):
+            object_begin, object_end = self._object_run(subject_index)
+            for object_index in range(object_begin, object_end):
+                if self.literals.get(self.object_pointers.access(object_index)) == literal:
+                    results.append(self.wt_s.access(subject_index))
+                    break
+        return results
+
+    def pairs_for_property(self, property_id: int) -> Iterator[Tuple[int, Literal]]:
+        """All ``(subject, literal)`` pairs of ``(?s, property, ?o)``, in PS order."""
+        property_index = self._property_index(property_id)
+        if property_index is None:
+            return
+        subject_begin, subject_end = self._subject_run(property_index)
+        for subject_index in range(subject_begin, subject_end):
+            subject_id = self.wt_s.access(subject_index)
+            object_begin, object_end = self._object_run(subject_index)
+            for object_index in range(object_begin, object_end):
+                yield subject_id, self.literals.get(self.object_pointers.access(object_index))
+
+    def pairs_for_property_interval(
+        self, property_low: int, property_high: int
+    ) -> Iterator[Tuple[int, int, Literal]]:
+        """All ``(property, subject, literal)`` triples whose property identifier
+        falls in the LiteMat interval ``[property_low, property_high)``."""
+        for position, property_id in self.wt_p.range_search_symbols(
+            0, len(self.wt_p), property_low, property_high
+        ):
+            subject_begin, subject_end = self._subject_run(position)
+            for subject_index in range(subject_begin, subject_end):
+                subject_id = self.wt_s.access(subject_index)
+                object_begin, object_end = self._object_run(subject_index)
+                for object_index in range(object_begin, object_end):
+                    literal = self.literals.get(self.object_pointers.access(object_index))
+                    yield property_id, subject_id, literal
+
+    def iter_triples(self) -> Iterator[EncodedDatatypeTriple]:
+        """All stored triples in PS order."""
+        for position in range(len(self.wt_p)):
+            property_id = self.wt_p.access(position)
+            subject_begin, subject_end = self._subject_run(position)
+            for subject_index in range(subject_begin, subject_end):
+                subject_id = self.wt_s.access(subject_index)
+                object_begin, object_end = self._object_run(subject_index)
+                for object_index in range(object_begin, object_end):
+                    literal = self.literals.get(self.object_pointers.access(object_index))
+                    yield property_id, subject_id, literal
+
+    # ------------------------------------------------------------------ #
+    # storage accounting
+    # ------------------------------------------------------------------ #
+
+    def size_in_bytes(self, include_literals: bool = True) -> int:
+        """Approximate storage footprint (optionally excluding literal payload)."""
+        total = (
+            self.wt_p.size_in_bytes()
+            + self.wt_s.size_in_bytes()
+            + self.object_pointers.size_in_bytes()
+            + self.bm_ps.size_in_bytes()
+            + self.bm_so.size_in_bytes()
+        )
+        if include_literals:
+            total += self.literals.size_in_bytes()
+        return total

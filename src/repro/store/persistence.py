@@ -1,0 +1,382 @@
+"""Persistence of a SuccinctEdge store.
+
+The paper's storage evaluation (Section 7.3.2) "persisted all the data
+structures existing in SuccinctEdge to disk in order to make a fair
+comparison" with the disk-based systems, and its deployment model has the
+central server broadcast pre-encoded dictionaries to the edge devices.  This
+module provides both:
+
+* :func:`save_store` / :func:`load_store` — serialise a complete
+  :class:`~repro.store.succinct_edge.SuccinctEdge` instance (dictionaries,
+  schema, and the encoded triples of the three layouts) into a single
+  compact binary file and restore it;
+* :func:`serialized_size_in_bytes` — the on-disk size, used as the
+  ground-truth measurement behind Figures 9 and 10.
+
+The format is deliberately simple and self-contained: a small header followed
+by length-prefixed sections (terms as UTF-8, identifiers and triples as
+varints).  The SDS layouts are rebuilt at load time from the encoded triples —
+construction is cheap compared to I/O, and the format stays independent of
+the in-memory layout details.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import BinaryIO, Dict, Iterable, List, Tuple
+
+from repro.ontology.litemat import EncodedEntity, LiteMatEncoding
+from repro.ontology.schema import OntologySchema
+from repro.rdf.terms import BlankNode, Literal, Term, URI
+
+_MAGIC = b"SEDG"
+_VERSION = 2
+
+_TERM_URI = 0
+_TERM_BNODE = 1
+_TERM_LITERAL = 2
+
+
+class PersistenceError(RuntimeError):
+    """Raised when a file cannot be parsed as a persisted SuccinctEdge store."""
+
+
+# --------------------------------------------------------------------------- #
+# low-level encoding helpers
+# --------------------------------------------------------------------------- #
+
+
+def _write_varint(buffer: BinaryIO, value: int) -> None:
+    if value < 0:
+        raise ValueError("varints encode non-negative integers only")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            buffer.write(bytes([byte | 0x80]))
+        else:
+            buffer.write(bytes([byte]))
+            return
+
+
+def _read_varint(buffer: BinaryIO) -> int:
+    shift = 0
+    result = 0
+    while True:
+        raw = buffer.read(1)
+        if not raw:
+            raise PersistenceError("unexpected end of file while reading a varint")
+        byte = raw[0]
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result
+        shift += 7
+
+
+def _write_text(buffer: BinaryIO, text: str) -> None:
+    payload = text.encode("utf-8")
+    _write_varint(buffer, len(payload))
+    buffer.write(payload)
+
+
+def _read_text(buffer: BinaryIO) -> str:
+    length = _read_varint(buffer)
+    payload = buffer.read(length)
+    if len(payload) != length:
+        raise PersistenceError("unexpected end of file while reading a string")
+    return payload.decode("utf-8")
+
+
+def _write_term(buffer: BinaryIO, term: Term) -> None:
+    if isinstance(term, URI):
+        buffer.write(bytes([_TERM_URI]))
+        _write_text(buffer, term.value)
+    elif isinstance(term, BlankNode):
+        buffer.write(bytes([_TERM_BNODE]))
+        _write_text(buffer, term.label)
+    elif isinstance(term, Literal):
+        buffer.write(bytes([_TERM_LITERAL]))
+        _write_text(buffer, term.lexical)
+        _write_text(buffer, term.datatype or "")
+        _write_text(buffer, term.language or "")
+    else:  # pragma: no cover - defensive
+        raise PersistenceError(f"cannot serialise term {term!r}")
+
+
+def _read_term(buffer: BinaryIO) -> Term:
+    kind_raw = buffer.read(1)
+    if not kind_raw:
+        raise PersistenceError("unexpected end of file while reading a term")
+    kind = kind_raw[0]
+    if kind == _TERM_URI:
+        return URI(_read_text(buffer))
+    if kind == _TERM_BNODE:
+        return BlankNode(_read_text(buffer))
+    if kind == _TERM_LITERAL:
+        lexical = _read_text(buffer)
+        datatype = _read_text(buffer) or None
+        language = _read_text(buffer) or None
+        if language:
+            return Literal(lexical, language=language)
+        return Literal(lexical, datatype=datatype)
+    raise PersistenceError(f"unknown term tag {kind}")
+
+
+# --------------------------------------------------------------------------- #
+# sections
+# --------------------------------------------------------------------------- #
+
+
+def _write_litemat(buffer: BinaryIO, encoding: LiteMatEncoding) -> None:
+    _write_varint(buffer, encoding.total_length)
+    _write_varint(buffer, 1 if encoding.root is not None else 0)
+    if encoding.root is not None:
+        _write_term(buffer, encoding.root)
+    terms = encoding.terms()
+    _write_varint(buffer, len(terms))
+    for term in terms:
+        entry = encoding.entry(term)
+        _write_term(buffer, term)
+        _write_varint(buffer, entry.identifier)
+        _write_varint(buffer, entry.local_length)
+
+
+def _read_litemat(buffer: BinaryIO) -> LiteMatEncoding:
+    total_length = _read_varint(buffer)
+    has_root = _read_varint(buffer)
+    root = _read_term(buffer) if has_root else None
+    count = _read_varint(buffer)
+    entries: Dict[URI, EncodedEntity] = {}
+    for _ in range(count):
+        term = _read_term(buffer)
+        identifier = _read_varint(buffer)
+        local_length = _read_varint(buffer)
+        entries[term] = EncodedEntity(  # type: ignore[index]
+            identifier=identifier, local_length=local_length, total_length=total_length
+        )
+    return LiteMatEncoding(entries, total_length, root=root)  # type: ignore[arg-type]
+
+
+def _write_schema(buffer: BinaryIO, schema: OntologySchema) -> None:
+    concept_edges = [(child, schema.concept_parent(child)) for child in schema.concepts]
+    property_edges = [(child, schema.property_parent(child)) for child in schema.properties]
+    domains = [(prop, schema.domain_of(prop)) for prop in schema.properties if schema.domain_of(prop)]
+    ranges = [(prop, schema.range_of(prop)) for prop in schema.properties if schema.range_of(prop)]
+
+    _write_varint(buffer, len(concept_edges))
+    for child, parent in concept_edges:
+        _write_term(buffer, child)
+        _write_varint(buffer, 1 if parent is not None else 0)
+        if parent is not None:
+            _write_term(buffer, parent)
+    _write_varint(buffer, len(property_edges))
+    for child, parent in property_edges:
+        _write_term(buffer, child)
+        _write_varint(buffer, 1 if parent is not None else 0)
+        if parent is not None:
+            _write_term(buffer, parent)
+    _write_varint(buffer, len(domains))
+    for prop, concept in domains:
+        _write_term(buffer, prop)
+        _write_term(buffer, concept)  # type: ignore[arg-type]
+    _write_varint(buffer, len(ranges))
+    for prop, concept in ranges:
+        _write_term(buffer, prop)
+        _write_term(buffer, concept)  # type: ignore[arg-type]
+
+
+def _read_schema(buffer: BinaryIO) -> OntologySchema:
+    schema = OntologySchema()
+    concept_count = _read_varint(buffer)
+    for _ in range(concept_count):
+        child = _read_term(buffer)
+        has_parent = _read_varint(buffer)
+        if has_parent:
+            schema.add_subclass(child, _read_term(buffer))  # type: ignore[arg-type]
+        else:
+            schema.add_concept(child)  # type: ignore[arg-type]
+    property_count = _read_varint(buffer)
+    for _ in range(property_count):
+        child = _read_term(buffer)
+        has_parent = _read_varint(buffer)
+        if has_parent:
+            schema.add_subproperty(child, _read_term(buffer))  # type: ignore[arg-type]
+        else:
+            schema.add_property(child)  # type: ignore[arg-type]
+    domain_count = _read_varint(buffer)
+    for _ in range(domain_count):
+        schema.add_domain(_read_term(buffer), _read_term(buffer))  # type: ignore[arg-type]
+    range_count = _read_varint(buffer)
+    for _ in range(range_count):
+        schema.add_range(_read_term(buffer), _read_term(buffer))  # type: ignore[arg-type]
+    return schema
+
+
+# --------------------------------------------------------------------------- #
+# public API
+# --------------------------------------------------------------------------- #
+
+
+def dump_store(store) -> bytes:
+    """Serialise a SuccinctEdge store into a compact byte string."""
+    buffer = io.BytesIO()
+    buffer.write(_MAGIC)
+    buffer.write(struct.pack("<H", _VERSION))
+
+    _write_schema(buffer, store.schema)
+    _write_litemat(buffer, store.concepts.encoding)
+    _write_litemat(buffer, store.properties.encoding)
+
+    # Instance dictionary: identifiers are dense and start at 1, but the
+    # occurrence counters matter for the optimizer, so both are persisted.
+    instance_ids = sorted(store.instances.identifiers())
+    _write_varint(buffer, len(instance_ids))
+    for identifier in instance_ids:
+        _write_term(buffer, store.instances.extract(identifier))
+        _write_varint(buffer, identifier)
+        _write_varint(buffer, store.instances.occurrences(identifier))
+
+    # Occurrence counters of the concept / property dictionaries.
+    for dictionary in (store.concepts, store.properties):
+        identifiers = [i for i in dictionary.identifiers() if dictionary.occurrences(i)]
+        _write_varint(buffer, len(identifiers))
+        for identifier in identifiers:
+            _write_varint(buffer, identifier)
+            _write_varint(buffer, dictionary.occurrences(identifier))
+
+    # rdf:type triples.
+    type_triples = list(store.type_store.iter_triples())
+    _write_varint(buffer, len(type_triples))
+    for subject_id, concept_id in type_triples:
+        _write_varint(buffer, subject_id)
+        _write_varint(buffer, concept_id)
+
+    # Object-property triples.
+    object_triples = list(store.object_store.iter_triples())
+    _write_varint(buffer, len(object_triples))
+    for property_id, subject_id, object_id in object_triples:
+        _write_varint(buffer, property_id)
+        _write_varint(buffer, subject_id)
+        _write_varint(buffer, object_id)
+
+    # Datatype-property triples (literal stored inline).
+    datatype_triples = list(store.datatype_store.iter_triples())
+    _write_varint(buffer, len(datatype_triples))
+    for property_id, subject_id, literal in datatype_triples:
+        _write_varint(buffer, property_id)
+        _write_varint(buffer, subject_id)
+        _write_term(buffer, literal)
+
+    _write_varint(buffer, store.skipped_triples)
+    return buffer.getvalue()
+
+
+def load_store_from_bytes(payload: bytes):
+    """Rebuild a SuccinctEdge store from :func:`dump_store` output."""
+    from repro.dictionary.literal_store import LiteralStore
+    from repro.dictionary.statistics import DictionaryStatistics
+    from repro.dictionary.term_dictionary import (
+        ConceptDictionary,
+        InstanceDictionary,
+        PropertyDictionary,
+    )
+    from repro.store.datatype_store import DatatypeTripleStore
+    from repro.store.rdftype_store import RDFTypeStore
+    from repro.store.succinct_edge import SuccinctEdge
+    from repro.store.triple_store import ObjectTripleStore
+
+    buffer = io.BytesIO(payload)
+    magic = buffer.read(4)
+    if magic != _MAGIC:
+        raise PersistenceError("not a persisted SuccinctEdge store (bad magic)")
+    (version,) = struct.unpack("<H", buffer.read(2))
+    if version != _VERSION:
+        raise PersistenceError(f"unsupported format version {version} (expected {_VERSION})")
+
+    schema = _read_schema(buffer)
+    concepts = ConceptDictionary(_read_litemat(buffer))
+    properties = PropertyDictionary(_read_litemat(buffer))
+
+    instances = InstanceDictionary()
+    instance_count = _read_varint(buffer)
+    pending_occurrences: List[Tuple[int, int]] = []
+    for _ in range(instance_count):
+        term = _read_term(buffer)
+        identifier = _read_varint(buffer)
+        occurrences = _read_varint(buffer)
+        assigned = instances.add(term)
+        if assigned != identifier:
+            raise PersistenceError(
+                f"instance identifier mismatch for {term}: stored {identifier}, assigned {assigned}"
+            )
+        pending_occurrences.append((identifier, occurrences))
+    for identifier, occurrences in pending_occurrences:
+        if occurrences:
+            instances.record_occurrence(identifier, occurrences)
+
+    for dictionary in (concepts, properties):
+        count = _read_varint(buffer)
+        for _ in range(count):
+            identifier = _read_varint(buffer)
+            occurrences = _read_varint(buffer)
+            dictionary.record_occurrence(identifier, occurrences)
+
+    type_count = _read_varint(buffer)
+    type_triples = []
+    for _ in range(type_count):
+        subject_id = _read_varint(buffer)
+        concept_id = _read_varint(buffer)
+        type_triples.append((subject_id, concept_id))
+
+    object_count = _read_varint(buffer)
+    object_triples = []
+    for _ in range(object_count):
+        property_id = _read_varint(buffer)
+        subject_id = _read_varint(buffer)
+        object_id = _read_varint(buffer)
+        object_triples.append((property_id, subject_id, object_id))
+
+    datatype_count = _read_varint(buffer)
+    datatype_triples = []
+    for _ in range(datatype_count):
+        property_id = _read_varint(buffer)
+        subject_id = _read_varint(buffer)
+        literal = _read_term(buffer)
+        if not isinstance(literal, Literal):
+            raise PersistenceError("datatype triple object is not a literal")
+        datatype_triples.append((property_id, subject_id, literal))
+
+    skipped = _read_varint(buffer)
+
+    store = SuccinctEdge(
+        schema=schema,
+        concepts=concepts,
+        properties=properties,
+        instances=instances,
+        object_store=ObjectTripleStore(object_triples),
+        datatype_store=DatatypeTripleStore(datatype_triples, LiteralStore()),
+        type_store=RDFTypeStore(type_triples),
+        statistics=DictionaryStatistics(concepts, properties, instances),
+        skipped_triples=skipped,
+    )
+    return store
+
+
+def save_store(store, path: str) -> int:
+    """Serialise ``store`` to ``path``; return the number of bytes written."""
+    payload = dump_store(store)
+    with open(path, "wb") as handle:
+        handle.write(payload)
+    return len(payload)
+
+
+def load_store(path: str):
+    """Load a SuccinctEdge store previously written by :func:`save_store`."""
+    with open(path, "rb") as handle:
+        return load_store_from_bytes(handle.read())
+
+
+def serialized_size_in_bytes(store) -> int:
+    """On-disk size of the store (the measurement behind Figures 9 and 10)."""
+    return len(dump_store(store))

@@ -1,0 +1,230 @@
+"""Object-property triple store: the PSO wavelet-tree / bitmap layout.
+
+This is the core single-index layout of Figure 5(b):
+
+* ``wt_p`` — the property layer: every *distinct* property identifier, in
+  ascending order (one entry per property);
+* ``bm_ps`` — one bit per distinct ``(property, subject)`` pair, a ``1``
+  marking the first subject of each property run (plus a trailing sentinel
+  ``1`` so that "end of run" lookups need no special case);
+* ``wt_s`` — the subject layer: subject identifiers grouped by property,
+  ascending inside each property run;
+* ``bm_so`` — one bit per triple, a ``1`` marking the first object of each
+  ``(property, subject)`` pair (plus a trailing sentinel ``1``);
+* ``wt_o`` — the object layer: object identifiers grouped by ``(p, s)`` pair,
+  ascending inside each pair.
+
+Every triple-pattern evaluation is a sequence of ``select`` / ``rank`` /
+``access`` / ``range_search`` operations on these five structures, i.e. the
+store is *decompression-free* (paper contribution ii).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.sds.bitvector import BitVector, BitVectorBuilder
+from repro.sds.wavelet_tree import WaveletTree
+
+#: An encoded object-property triple ``(property_id, subject_id, object_id)``.
+EncodedTriple = Tuple[int, int, int]
+
+
+class ObjectTripleStore:
+    """Immutable PSO store over integer-encoded object-property triples."""
+
+    def __init__(self, triples: Sequence[EncodedTriple]) -> None:
+        ordered = sorted(set(triples))
+        self._triple_count = len(ordered)
+
+        property_layer: List[int] = []
+        subject_layer: List[int] = []
+        object_layer: List[int] = []
+        ps_bits = BitVectorBuilder()
+        so_bits = BitVectorBuilder()
+
+        previous_property: Optional[int] = None
+        previous_pair: Optional[Tuple[int, int]] = None
+        for prop, subject, obj in ordered:
+            if prop != previous_property:
+                property_layer.append(prop)
+                previous_property = prop
+                new_property = True
+            else:
+                new_property = False
+            pair = (prop, subject)
+            if pair != previous_pair:
+                subject_layer.append(subject)
+                ps_bits.append(1 if new_property else 0)
+                previous_pair = pair
+                new_pair = True
+            else:
+                new_pair = False
+            object_layer.append(obj)
+            so_bits.append(1 if new_pair else 0)
+        # Trailing sentinels: one virtual run start past the end of each layer.
+        ps_bits.append(1)
+        so_bits.append(1)
+
+        max_symbol = max(property_layer + subject_layer + object_layer, default=0)
+        alphabet = max_symbol + 1
+        self.wt_p = WaveletTree(property_layer, alphabet_size=alphabet)
+        self.wt_s = WaveletTree(subject_layer, alphabet_size=alphabet)
+        self.wt_o = WaveletTree(object_layer, alphabet_size=alphabet)
+        self.bm_ps: BitVector = ps_bits.build()
+        self.bm_so: BitVector = so_bits.build()
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._triple_count
+
+    def __repr__(self) -> str:
+        return f"ObjectTripleStore({self._triple_count} triples, {len(self.wt_p)} properties)"
+
+    @property
+    def properties(self) -> List[int]:
+        """Distinct property identifiers, ascending."""
+        return self.wt_p.to_list()
+
+    def has_property(self, property_id: int) -> bool:
+        """Whether the store holds at least one triple with ``property_id``."""
+        return self.wt_p.count(property_id) > 0
+
+    # ------------------------------------------------------------------ #
+    # navigation primitives (paper Algorithms 2-4)
+    # ------------------------------------------------------------------ #
+
+    def _property_index(self, property_id: int) -> Optional[int]:
+        """Position of ``property_id`` in the property layer, or ``None``."""
+        if self.wt_p.count(property_id) == 0:
+            return None
+        return self.wt_p.select(1, property_id)
+
+    def _subject_run(self, property_index: int) -> Tuple[int, int]:
+        """Subject-layer interval ``[begin, end)`` of the property at ``property_index``."""
+        begin = self.bm_ps.select(property_index + 1, 1)
+        end = self.bm_ps.select(property_index + 2, 1)
+        return begin, end
+
+    def _object_run(self, subject_index: int) -> Tuple[int, int]:
+        """Object-layer interval ``[begin, end)`` of the subject at ``subject_index``."""
+        begin = self.bm_so.select(subject_index + 1, 1)
+        end = self.bm_so.select(subject_index + 2, 1)
+        return begin, end
+
+    def count_triples_with_property(self, property_id: int) -> int:
+        """Algorithm 2: number of triples carrying ``property_id``.
+
+        Computed purely from the bitmaps: the object run spanning the whole
+        subject run of the property.
+        """
+        property_index = self._property_index(property_id)
+        if property_index is None:
+            return 0
+        subject_begin, subject_end = self._subject_run(property_index)
+        object_begin = self.bm_so.select(subject_begin + 1, 1)
+        object_end = self.bm_so.select(subject_end + 1, 1)
+        return object_end - object_begin
+
+    def count_subjects_with_property(self, property_id: int) -> int:
+        """Number of distinct subjects attached to ``property_id`` (run length)."""
+        property_index = self._property_index(property_id)
+        if property_index is None:
+            return 0
+        subject_begin, subject_end = self._subject_run(property_index)
+        return subject_end - subject_begin
+
+    # ------------------------------------------------------------------ #
+    # triple pattern evaluation
+    # ------------------------------------------------------------------ #
+
+    def objects_for(self, subject_id: int, property_id: int) -> List[int]:
+        """Algorithm 3 core: objects of ``(subject, property, ?o)``, ascending."""
+        property_index = self._property_index(property_id)
+        if property_index is None:
+            return []
+        subject_begin, subject_end = self._subject_run(property_index)
+        results: List[int] = []
+        for subject_index in self.wt_s.range_search(subject_begin, subject_end, subject_id):
+            object_begin, object_end = self._object_run(subject_index)
+            for object_index in range(object_begin, object_end):
+                results.append(self.wt_o.access(object_index))
+        return results
+
+    def subjects_for(self, property_id: int, object_id: int) -> List[int]:
+        """Algorithm 4 core: subjects of ``(?s, property, object)``, ascending."""
+        property_index = self._property_index(property_id)
+        if property_index is None:
+            return []
+        subject_begin, subject_end = self._subject_run(property_index)
+        object_begin = self.bm_so.select(subject_begin + 1, 1)
+        object_end = self.bm_so.select(subject_end + 1, 1)
+        results: List[int] = []
+        for object_index in self.wt_o.range_search(object_begin, object_end, object_id):
+            subject_index = self.bm_so.rank(object_index + 1, 1) - 1
+            results.append(self.wt_s.access(subject_index))
+        return results
+
+    def pairs_for_property(self, property_id: int) -> Iterator[Tuple[int, int]]:
+        """All ``(subject, object)`` pairs of ``(?s, property, ?o)``, in PSO order."""
+        property_index = self._property_index(property_id)
+        if property_index is None:
+            return
+        subject_begin, subject_end = self._subject_run(property_index)
+        for subject_index in range(subject_begin, subject_end):
+            subject_id = self.wt_s.access(subject_index)
+            object_begin, object_end = self._object_run(subject_index)
+            for object_index in range(object_begin, object_end):
+                yield subject_id, self.wt_o.access(object_index)
+
+    def contains(self, subject_id: int, property_id: int, object_id: int) -> bool:
+        """Whether the fully-bound triple is stored."""
+        return object_id in self.objects_for(subject_id, property_id)
+
+    def pairs_for_property_interval(
+        self, property_low: int, property_high: int
+    ) -> Iterator[Tuple[int, int, int]]:
+        """All ``(property, subject, object)`` triples whose property identifier
+        falls in the LiteMat interval ``[property_low, property_high)``.
+
+        This is the reasoning access path of Section 5.2: instead of running
+        one query per sub-property, the property layer is probed once per
+        *stored* property inside the interval.
+        """
+        for position, property_id in self.wt_p.range_search_symbols(
+            0, len(self.wt_p), property_low, property_high
+        ):
+            subject_begin, subject_end = self._subject_run(position)
+            for subject_index in range(subject_begin, subject_end):
+                subject_id = self.wt_s.access(subject_index)
+                object_begin, object_end = self._object_run(subject_index)
+                for object_index in range(object_begin, object_end):
+                    yield property_id, subject_id, self.wt_o.access(object_index)
+
+    def iter_triples(self) -> Iterator[EncodedTriple]:
+        """All stored triples in PSO order."""
+        for position in range(len(self.wt_p)):
+            property_id = self.wt_p.access(position)
+            subject_begin, subject_end = self._subject_run(position)
+            for subject_index in range(subject_begin, subject_end):
+                subject_id = self.wt_s.access(subject_index)
+                object_begin, object_end = self._object_run(subject_index)
+                for object_index in range(object_begin, object_end):
+                    yield property_id, subject_id, self.wt_o.access(object_index)
+
+    # ------------------------------------------------------------------ #
+    # storage accounting
+    # ------------------------------------------------------------------ #
+
+    def size_in_bytes(self) -> int:
+        """Approximate storage footprint of the five SDS structures."""
+        return (
+            self.wt_p.size_in_bytes()
+            + self.wt_s.size_in_bytes()
+            + self.wt_o.size_in_bytes()
+            + self.bm_ps.size_in_bytes()
+            + self.bm_so.size_in_bytes()
+        )

@@ -1,0 +1,32 @@
+"""Workloads of the paper's evaluation (Section 7.2).
+
+* :mod:`repro.workloads.lubm` — a deterministic LUBM(1)-style generator
+  (>100k triples) with the univ-bench class/property hierarchies and the
+  1K/5K/10K/25K/50K subset slicing used by the storage experiments;
+* :mod:`repro.workloads.engie` — the ENGIE water-distribution sensor graphs
+  (250 and 500 triples) of the motivating example, annotated with SOSA/QUDT;
+* :mod:`repro.workloads.queries` — the 26 evaluation queries (S1-S15, M1-M5,
+  R1-R6) instantiated against a generated dataset.
+"""
+
+from repro.workloads.engie import (
+    engie_ontology,
+    water_distribution_graph,
+    water_distribution_250,
+    water_distribution_500,
+)
+from repro.workloads.lubm import LubmDataset, generate_lubm, lubm_ontology, lubm_subsets
+from repro.workloads.queries import BenchmarkQuery, QueryCatalog
+
+__all__ = [
+    "BenchmarkQuery",
+    "LubmDataset",
+    "QueryCatalog",
+    "engie_ontology",
+    "generate_lubm",
+    "lubm_ontology",
+    "lubm_subsets",
+    "water_distribution_250",
+    "water_distribution_500",
+    "water_distribution_graph",
+]

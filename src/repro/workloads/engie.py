@@ -1,0 +1,227 @@
+"""ENGIE water-distribution sensor workload (paper Section 2 and Figure 1).
+
+The paper's real-world datasets are measurement graphs harvested from the
+potable-water distribution of an ENGIE building (250 and 500 triples).  The
+data itself is proprietary, so this module generates a synthetic equivalent
+with the same topology and annotations:
+
+* two (or more) monitoring *stations* (``sosa:Platform``), each hosting a
+  pressure sensor and a chemistry sensor;
+* station 1 annotates its measures with ``qudt:PressureOrStressUnit`` /
+  ``qudt:Chemistry`` and expresses pressure in **bar**, station 2 with
+  ``qudt:Pressure`` / ``qudt:AmountOfSubstanceUnit`` in **hectopascal** — the
+  heterogeneity the motivating example relies on;
+* each sensor emits a stream of ``sosa:Observation`` instances with a blank
+  node ``sosa:Result`` carrying ``qudt:numericValue`` and ``qudt:unit``;
+* a configurable fraction of the observations are anomalies (pressure outside
+  the 3.00-4.50 bar operating range).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import QUDT, QUDT_UNIT, RDF, RDFS, SOSA
+from repro.rdf.terms import BlankNode, Literal, Triple, URI
+
+_DATA_PREFIX = "http://engie.example.org/water/"
+
+#: Operating range (in bar) outside of which a pressure measure is an anomaly.
+PRESSURE_RANGE_BAR = (3.0, 4.5)
+
+
+def engie_ontology() -> Graph:
+    """The QUDT/SOSA hierarchy fragment of the motivating example.
+
+    Axioms (Section 2)::
+
+        qudt:AmountOfSubstanceUnit ⊑ qudt:Chemistry ⊑ qudt:ScienceUnit
+        qudt:PressureOrStressUnit ⊑ qudt:PressureUnit ⊑ qudt:MechanicsUnit
+        qudt:Pressure             ⊑ qudt:PressureUnit
+    """
+    graph = Graph()
+    axioms = [
+        (QUDT.AmountOfSubstanceUnit, QUDT.Chemistry),
+        (QUDT.Chemistry, QUDT.ScienceUnit),
+        (QUDT.PressureOrStressUnit, QUDT.PressureUnit),
+        (QUDT.Pressure, QUDT.PressureUnit),
+        (QUDT.PressureUnit, QUDT.MechanicsUnit),
+    ]
+    for child, parent in axioms:
+        graph.add(Triple(child, RDFS.subClassOf, parent))
+    # SOSA observation classes (flat, but declared so LiteMat encodes them).
+    for concept in (SOSA.Platform, SOSA.Sensor, SOSA.Observation, SOSA.Result):
+        graph.add(Triple(concept, RDFS.subClassOf, URI("http://www.w3.org/2002/07/owl#Thing")))
+    return graph
+
+
+def water_distribution_graph(
+    observations_per_sensor: int = 14,
+    stations: int = 2,
+    anomaly_rate: float = 0.15,
+    seed: int = 7,
+) -> Graph:
+    """Generate a measurement graph following the Figure 1 topology.
+
+    Each station contributes a platform, two sensors and
+    ``observations_per_sensor`` observations per sensor; every observation
+    adds 7 triples, so the default parameters yield roughly
+    ``stations * (5 + 2 * observations_per_sensor * 7)`` triples.
+    """
+    rng = random.Random(seed)
+    graph = Graph()
+    for station_index in range(1, stations + 1):
+        _add_station(graph, rng, station_index, observations_per_sensor, anomaly_rate)
+    return graph
+
+
+def water_distribution_250(seed: int = 7) -> Graph:
+    """The paper's 250-triple real-world dataset (synthetic equivalent)."""
+    return _sized_graph(250, seed)
+
+
+def water_distribution_500(seed: int = 7) -> Graph:
+    """The paper's 500-triple real-world dataset (synthetic equivalent)."""
+    return _sized_graph(500, seed)
+
+
+def _sized_graph(target_triples: int, seed: int) -> Graph:
+    """A two-station graph truncated/extended to ``target_triples`` triples."""
+    per_sensor = max(1, (target_triples // 2 - 5) // 14 + 1)
+    graph = water_distribution_graph(observations_per_sensor=per_sensor, stations=2, seed=seed)
+    if len(graph) < target_triples:
+        extra = water_distribution_graph(
+            observations_per_sensor=per_sensor, stations=2, seed=seed + 1
+        )
+        graph.update(extra)
+    return graph.head(target_triples)
+
+
+# --------------------------------------------------------------------------- #
+# generation details
+# --------------------------------------------------------------------------- #
+
+
+def _add_station(
+    graph: Graph,
+    rng: random.Random,
+    station_index: int,
+    observations_per_sensor: int,
+    anomaly_rate: float,
+) -> None:
+    station = URI(_DATA_PREFIX + f"Station{station_index}")
+    pressure_sensor = URI(_DATA_PREFIX + f"Station{station_index}/PressureSensor")
+    chemistry_sensor = URI(_DATA_PREFIX + f"Station{station_index}/ChemistrySensor")
+
+    graph.add(Triple(station, RDF.type, SOSA.Platform))
+    graph.add(Triple(station, SOSA.hosts, pressure_sensor))
+    graph.add(Triple(station, SOSA.hosts, chemistry_sensor))
+    graph.add(Triple(pressure_sensor, RDF.type, SOSA.Sensor))
+    graph.add(Triple(chemistry_sensor, RDF.type, SOSA.Sensor))
+
+    # Station 1 annotates with the more specific concepts and measures in bar;
+    # station 2 uses sibling concepts and hectopascal — the heterogeneity of
+    # the motivating example.
+    if station_index % 2 == 1:
+        pressure_unit_concept = QUDT.PressureOrStressUnit
+        pressure_unit = QUDT_UNIT.BAR
+        chemistry_concept = QUDT.Chemistry
+    else:
+        pressure_unit_concept = QUDT.Pressure
+        pressure_unit = QUDT_UNIT.HectoPA
+        chemistry_concept = QUDT.AmountOfSubstanceUnit
+
+    for obs_index in range(observations_per_sensor):
+        _add_observation(
+            graph,
+            rng,
+            sensor=pressure_sensor,
+            station_index=station_index,
+            obs_index=obs_index,
+            kind="pressure",
+            unit=pressure_unit,
+            unit_concept=pressure_unit_concept,
+            anomaly_rate=anomaly_rate,
+        )
+        _add_observation(
+            graph,
+            rng,
+            sensor=chemistry_sensor,
+            station_index=station_index,
+            obs_index=obs_index,
+            kind="chemistry",
+            unit=QUDT_UNIT.MilliGM_PER_L,
+            unit_concept=chemistry_concept,
+            anomaly_rate=anomaly_rate,
+        )
+
+
+def _add_observation(
+    graph: Graph,
+    rng: random.Random,
+    sensor: URI,
+    station_index: int,
+    obs_index: int,
+    kind: str,
+    unit: URI,
+    unit_concept: URI,
+    anomaly_rate: float,
+) -> None:
+    observation = URI(f"{sensor.value}/Observation{obs_index}")
+    result = BlankNode(f"result_s{station_index}_{kind}_{obs_index}")
+
+    graph.add(Triple(sensor, SOSA.observes, observation))
+    graph.add(Triple(observation, RDF.type, SOSA.Observation))
+    graph.add(Triple(observation, SOSA.hasResult, result))
+    graph.add(
+        Triple(
+            observation,
+            SOSA.resultTime,
+            Literal(
+                f"2020-06-0{1 + obs_index % 9}T{obs_index % 24:02d}:00:00",
+                datatype="http://www.w3.org/2001/XMLSchema#dateTime",
+            ),
+        )
+    )
+    graph.add(Triple(result, RDF.type, SOSA.Result))
+    graph.add(Triple(result, QUDT.numericValue, Literal(_measure_value(rng, kind, unit, anomaly_rate))))
+    graph.add(Triple(result, QUDT.unit, unit))
+    graph.add(Triple(unit, RDF.type, unit_concept))
+
+
+def _measure_value(rng: random.Random, kind: str, unit: URI, anomaly_rate: float) -> float:
+    """A plausible measurement, anomalous with probability ``anomaly_rate``."""
+    anomalous = rng.random() < anomaly_rate
+    if kind == "pressure":
+        low, high = PRESSURE_RANGE_BAR
+        if anomalous:
+            value_bar = rng.choice([rng.uniform(0.5, low - 0.5), rng.uniform(high + 0.5, high + 2.0)])
+        else:
+            value_bar = rng.uniform(low + 0.1, high - 0.1)
+        if unit == QUDT_UNIT.HectoPA:
+            return round(value_bar * 1000.0, 1)
+        return round(value_bar, 3)
+    # Chemistry: chlorine-like concentration in mg/L, nominal range 0.2-0.5.
+    if anomalous:
+        return round(rng.uniform(0.8, 2.0), 3)
+    return round(rng.uniform(0.2, 0.5), 3)
+
+
+def anomaly_detection_query() -> str:
+    """The motivating example's anomaly-detection SPARQL query (Section 2)."""
+    return """
+    PREFIX sosa: <http://www.w3.org/ns/sosa/>
+    PREFIX qudt: <http://qudt.org/schema/qudt/>
+    SELECT ?x ?s ?ts ?v1 WHERE {
+      ?x a sosa:Platform ; sosa:hosts ?s .
+      ?s sosa:observes ?o ; a sosa:Sensor .
+      ?o sosa:hasResult ?y ; a sosa:Observation ; sosa:resultTime ?ts .
+      ?y a sosa:Result ; qudt:numericValue ?v1 ; qudt:unit ?u1 .
+      ?u1 a qudt:PressureUnit .
+      FILTER (?newV < 3.00 || ?newV > 4.50)
+      BIND(if(regex(str(?u1), "http://qudt.org/vocab/unit/BAR"), ?v1,
+           if(regex(str(?u1), "http://qudt.org/vocab/unit/HectoPA"), ?v1 / 1000, 0)) as ?newV)
+    }
+    """

@@ -1,0 +1,454 @@
+"""LUBM(1)-style synthetic dataset generator.
+
+The paper's evaluation uses the Lehigh University Benchmark with one
+university (>103,000 triples) plus truncated subsets of 1K/5K/10K/25K/50K
+triples.  The original UBA generator is a Java program; this module is a
+deterministic pure-Python re-implementation producing:
+
+* the univ-bench ontology (class and property hierarchies needed by the
+  reasoning queries R1-R6);
+* an ABox of roughly 100k triples with the usual LUBM entities (departments,
+  professors, students, courses, publications);
+* **landmark entities** whose cardinalities match the answer-set sizes used
+  by the paper's Tables 1 and 2 exactly (4/66/129/257/513 for ``S,P,?o`` and
+  5/17/135/283/521 for ``?s,P,O``), so the single-triple-pattern experiments
+  reproduce the same columns;
+* the subset slicing helper used by the storage experiments.
+
+All randomness is drawn from a seeded :class:`random.Random`, so two calls
+with the same parameters produce identical graphs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import LUBM, RDF, RDFS
+from repro.rdf.terms import Literal, Triple, URI
+
+_DATA_PREFIX = "http://www.University0.edu/"
+
+
+# --------------------------------------------------------------------------- #
+# ontology
+# --------------------------------------------------------------------------- #
+
+
+def lubm_ontology() -> Graph:
+    """The univ-bench class and property hierarchies (ρdf subset).
+
+    Only the axioms relevant to ρdf reasoning are produced: ``rdfs:subClassOf``,
+    ``rdfs:subPropertyOf``, ``rdfs:domain`` and ``rdfs:range``.
+    """
+    graph = Graph()
+
+    def subclass(child: str, parent: str) -> None:
+        graph.add(Triple(LUBM[child], RDFS.subClassOf, LUBM[parent]))
+
+    def subproperty(child: str, parent: str) -> None:
+        graph.add(Triple(LUBM[child], RDFS.subPropertyOf, LUBM[parent]))
+
+    def domain(prop: str, concept: str) -> None:
+        graph.add(Triple(LUBM[prop], RDFS.domain, LUBM[concept]))
+
+    def range_(prop: str, concept: str) -> None:
+        graph.add(Triple(LUBM[prop], RDFS.range, LUBM[concept]))
+
+    # Class hierarchy (the fragment exercised by the evaluation queries).
+    subclass("Employee", "Person")
+    subclass("Faculty", "Employee")
+    subclass("Professor", "Faculty")
+    subclass("FullProfessor", "Professor")
+    subclass("AssociateProfessor", "Professor")
+    subclass("AssistantProfessor", "Professor")
+    subclass("VisitingProfessor", "Professor")
+    subclass("Lecturer", "Faculty")
+    subclass("PostDoc", "Faculty")
+    subclass("Student", "Person")
+    subclass("UndergraduateStudent", "Student")
+    subclass("GraduateStudent", "Student")
+    subclass("TeachingAssistant", "Person")
+    subclass("ResearchAssistant", "Person")
+    subclass("Chair", "Professor")
+    subclass("Dean", "Professor")
+    subclass("Director", "Person")
+    subclass("University", "Organization")
+    subclass("Department", "Organization")
+    subclass("ResearchGroup", "Organization")
+    subclass("Institute", "Organization")
+    subclass("Program", "Organization")
+    subclass("College", "Organization")
+    subclass("GraduateCourse", "Course")
+    subclass("Article", "Publication")
+    subclass("Book", "Publication")
+    subclass("ConferencePaper", "Article")
+    subclass("JournalArticle", "Article")
+    subclass("TechnicalReport", "Publication")
+    subclass("Manual", "Publication")
+    subclass("Software", "Publication")
+    subclass("UnofficialPublication", "Publication")
+    subclass("Specification", "Publication")
+
+    # Property hierarchy.
+    subproperty("worksFor", "memberOf")
+    subproperty("headOf", "worksFor")
+    subproperty("undergraduateDegreeFrom", "degreeFrom")
+    subproperty("mastersDegreeFrom", "degreeFrom")
+    subproperty("doctoralDegreeFrom", "degreeFrom")
+
+    # Domains and ranges of the properties used by the generator.
+    domain("memberOf", "Person")
+    range_("memberOf", "Organization")
+    domain("worksFor", "Person")
+    range_("worksFor", "Organization")
+    domain("headOf", "Person")
+    range_("headOf", "Organization")
+    domain("teacherOf", "Faculty")
+    range_("teacherOf", "Course")
+    domain("takesCourse", "Student")
+    range_("takesCourse", "Course")
+    domain("advisor", "Person")
+    range_("advisor", "Professor")
+    domain("publicationAuthor", "Publication")
+    range_("publicationAuthor", "Person")
+    domain("subOrganizationOf", "Organization")
+    range_("subOrganizationOf", "Organization")
+    domain("degreeFrom", "Person")
+    range_("degreeFrom", "University")
+    domain("teachingAssistantOf", "TeachingAssistant")
+    range_("teachingAssistantOf", "Course")
+    return graph
+
+
+# --------------------------------------------------------------------------- #
+# dataset container
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class LubmDataset:
+    """A generated LUBM dataset: ABox graph, ontology and landmark constants.
+
+    ``landmarks`` maps symbolic names (e.g. ``"pub_authors_513"``) to the URIs
+    or literals the benchmark queries plug into their templates; the attached
+    integer is the exact answer-set cardinality the landmark guarantees.
+    """
+
+    graph: Graph
+    ontology: Graph
+    landmarks: Dict[str, Tuple[URI, int]] = field(default_factory=dict)
+    literal_landmarks: Dict[str, Tuple[Literal, int]] = field(default_factory=dict)
+
+    @property
+    def triple_count(self) -> int:
+        """Number of ABox triples."""
+        return len(self.graph)
+
+    def landmark_uri(self, name: str) -> URI:
+        """URI of the landmark registered under ``name``."""
+        return self.landmarks[name][0]
+
+    def landmark_cardinality(self, name: str) -> int:
+        """Guaranteed answer-set size of the landmark registered under ``name``."""
+        if name in self.landmarks:
+            return self.landmarks[name][1]
+        return self.literal_landmarks[name][1]
+
+    def landmark_literal(self, name: str) -> Literal:
+        """Literal of the landmark registered under ``name``."""
+        return self.literal_landmarks[name][0]
+
+
+# --------------------------------------------------------------------------- #
+# generator
+# --------------------------------------------------------------------------- #
+
+#: Faculty counts per department (FullProfessor, AssociateProfessor,
+#: AssistantProfessor, Lecturer) — roughly the UBA defaults.
+_FACULTY_MIX = (7, 11, 8, 6)
+_UNDERGRADS_PER_FACULTY = 12
+_GRADS_PER_FACULTY = 3
+_PUBLICATIONS_PER_FACULTY = 7
+_RESEARCH_GROUPS_PER_DEPARTMENT = 10
+_PUBLICATION_NAME_POOL = 40
+
+#: Landmark cardinalities of Tables 1 and 2 of the paper.
+TABLE1_CARDINALITIES = (4, 66, 129, 257, 513)
+TABLE2_CARDINALITIES = (5, 17, 135, 283, 521)
+
+
+def generate_lubm(departments: int = 20, seed: int = 42) -> LubmDataset:
+    """Generate a LUBM(1)-style dataset.
+
+    With the default 20 departments the ABox holds roughly 103k triples, the
+    size the paper reports for its LUBM(1) dataset.
+    """
+    rng = random.Random(seed)
+    graph = Graph()
+    dataset = LubmDataset(graph=graph, ontology=lubm_ontology())
+
+    university = URI(_DATA_PREFIX + "University0")
+    graph.add(Triple(university, RDF.type, LUBM.University))
+    graph.add(Triple(university, LUBM.name, Literal("University0")))
+    other_universities = [URI(f"http://www.University{i}.edu/University{i}") for i in range(1, 6)]
+    for other in other_universities:
+        graph.add(Triple(other, RDF.type, LUBM.University))
+        graph.add(Triple(other, LUBM.name, Literal(other.local_name)))
+
+    all_persons: List[URI] = []
+    all_courses: List[URI] = []
+    publication_name_counts: Dict[str, int] = {}
+
+    for dept_index in range(departments):
+        _generate_department(
+            graph,
+            rng,
+            dept_index,
+            university,
+            other_universities,
+            all_persons,
+            all_courses,
+            publication_name_counts,
+        )
+
+    _add_landmarks(graph, rng, dataset, university, all_persons, all_courses, publication_name_counts)
+    return dataset
+
+
+def _department_uri(dept_index: int) -> URI:
+    return URI(f"http://www.Department{dept_index}.University0.edu/Department{dept_index}")
+
+
+def _entity(dept_index: int, label: str) -> URI:
+    return URI(f"http://www.Department{dept_index}.University0.edu/{label}")
+
+
+def _generate_department(
+    graph: Graph,
+    rng: random.Random,
+    dept_index: int,
+    university: URI,
+    other_universities: Sequence[URI],
+    all_persons: List[URI],
+    all_courses: List[URI],
+    publication_name_counts: Dict[str, int],
+) -> None:
+    department = _department_uri(dept_index)
+    graph.add(Triple(department, RDF.type, LUBM.Department))
+    graph.add(Triple(department, LUBM.subOrganizationOf, university))
+    graph.add(Triple(department, LUBM.name, Literal(f"Department{dept_index}")))
+
+    for group_index in range(_RESEARCH_GROUPS_PER_DEPARTMENT):
+        group = _entity(dept_index, f"ResearchGroup{group_index}")
+        graph.add(Triple(group, RDF.type, LUBM.ResearchGroup))
+        graph.add(Triple(group, LUBM.subOrganizationOf, department))
+
+    faculty: List[URI] = []
+    faculty_types = (
+        [LUBM.FullProfessor] * _FACULTY_MIX[0]
+        + [LUBM.AssociateProfessor] * _FACULTY_MIX[1]
+        + [LUBM.AssistantProfessor] * _FACULTY_MIX[2]
+        + [LUBM.Lecturer] * _FACULTY_MIX[3]
+    )
+    courses: List[URI] = []
+    course_counter = 0
+    for member_index, concept in enumerate(faculty_types):
+        person = _entity(dept_index, f"{concept.local_name}{member_index}")
+        faculty.append(person)
+        all_persons.append(person)
+        graph.add(Triple(person, RDF.type, concept))
+        graph.add(Triple(person, LUBM.worksFor, department))
+        graph.add(Triple(person, LUBM.name, Literal(f"{concept.local_name}{member_index}")))
+        graph.add(
+            Triple(person, LUBM.emailAddress, Literal(f"{concept.local_name}{member_index}@Department{dept_index}.University0.edu"))
+        )
+        graph.add(Triple(person, LUBM.telephone, Literal(f"xxx-xxx-{dept_index:02d}{member_index:02d}")))
+        graph.add(Triple(person, LUBM.undergraduateDegreeFrom, rng.choice(other_universities)))
+        graph.add(Triple(person, LUBM.mastersDegreeFrom, rng.choice(other_universities)))
+        graph.add(Triple(person, LUBM.doctoralDegreeFrom, rng.choice(other_universities)))
+        graph.add(Triple(person, LUBM.researchInterest, Literal(f"Research{rng.randrange(30)}")))
+        for _ in range(2):
+            is_graduate = rng.random() < 0.4
+            course_label = ("GraduateCourse" if is_graduate else "Course") + str(course_counter)
+            course = _entity(dept_index, course_label)
+            course_counter += 1
+            courses.append(course)
+            all_courses.append(course)
+            graph.add(Triple(course, RDF.type, LUBM.GraduateCourse if is_graduate else LUBM.Course))
+            graph.add(Triple(course, LUBM.name, Literal(course_label)))
+            graph.add(Triple(person, LUBM.teacherOf, course))
+
+    # The department head is one of its full professors.
+    head = faculty[0]
+    graph.add(Triple(head, LUBM.headOf, department))
+
+    professors = faculty[: _FACULTY_MIX[0] + _FACULTY_MIX[1] + _FACULTY_MIX[2]]
+
+    # Undergraduate students.
+    undergraduate_count = _UNDERGRADS_PER_FACULTY * len(faculty)
+    for student_index in range(undergraduate_count):
+        student = _entity(dept_index, f"UndergraduateStudent{student_index}")
+        all_persons.append(student)
+        graph.add(Triple(student, RDF.type, LUBM.UndergraduateStudent))
+        graph.add(Triple(student, LUBM.memberOf, department))
+        graph.add(Triple(student, LUBM.name, Literal(f"UndergraduateStudent{student_index}")))
+        graph.add(
+            Triple(student, LUBM.emailAddress, Literal(f"UndergraduateStudent{student_index}@Department{dept_index}.University0.edu"))
+        )
+        graph.add(Triple(student, LUBM.telephone, Literal(f"yyy-yyy-{student_index:04d}")))
+        for course in rng.sample(courses, k=min(2, len(courses))):
+            graph.add(Triple(student, LUBM.takesCourse, course))
+        if student_index % 5 == 0:
+            graph.add(Triple(student, LUBM.advisor, rng.choice(professors)))
+
+    # Graduate students.
+    graduate_count = _GRADS_PER_FACULTY * len(faculty)
+    for student_index in range(graduate_count):
+        student = _entity(dept_index, f"GraduateStudent{student_index}")
+        all_persons.append(student)
+        graph.add(Triple(student, RDF.type, LUBM.GraduateStudent))
+        graph.add(Triple(student, LUBM.memberOf, department))
+        graph.add(Triple(student, LUBM.name, Literal(f"GraduateStudent{student_index}")))
+        graph.add(
+            Triple(student, LUBM.emailAddress, Literal(f"GraduateStudent{student_index}@Department{dept_index}.University0.edu"))
+        )
+        graph.add(Triple(student, LUBM.undergraduateDegreeFrom, rng.choice(other_universities)))
+        graph.add(Triple(student, LUBM.advisor, rng.choice(professors)))
+        for course in rng.sample(courses, k=min(2, len(courses))):
+            graph.add(Triple(student, LUBM.takesCourse, course))
+        if student_index % 4 == 0:
+            graph.add(Triple(student, RDF.type, LUBM.TeachingAssistant))
+            graph.add(Triple(student, LUBM.teachingAssistantOf, rng.choice(courses)))
+
+    # Publications.
+    for faculty_index, person in enumerate(faculty):
+        for pub_index in range(_PUBLICATIONS_PER_FACULTY):
+            publication = _entity(dept_index, f"Publication{faculty_index}_{pub_index}")
+            name_label = f"Publication{rng.randrange(_PUBLICATION_NAME_POOL)}"
+            publication_name_counts[name_label] = publication_name_counts.get(name_label, 0) + 1
+            graph.add(Triple(publication, RDF.type, LUBM.Publication))
+            graph.add(Triple(publication, LUBM.name, Literal(name_label)))
+            graph.add(Triple(publication, LUBM.publicationAuthor, person))
+            if pub_index % 2 == 0 and faculty_index + 1 < len(faculty):
+                graph.add(Triple(publication, LUBM.publicationAuthor, faculty[faculty_index + 1]))
+
+
+def _add_landmarks(
+    graph: Graph,
+    rng: random.Random,
+    dataset: LubmDataset,
+    university: URI,
+    all_persons: List[URI],
+    all_courses: List[URI],
+    publication_name_counts: Dict[str, int],
+) -> None:
+    """Create the entities whose cardinalities match Tables 1 and 2 exactly."""
+    # Small configurations (one or two departments) may not hold enough
+    # persons for the largest landmark cardinality (521); pad with extra
+    # undergraduate students so the exact counts stay guaranteed.
+    filler_index = 0
+    while len(all_persons) < max(max(TABLE1_CARDINALITIES), max(TABLE2_CARDINALITIES)) + 8:
+        person = URI(_DATA_PREFIX + f"LandmarkFillerStudent{filler_index}")
+        filler_index += 1
+        graph.add(Triple(person, RDF.type, LUBM.UndergraduateStudent))
+        graph.add(Triple(person, LUBM.memberOf, _department_uri(0)))
+        graph.add(Triple(person, LUBM.name, Literal(f"LandmarkFillerStudent{filler_index}")))
+        all_persons.append(person)
+
+    # ---- Table 1: (S, P, ?o) answer sizes 4 / 66 / 129 / 257 / 513 -------- #
+    # S1: an undergraduate student taking exactly 4 courses.
+    student = URI(_DATA_PREFIX + "LandmarkStudent0")
+    graph.add(Triple(student, RDF.type, LUBM.UndergraduateStudent))
+    graph.add(Triple(student, LUBM.memberOf, _department_uri(0)))
+    graph.add(Triple(student, LUBM.name, Literal("LandmarkStudent0")))
+    for course in all_courses[:4]:
+        graph.add(Triple(student, LUBM.takesCourse, course))
+    dataset.landmarks["student_takes_4"] = (student, 4)
+
+    # S2-S5: proceedings publications with exactly 66/129/257/513 authors.
+    for cardinality in TABLE1_CARDINALITIES[1:]:
+        publication = URI(_DATA_PREFIX + f"Proceedings{cardinality}")
+        graph.add(Triple(publication, RDF.type, LUBM.Publication))
+        graph.add(Triple(publication, LUBM.name, Literal(f"Proceedings{cardinality}")))
+        for author in rng.sample(all_persons, k=cardinality):
+            graph.add(Triple(publication, LUBM.publicationAuthor, author))
+        dataset.landmarks[f"pub_authors_{cardinality}"] = (publication, cardinality)
+
+    # ---- Table 2: (?s, P, O) answer sizes 5 / 17 / 135 / 283 / 521 -------- #
+    # S6: an assistant professor advising exactly 5 students.
+    advisor = URI(_DATA_PREFIX + "LandmarkAdvisor")
+    graph.add(Triple(advisor, RDF.type, LUBM.AssistantProfessor))
+    graph.add(Triple(advisor, LUBM.worksFor, _department_uri(0)))
+    graph.add(Triple(advisor, LUBM.name, Literal("LandmarkAdvisor")))
+    for person in rng.sample(all_persons, k=5):
+        graph.add(Triple(person, LUBM.advisor, advisor))
+    dataset.landmarks["advisor_5"] = (advisor, 5)
+
+    # S7: a course taken by exactly 17 students.
+    course_17 = URI(_DATA_PREFIX + "LandmarkCourse17")
+    graph.add(Triple(course_17, RDF.type, LUBM.Course))
+    graph.add(Triple(course_17, LUBM.name, Literal("LandmarkCourse17")))
+    for person in rng.sample(all_persons, k=17):
+        graph.add(Triple(person, LUBM.takesCourse, course_17))
+    dataset.landmarks["course_takers_17"] = (course_17, 17)
+
+    # S8: a service department where exactly 135 persons work.
+    services = URI(_DATA_PREFIX + "CentralServices")
+    graph.add(Triple(services, RDF.type, LUBM.Department))
+    graph.add(Triple(services, LUBM.subOrganizationOf, university))
+    graph.add(Triple(services, LUBM.name, Literal("CentralServices")))
+    for person in rng.sample(all_persons, k=135):
+        graph.add(Triple(person, LUBM.worksFor, services))
+    dataset.landmarks["dept_workers_135"] = (services, 135)
+
+    # S9: a publication name shared by exactly 283 publications.
+    shared_name = Literal("LandmarkSharedTitle")
+    for copy_index in range(283):
+        publication = URI(_DATA_PREFIX + f"SharedTitlePublication{copy_index}")
+        graph.add(Triple(publication, RDF.type, LUBM.Publication))
+        graph.add(Triple(publication, LUBM.name, shared_name))
+        graph.add(Triple(publication, LUBM.publicationAuthor, rng.choice(all_persons)))
+    dataset.literal_landmarks["pub_name_283"] = (shared_name, 283)
+
+    # S10: a department with exactly 521 explicit members.
+    big_department = URI(_DATA_PREFIX + "LandmarkDepartment521")
+    graph.add(Triple(big_department, RDF.type, LUBM.Department))
+    graph.add(Triple(big_department, LUBM.subOrganizationOf, university))
+    graph.add(Triple(big_department, LUBM.name, Literal("LandmarkDepartment521")))
+    members = rng.sample(all_persons, k=521)
+    for person in members:
+        graph.add(Triple(person, LUBM.memberOf, big_department))
+    dataset.landmarks["dept_members_521"] = (big_department, 521)
+
+    # M5/R6: a departmental publication with a handful of associate-professor authors.
+    m5_publication = URI("http://www.Department0.University0.edu/Publication14")
+    if not any(graph.triples(m5_publication, None, None)):
+        graph.add(Triple(m5_publication, RDF.type, LUBM.Publication))
+        graph.add(Triple(m5_publication, LUBM.name, Literal("Publication14")))
+    associate = _entity(0, "AssociateProfessor7")
+    graph.add(Triple(m5_publication, LUBM.publicationAuthor, associate))
+    dataset.landmarks["m5_publication"] = (m5_publication, 1)
+
+
+# --------------------------------------------------------------------------- #
+# subsets
+# --------------------------------------------------------------------------- #
+
+
+def lubm_subsets(
+    dataset: LubmDataset,
+    sizes: Sequence[int] = (1000, 5000, 10000, 25000, 50000),
+) -> Dict[str, Graph]:
+    """Truncated subsets of the dataset, keyed ``"1K"``/``"5K"``/... like the paper.
+
+    The full graph is returned under ``"100K"`` whatever its exact size.
+    """
+    subsets: Dict[str, Graph] = {}
+    for size in sizes:
+        label = f"{size // 1000}K"
+        subsets[label] = dataset.graph.head(size)
+    subsets["100K"] = dataset.graph
+    return subsets

@@ -1,0 +1,321 @@
+"""The 26 evaluation queries of the paper's appendix (S1-S15, M1-M5, R1-R6).
+
+Queries are produced against a generated :class:`~repro.workloads.lubm.LubmDataset`
+because the single-triple-pattern queries plug in landmark constants whose
+answer-set sizes match the paper's Tables 1 and 2.
+
+Groups
+------
+``S1-S5``   — single ``(S, P, ?o)`` triple pattern (Table 1);
+``S6-S10``  — single ``(?s, P, O)`` triple pattern (Table 2);
+``S11-S15`` — single ``(?s, P, ?o)`` triple pattern (Figure 12);
+``M1-M5``   — multi-pattern BGPs without inference (Figure 13);
+``R1-R6``   — BGPs requiring concept and/or property hierarchy reasoning
+              (Figure 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.rdf.namespaces import LUBM
+from repro.workloads.lubm import LubmDataset
+
+_PREFIXES = (
+    "PREFIX lubm: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+    "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+)
+
+
+@dataclass(frozen=True)
+class BenchmarkQuery:
+    """One evaluation query with its metadata.
+
+    Attributes
+    ----------
+    identifier:
+        The paper's query name (``"S1"`` ... ``"R6"``).
+    sparql:
+        The full SPARQL text (prefixes included).
+    group:
+        ``"sp?o"``, ``"?spo"``, ``"?sp?o"``, ``"bgp"`` or ``"reasoning"``.
+    requires_reasoning:
+        Whether an exhaustive answer set needs RDFS inferences.
+    expected_cardinality:
+        The answer-set size guaranteed by the dataset landmarks (``None`` when
+        it depends on generator parameters).
+    description:
+        Short human-readable description.
+    """
+
+    identifier: str
+    sparql: str
+    group: str
+    requires_reasoning: bool = False
+    expected_cardinality: Optional[int] = None
+    description: str = ""
+
+
+class QueryCatalog:
+    """Builds the paper's 26 queries against a generated LUBM dataset."""
+
+    def __init__(self, dataset: LubmDataset) -> None:
+        self.dataset = dataset
+
+    # ------------------------------------------------------------------ #
+    # single triple pattern queries
+    # ------------------------------------------------------------------ #
+
+    def table1_queries(self) -> List[BenchmarkQuery]:
+        """S1-S5: ``(S, P, ?o)`` patterns with answer sizes 4/66/129/257/513."""
+        dataset = self.dataset
+        queries = [
+            BenchmarkQuery(
+                identifier="S1",
+                sparql=_PREFIXES
+                + f"SELECT ?X WHERE {{ <{dataset.landmark_uri('student_takes_4')}> lubm:takesCourse ?X }}",
+                group="sp?o",
+                expected_cardinality=4,
+                description="Courses taken by one undergraduate student.",
+            )
+        ]
+        for position, cardinality in enumerate((66, 129, 257, 513), start=2):
+            landmark = dataset.landmark_uri(f"pub_authors_{cardinality}")
+            queries.append(
+                BenchmarkQuery(
+                    identifier=f"S{position}",
+                    sparql=_PREFIXES
+                    + f"SELECT ?X WHERE {{ <{landmark}> lubm:publicationAuthor ?X }}",
+                    group="sp?o",
+                    expected_cardinality=cardinality,
+                    description=f"Authors of a proceedings publication ({cardinality} authors).",
+                )
+            )
+        return queries
+
+    def table2_queries(self) -> List[BenchmarkQuery]:
+        """S6-S10: ``(?s, P, O)`` patterns with answer sizes 5/17/135/283/521."""
+        dataset = self.dataset
+        shared_title = dataset.landmark_literal("pub_name_283")
+        return [
+            BenchmarkQuery(
+                identifier="S6",
+                sparql=_PREFIXES
+                + f"SELECT ?X WHERE {{ ?X lubm:advisor <{dataset.landmark_uri('advisor_5')}> }}",
+                group="?spo",
+                expected_cardinality=5,
+                description="Advisees of one assistant professor.",
+            ),
+            BenchmarkQuery(
+                identifier="S7",
+                sparql=_PREFIXES
+                + f"SELECT ?X WHERE {{ ?X lubm:takesCourse <{dataset.landmark_uri('course_takers_17')}> }}",
+                group="?spo",
+                expected_cardinality=17,
+                description="Students taking one course.",
+            ),
+            BenchmarkQuery(
+                identifier="S8",
+                sparql=_PREFIXES
+                + f"SELECT ?X WHERE {{ ?X lubm:worksFor <{dataset.landmark_uri('dept_workers_135')}> }}",
+                group="?spo",
+                expected_cardinality=135,
+                description="Persons working for the central-services department.",
+            ),
+            BenchmarkQuery(
+                identifier="S9",
+                sparql=_PREFIXES
+                + f'SELECT ?X WHERE {{ ?X lubm:name "{shared_title.lexical}" }}',
+                group="?spo",
+                expected_cardinality=283,
+                description="Publications sharing one title.",
+            ),
+            BenchmarkQuery(
+                identifier="S10",
+                sparql=_PREFIXES
+                + f"SELECT ?X WHERE {{ ?X lubm:memberOf <{dataset.landmark_uri('dept_members_521')}> }}",
+                group="?spo",
+                expected_cardinality=521,
+                description="Members of one large department.",
+            ),
+        ]
+
+    def figure12_queries(self) -> List[BenchmarkQuery]:
+        """S11-S15: ``(?s, P, ?o)`` patterns with growing answer sets."""
+        properties = [
+            ("S11", "worksFor"),
+            ("S12", "teacherOf"),
+            ("S13", "undergraduateDegreeFrom"),
+            ("S14", "emailAddress"),
+            ("S15", "name"),
+        ]
+        return [
+            BenchmarkQuery(
+                identifier=identifier,
+                sparql=_PREFIXES + f"SELECT ?X ?Y WHERE {{ ?X lubm:{prop} ?Y }}",
+                group="?sp?o",
+                description=f"Full scan of lubm:{prop}.",
+            )
+            for identifier, prop in properties
+        ]
+
+    # ------------------------------------------------------------------ #
+    # multi-pattern queries (no inference)
+    # ------------------------------------------------------------------ #
+
+    def bgp_queries(self) -> List[BenchmarkQuery]:
+        """M1-M5: the paper's join queries (appendix A.2.1)."""
+        m5_publication = self.dataset.landmark_uri("m5_publication")
+        return [
+            BenchmarkQuery(
+                identifier="M1",
+                sparql=_PREFIXES
+                + "SELECT ?X ?Y ?Z WHERE { ?X lubm:worksFor ?Z . ?X lubm:name ?Y . }",
+                group="bgp",
+                description="Workers with their name and employer.",
+            ),
+            BenchmarkQuery(
+                identifier="M2",
+                sparql=_PREFIXES
+                + "SELECT ?X ?Y ?Z WHERE { ?X lubm:memberOf ?Z . "
+                "?X rdf:type lubm:GraduateStudent . ?X lubm:undergraduateDegreeFrom ?Y . }",
+                group="bgp",
+                description="Graduate students, their department and their previous university.",
+            ),
+            BenchmarkQuery(
+                identifier="M3",
+                sparql=_PREFIXES
+                + "SELECT ?X ?Y ?Z WHERE { ?X lubm:memberOf ?Z . "
+                "?X rdf:type lubm:GraduateStudent . ?Z rdf:type lubm:Department . "
+                "?Z lubm:subOrganizationOf ?Y . ?Y rdf:type lubm:University . }",
+                group="bgp",
+                description="Graduate students with department and university (5 patterns).",
+            ),
+            BenchmarkQuery(
+                identifier="M4",
+                sparql=_PREFIXES
+                + "SELECT ?X ?Y ?Z WHERE { ?X lubm:memberOf ?Z . "
+                "?Z lubm:subOrganizationOf ?Y . ?Y rdf:type lubm:University . }",
+                group="bgp",
+                description="Members of sub-organizations of a university.",
+            ),
+            BenchmarkQuery(
+                identifier="M5",
+                sparql=_PREFIXES
+                + "SELECT * WHERE { "
+                + f"<{m5_publication}> lubm:publicationAuthor ?p . "
+                "?st lubm:memberOf ?o2 . "
+                "?p rdf:type lubm:AssociateProfessor . "
+                "?p lubm:worksFor ?o . "
+                "?o rdf:type lubm:Department . "
+                "?o lubm:subOrganizationOf ?u . "
+                "?u rdf:type lubm:University . "
+                "?p lubm:teacherOf ?te . "
+                "?te rdf:type lubm:Course . "
+                "?st lubm:takesCourse ?te . "
+                "?st rdf:type lubm:UndergraduateStudent . }",
+                group="bgp",
+                description="11-pattern star/path query around one publication (paper M5).",
+            ),
+        ]
+
+    # ------------------------------------------------------------------ #
+    # reasoning queries
+    # ------------------------------------------------------------------ #
+
+    def reasoning_queries(self) -> List[BenchmarkQuery]:
+        """R1-R6: queries needing concept and/or property hierarchy inferences."""
+        m5_publication = self.dataset.landmark_uri("m5_publication")
+        return [
+            BenchmarkQuery(
+                identifier="R1",
+                sparql=_PREFIXES
+                + "SELECT ?X ?Y ?Z WHERE { ?X rdf:type lubm:Person . "
+                "?Z rdf:type lubm:Department . ?X lubm:headOf ?Z . "
+                "?Z lubm:subOrganizationOf ?Y . ?Y rdf:type lubm:University . }",
+                group="reasoning",
+                requires_reasoning=True,
+                description="Department heads (Person requires concept inference).",
+            ),
+            BenchmarkQuery(
+                identifier="R2",
+                sparql=_PREFIXES
+                + "SELECT ?X ?Y ?Z WHERE { ?X rdf:type lubm:Person . "
+                "?Z rdf:type lubm:Department . ?X lubm:worksFor ?Z . "
+                "?Z lubm:subOrganizationOf ?Y . ?Y rdf:type lubm:University . }",
+                group="reasoning",
+                requires_reasoning=True,
+                description="Department workers (concept + property inference).",
+            ),
+            BenchmarkQuery(
+                identifier="R3",
+                sparql=_PREFIXES
+                + "SELECT ?X ?Y ?Z WHERE { ?X lubm:memberOf ?Z . "
+                "?X rdf:type lubm:Student . ?X lubm:undergraduateDegreeFrom ?Y . }",
+                group="reasoning",
+                requires_reasoning=True,
+                description="Students (sub-concepts) with degree provenance.",
+            ),
+            BenchmarkQuery(
+                identifier="R4",
+                sparql=_PREFIXES
+                + "SELECT ?X ?Y ?Z ?N WHERE { ?X rdf:type lubm:Person . "
+                "?Z rdf:type lubm:Department . ?X lubm:memberOf ?Z . "
+                "?Z lubm:subOrganizationOf ?Y . ?Y lubm:name ?N . "
+                "?Y rdf:type lubm:University . }",
+                group="reasoning",
+                requires_reasoning=True,
+                description="Department members with university name (6 patterns).",
+            ),
+            BenchmarkQuery(
+                identifier="R5",
+                sparql=_PREFIXES
+                + "SELECT ?X ?Y ?Z WHERE { ?X lubm:memberOf ?Z . "
+                "?Z lubm:subOrganizationOf ?Y . ?Y rdf:type lubm:University . }",
+                group="reasoning",
+                requires_reasoning=True,
+                description="M4 with reasoning over the memberOf property hierarchy.",
+            ),
+            BenchmarkQuery(
+                identifier="R6",
+                sparql=_PREFIXES
+                + "SELECT * WHERE { "
+                + f"<{m5_publication}> lubm:publicationAuthor ?p . "
+                "?st lubm:memberOf ?o2 . "
+                "?p rdf:type lubm:AssociateProfessor . "
+                "?p lubm:worksFor ?o . "
+                "?o rdf:type lubm:Department . "
+                "?o lubm:subOrganizationOf ?u . "
+                "?u rdf:type lubm:University . "
+                "?p lubm:teacherOf ?te . "
+                "?te rdf:type lubm:Course . "
+                "?st lubm:takesCourse ?te . "
+                "?st rdf:type lubm:UndergraduateStudent . }",
+                group="reasoning",
+                requires_reasoning=True,
+                description="M5 with reasoning over memberOf and worksFor (paper R6).",
+            ),
+        ]
+
+    # ------------------------------------------------------------------ #
+    # convenience accessors
+    # ------------------------------------------------------------------ #
+
+    def all_queries(self) -> List[BenchmarkQuery]:
+        """All 26 queries in the paper's order."""
+        return (
+            self.table1_queries()
+            + self.table2_queries()
+            + self.figure12_queries()
+            + self.bgp_queries()
+            + self.reasoning_queries()
+        )
+
+    def by_identifier(self) -> Dict[str, BenchmarkQuery]:
+        """Mapping query identifier -> query."""
+        return {query.identifier: query for query in self.all_queries()}
+
+    def group(self, name: str) -> List[BenchmarkQuery]:
+        """All queries of one group (``sp?o``/``?spo``/``?sp?o``/``bgp``/``reasoning``)."""
+        return [query for query in self.all_queries() if query.group == name]

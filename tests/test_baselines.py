@@ -1,0 +1,200 @@
+"""Tests for the baseline stores (multi-index memory store, paged disk store)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.base import UnsupportedFeatureError
+from repro.baselines.disk_store import PagedDiskStore
+from repro.baselines.multi_index_store import MultiIndexMemoryStore
+from repro.baselines.registry import (
+    SYSTEM_ORDER,
+    SuccinctEdgeSystem,
+    available_systems,
+    create_system,
+    get_profile,
+)
+from repro.rdf.namespaces import RDF
+from repro.rdf.terms import Literal
+from tests.conftest import EX, build_toy_data, build_toy_ontology, hierarchy_closure, naive_query
+from repro.ontology.schema import OntologySchema
+
+
+@pytest.fixture(scope="module")
+def toy_pair():
+    return build_toy_data(), build_toy_ontology()
+
+
+def loaded(store, toy_pair):
+    data, ontology = toy_pair
+    store.load(data, ontology=ontology)
+    return store
+
+
+class TestMultiIndexMemoryStore:
+    def test_match_equals_graph_oracle(self, toy_pair):
+        data, _ = toy_pair
+        store = loaded(MultiIndexMemoryStore(), toy_pair)
+        patterns = [
+            (None, None, None),
+            (EX.alice, None, None),
+            (None, EX.memberOf, None),
+            (None, None, EX.dept1),
+            (None, RDF.type, EX.Department),
+            (EX.bob, EX.headOf, EX.dept1),
+            (None, EX.name, Literal("Alice")),
+        ]
+        for subject, predicate, obj in patterns:
+            assert set(store.match(subject, predicate, obj)) == set(
+                data.triples(subject, predicate, obj)
+            )
+
+    def test_duplicate_load_is_idempotent_per_triple(self, toy_pair):
+        data, ontology = toy_pair
+        store = MultiIndexMemoryStore()
+        store.load(data, ontology=ontology)
+        assert store.triple_count() == len(data)
+
+    def test_query_without_reasoning(self, toy_pair):
+        data, _ = toy_pair
+        store = loaded(MultiIndexMemoryStore(), toy_pair)
+        query = "SELECT ?x ?d WHERE { ?x <http://example.org/memberOf> ?d }"
+        assert store.query(query).to_set() == naive_query(data, query).to_set()
+
+    def test_query_with_union_rewriting_reasoning(self, toy_pair):
+        data, ontology = toy_pair
+        store = loaded(MultiIndexMemoryStore(), toy_pair)
+        schema = OntologySchema.from_graph(ontology)
+        query = "SELECT ?x WHERE { ?x a <http://example.org/Person> }"
+        expected = naive_query(hierarchy_closure(data, schema), query).to_set()
+        assert store.query(query, reasoning=True).to_set() == expected
+
+    def test_simulated_cost_recorded(self, toy_pair):
+        store = MultiIndexMemoryStore(per_query_overhead_ms=3.0, per_result_overhead_ms=0.5)
+        loaded(store, toy_pair)
+        result = store.query("SELECT ?x WHERE { ?x <http://example.org/memberOf> ?d }")
+        assert store.last_simulated_cost_ms == pytest.approx(3.0 + 0.5 * len(result))
+
+    def test_storage_accounting_uses_constants(self, toy_pair):
+        store = loaded(MultiIndexMemoryStore(bytes_per_index_entry=100), toy_pair)
+        assert store.triple_storage_size_in_bytes() == store.triple_count() * 3 * 100
+        assert store.memory_footprint_in_bytes() > store.triple_storage_size_in_bytes()
+
+
+class TestPagedDiskStore:
+    def test_match_equals_graph_oracle(self, toy_pair):
+        data, _ = toy_pair
+        store = loaded(PagedDiskStore(), toy_pair)
+        patterns = [
+            (None, None, None),
+            (EX.alice, None, None),
+            (None, EX.memberOf, None),
+            (None, None, EX.dept1),
+            (EX.bob, EX.headOf, EX.dept1),
+        ]
+        for subject, predicate, obj in patterns:
+            assert set(store.match(subject, predicate, obj)) == set(
+                data.triples(subject, predicate, obj)
+            )
+
+    def test_construction_charges_page_writes(self, toy_pair):
+        store = loaded(PagedDiskStore(page_write_ms=2.0), toy_pair)
+        assert store.last_construction_cost_ms > 0
+
+    def test_queries_charge_page_reads(self, toy_pair):
+        store = loaded(PagedDiskStore(page_read_ms=1.0, per_query_overhead_ms=2.0), toy_pair)
+        store.reset_cache()
+        store.query("SELECT ?x WHERE { ?x <http://example.org/memberOf> ?d }")
+        assert store.last_simulated_cost_ms >= 2.0 + 1.0
+
+    def test_page_cache_absorbs_repeated_reads(self, toy_pair):
+        store = loaded(PagedDiskStore(page_read_ms=1.0, per_query_overhead_ms=0.0, cache_pages=64), toy_pair)
+        store.reset_cache()
+        query = "SELECT ?x WHERE { ?x <http://example.org/memberOf> ?d }"
+        store.query(query)
+        cold_cost = store.last_simulated_cost_ms
+        store.query(query)
+        warm_cost = store.last_simulated_cost_ms
+        assert warm_cost < cold_cost
+
+    def test_memory_footprint_excludes_disk_payload(self, toy_pair):
+        disk = loaded(PagedDiskStore(), toy_pair)
+        memory = loaded(MultiIndexMemoryStore(), toy_pair)
+        assert disk.triple_storage_size_in_bytes() > 0
+        # The disk store keeps only cache + bookkeeping in RAM.
+        assert disk.memory_footprint_in_bytes() < disk.triple_storage_size_in_bytes() + disk.dictionary_size_in_bytes() + 200_000
+
+    def test_query_results_match_memory_store(self, toy_pair):
+        disk = loaded(PagedDiskStore(), toy_pair)
+        memory = loaded(MultiIndexMemoryStore(), toy_pair)
+        query = (
+            "SELECT ?x ?n WHERE { ?x <http://example.org/memberOf> ?d . ?x <http://example.org/name> ?n }"
+        )
+        assert disk.query(query).to_set() == memory.query(query).to_set()
+
+
+class TestRegistry:
+    def test_available_systems_match_paper(self):
+        assert available_systems() == ["SuccinctEdge", "RDF4Led", "Jena_TDB", "Jena_InMem", "RDF4J"]
+
+    def test_profiles_have_descriptions(self):
+        for name in SYSTEM_ORDER:
+            profile = get_profile(name)
+            assert profile.description
+            assert profile.name == name
+
+    def test_unknown_system_raises(self):
+        with pytest.raises(KeyError):
+            get_profile("Virtuoso")
+
+    def test_rdf4led_rejects_union(self, toy_pair):
+        store = loaded(create_system("RDF4Led"), toy_pair)
+        with pytest.raises(UnsupportedFeatureError):
+            store.query("SELECT ?x WHERE { ?x a <http://example.org/Person> }", reasoning=True)
+
+    def test_all_systems_agree_on_plain_query(self, toy_pair):
+        data, _ = toy_pair
+        query = (
+            "SELECT ?x ?d WHERE { ?x <http://example.org/memberOf> ?d . "
+            "?d a <http://example.org/Department> }"
+        )
+        expected = naive_query(data, query).to_set()
+        for name in SYSTEM_ORDER:
+            system = loaded(create_system(name), toy_pair)
+            assert system.query(query, reasoning=False).to_set() == expected, name
+
+    def test_union_capable_systems_agree_on_reasoning_query(self, toy_pair):
+        data, ontology = toy_pair
+        schema = OntologySchema.from_graph(ontology)
+        query = "SELECT ?x ?d WHERE { ?x <http://example.org/worksFor> ?d }"
+        expected = naive_query(hierarchy_closure(data, schema), query).to_set()
+        for name in SYSTEM_ORDER:
+            system = loaded(create_system(name), toy_pair)
+            if not system.supports_union and name != "SuccinctEdge":
+                continue
+            assert system.query(query, reasoning=True).to_set() == expected, name
+
+    def test_succinct_edge_adapter_exposes_store(self, toy_pair):
+        system = loaded(SuccinctEdgeSystem(), toy_pair)
+        assert system.triple_count() == system.store.triple_count
+        assert system.memory_footprint_in_bytes() == system.store.memory_footprint_in_bytes()
+
+    def test_succinct_edge_adapter_requires_load(self):
+        with pytest.raises(RuntimeError):
+            SuccinctEdgeSystem().store  # noqa: B018 — property access must raise
+
+    def test_memory_footprint_ordering_matches_paper(self, toy_pair):
+        # SuccinctEdge must be the smallest of the in-memory systems (Figure 11).
+        footprints = {}
+        for name in ("SuccinctEdge", "Jena_InMem", "RDF4J"):
+            system = loaded(create_system(name), toy_pair)
+            footprints[name] = system.memory_footprint_in_bytes()
+        assert footprints["SuccinctEdge"] < footprints["RDF4J"] < footprints["Jena_InMem"]
+
+    def test_dictionary_size_ordering_matches_paper(self, toy_pair):
+        # Figure 9: Jena TDB largest, SuccinctEdge roughly half of RDF4Led.
+        sizes = {}
+        for name in ("SuccinctEdge", "RDF4Led", "Jena_TDB"):
+            system = loaded(create_system(name), toy_pair)
+            sizes[name] = system.dictionary_size_in_bytes()
+        assert sizes["SuccinctEdge"] < sizes["RDF4Led"] < sizes["Jena_TDB"]

@@ -1,0 +1,78 @@
+"""Tests for the measurement helpers and the benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import format_table, measure_construction, query_latency_row
+from repro.bench.measure import Measurement, measure_best_of, measure_call
+from repro.baselines.registry import create_system
+from repro.workloads.engie import engie_ontology, water_distribution_250
+from repro.workloads.lubm import generate_lubm
+from repro.workloads.queries import QueryCatalog
+
+
+class TestMeasurement:
+    def test_measure_call_records_components(self):
+        measurement = measure_call(lambda: 42, simulated_cost_getter=lambda: 1.5)
+        assert measurement.result == 42
+        assert measurement.measured_ms >= 0
+        assert measurement.simulated_ms == 1.5
+        assert measurement.total_ms == pytest.approx(measurement.measured_ms + 1.5)
+
+    def test_measure_best_of_keeps_minimum(self):
+        calls = []
+
+        def run():
+            calls.append(1)
+            return len(calls)
+
+        measurement = measure_best_of(run, repetitions=3)
+        assert len(calls) == 3
+        assert isinstance(measurement, Measurement)
+
+
+class TestFormatTable:
+    def test_renders_rows_and_handles_missing_values(self):
+        text = format_table(
+            "Table X",
+            ["4", "66"],
+            {"SuccinctEdge": [0.3, 3.5], "RDF4Led": [None, 28]},
+            unit="ms",
+        )
+        assert "Table X (ms)" in text
+        assert "SuccinctEdge" in text
+        assert "n/a" in text
+        assert "0.30" in text
+
+
+class TestHarnessOperations:
+    @pytest.fixture(scope="class")
+    def tiny_dataset(self):
+        return generate_lubm(departments=1, seed=5)
+
+    def test_measure_construction_all_systems(self, tiny_dataset):
+        graph = tiny_dataset.graph.head(500)
+        for name in ("SuccinctEdge", "RDF4J", "Jena_TDB"):
+            measurement = measure_construction(name, graph, tiny_dataset.ontology)
+            assert measurement.total_ms > 0
+
+    def test_query_latency_row(self, tiny_dataset):
+        catalog = QueryCatalog(tiny_dataset)
+        system = create_system("SuccinctEdge")
+        system.load(tiny_dataset.graph, ontology=tiny_dataset.ontology)
+        query = catalog.by_identifier()["S1"]
+        measurement = query_latency_row(system, query, repetitions=1)
+        assert measurement is not None
+        assert len(measurement.result) == 4
+
+    def test_query_latency_row_handles_unsupported_feature(self, tiny_dataset):
+        catalog = QueryCatalog(tiny_dataset)
+        system = create_system("RDF4Led")
+        system.load(tiny_dataset.graph, ontology=tiny_dataset.ontology)
+        reasoning_query = catalog.by_identifier()["R5"]
+        assert query_latency_row(system, reasoning_query, repetitions=1) is None
+
+    def test_engie_construction(self):
+        measurement = measure_construction("SuccinctEdge", water_distribution_250(), engie_ontology())
+        assert measurement.total_ms > 0

@@ -1,0 +1,146 @@
+"""Tests for the datatype-property store and the RDFType store."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dictionary.literal_store import LiteralStore
+from repro.rdf.terms import Literal
+from repro.store.datatype_store import DatatypeTripleStore
+from repro.store.rdftype_store import RDFTypeStore
+
+DATATYPE_TRIPLES = [
+    (3, 10, Literal(3.5)),
+    (3, 10, Literal(4.1)),
+    (3, 11, Literal(2.0)),
+    (5, 10, Literal("Alice")),
+    (5, 12, Literal("Bob")),
+]
+
+
+class TestDatatypeStore:
+    def test_counts(self):
+        store = DatatypeTripleStore(DATATYPE_TRIPLES)
+        assert len(store) == 5
+        assert store.properties == [3, 5]
+        assert store.count_triples_with_property(3) == 3
+        assert store.count_subjects_with_property(3) == 2
+        assert store.count_triples_with_property(99) == 0
+
+    def test_literals_for(self):
+        store = DatatypeTripleStore(DATATYPE_TRIPLES)
+        assert store.literals_for(10, 3) == [Literal(3.5), Literal(4.1)]
+        assert store.literals_for(11, 3) == [Literal(2.0)]
+        assert store.literals_for(10, 5) == [Literal("Alice")]
+        assert store.literals_for(99, 3) == []
+        assert store.literals_for(10, 99) == []
+
+    def test_subjects_for_literal(self):
+        store = DatatypeTripleStore(DATATYPE_TRIPLES)
+        assert store.subjects_for(5, Literal("Bob")) == [12]
+        assert store.subjects_for(3, Literal(2.0)) == [11]
+        assert store.subjects_for(3, Literal(99.0)) == []
+
+    def test_pairs_for_property(self):
+        store = DatatypeTripleStore(DATATYPE_TRIPLES)
+        pairs = list(store.pairs_for_property(3))
+        assert pairs == [(10, Literal(3.5)), (10, Literal(4.1)), (11, Literal(2.0))]
+
+    def test_pairs_for_property_interval(self):
+        store = DatatypeTripleStore(DATATYPE_TRIPLES)
+        rows = list(store.pairs_for_property_interval(3, 6))
+        assert len(rows) == 5
+        assert {row[0] for row in rows} == {3, 5}
+        assert list(store.pairs_for_property_interval(6, 10)) == []
+
+    def test_iter_triples(self):
+        store = DatatypeTripleStore(DATATYPE_TRIPLES)
+        assert sorted((p, s, str(o)) for p, s, o in store.iter_triples()) == sorted(
+            (p, s, str(o)) for p, s, o in DATATYPE_TRIPLES
+        )
+
+    def test_duplicate_literal_values_are_kept(self):
+        triples = [(1, 1, Literal(7.0)), (1, 2, Literal(7.0))]
+        store = DatatypeTripleStore(triples)
+        assert len(store) == 2
+        assert len(store.literals) == 2
+
+    def test_shared_literal_store(self):
+        shared = LiteralStore()
+        DatatypeTripleStore(DATATYPE_TRIPLES, shared)
+        assert len(shared) == 5
+
+    def test_empty(self):
+        store = DatatypeTripleStore([])
+        assert len(store) == 0
+        assert store.literals_for(1, 1) == []
+        assert list(store.pairs_for_property(1)) == []
+
+    def test_size_accounting(self):
+        store = DatatypeTripleStore(DATATYPE_TRIPLES)
+        assert store.size_in_bytes() > store.size_in_bytes(include_literals=False)
+
+
+class TestRDFTypeStore:
+    def test_insert_and_lookup(self):
+        store = RDFTypeStore([(1, 100), (2, 100), (3, 101)])
+        assert len(store) == 3
+        assert store.contains(1, 100)
+        assert not store.contains(1, 101)
+        assert store.subjects_of(100) == [1, 2]
+        assert store.subjects_of(101) == [3]
+        assert store.subjects_of(999) == []
+        assert store.concepts_of(1) == [100]
+        assert store.concepts_of(99) == []
+
+    def test_duplicates_ignored(self):
+        store = RDFTypeStore([(1, 100), (1, 100)])
+        assert len(store) == 1
+
+    def test_multiple_types_per_subject(self):
+        store = RDFTypeStore([(1, 100), (1, 101), (1, 102)])
+        assert store.concepts_of(1) == [100, 101, 102]
+
+    def test_interval_lookup_for_reasoning(self):
+        # Concepts 100-103 form a LiteMat interval [100, 104).
+        store = RDFTypeStore([(1, 100), (2, 101), (3, 103), (4, 104), (5, 101)])
+        assert store.subjects_of_interval(100, 104) == [1, 2, 3, 5]
+        assert store.subjects_of_interval(104, 200) == [4]
+        assert store.subjects_of_interval(0, 1) == []
+
+    def test_interval_deduplicates_subjects(self):
+        store = RDFTypeStore([(1, 100), (1, 101)])
+        assert store.subjects_of_interval(100, 102) == [1]
+
+    def test_counts(self):
+        store = RDFTypeStore([(1, 100), (2, 100), (3, 101)])
+        assert store.count_concept(100) == 2
+        assert store.count_concept_interval(100, 102) == 3
+
+    def test_iter_triples(self):
+        pairs = [(2, 100), (1, 100), (3, 101)]
+        store = RDFTypeStore(pairs)
+        assert list(store.iter_triples()) == sorted(pairs)
+
+    def test_size_accounting(self):
+        store = RDFTypeStore([(i, 100 + i % 3) for i in range(50)])
+        assert store.size_in_bytes() > 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(min_value=1, max_value=40), st.integers(min_value=100, max_value=140)),
+        max_size=200,
+    ),
+    low=st.integers(min_value=100, max_value=140),
+    span=st.integers(min_value=0, max_value=20),
+)
+def test_property_rdftype_interval_matches_filter(pairs, low, span):
+    store = RDFTypeStore(pairs)
+    high = low + span
+    expected = sorted({s for s, c in pairs if low <= c < high})
+    assert store.subjects_of_interval(low, high) == expected
+    assert store.count_concept_interval(low, high) == len({(s, c) for s, c in pairs if low <= c < high})

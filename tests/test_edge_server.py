@@ -1,0 +1,87 @@
+"""Tests for the central administration server (device registry, broadcast, alerts)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.edge.alerts import AnomalyRule
+from repro.edge.server import AdministrationServer, OntologyBundle
+from repro.rdf.namespaces import QUDT
+from repro.workloads.engie import (
+    anomaly_detection_query,
+    engie_ontology,
+    water_distribution_graph,
+)
+
+
+@pytest.fixture()
+def pressure_rule():
+    return AnomalyRule(
+        name="pressure-out-of-range",
+        query=anomaly_detection_query(),
+        severity="critical",
+        requires_reasoning=True,
+    )
+
+
+class TestOntologyBundle:
+    def test_bundle_encodes_hierarchies(self):
+        bundle = OntologyBundle.from_ontology(engie_ontology())
+        assert bundle.concepts.is_descendant(QUDT.PressureOrStressUnit, QUDT.PressureUnit)
+        assert bundle.schema.is_subconcept_of(QUDT.Pressure, QUDT.PressureUnit)
+        assert bundle.size_in_bytes() > 0
+
+    def test_bundle_identifiers_are_deterministic(self):
+        first = OntologyBundle.from_ontology(engie_ontology())
+        second = OntologyBundle.from_ontology(engie_ontology())
+        assert first.concepts.identifiers() == second.concepts.identifiers()
+        assert first.properties.identifiers() == second.properties.identifiers()
+
+
+class TestDeviceRegistry:
+    def test_register_and_duplicate_rejected(self, pressure_rule):
+        server = AdministrationServer(engie_ontology(), rules=[pressure_rule])
+        server.register_device("building-A", location="plant room")
+        assert "building-A" in server.devices
+        with pytest.raises(ValueError):
+            server.register_device("building-A")
+
+    def test_ingest_unknown_device_rejected(self, pressure_rule):
+        server = AdministrationServer(engie_ontology(), rules=[pressure_rule])
+        with pytest.raises(KeyError):
+            server.ingest("nowhere", water_distribution_graph(observations_per_sensor=2))
+
+    def test_rules_shipped_at_registration(self, pressure_rule):
+        server = AdministrationServer(engie_ontology())
+        server.register_rule(pressure_rule)
+        registered = server.register_device("building-A")
+        assert [rule.name for rule in registered.processor.rules] == ["pressure-out-of-range"]
+
+
+class TestAlertAggregation:
+    def test_alerts_flow_back_to_the_server(self, pressure_rule):
+        server = AdministrationServer(engie_ontology(), rules=[pressure_rule])
+        server.register_device("building-A")
+        server.register_device("building-B")
+        anomalous = water_distribution_graph(observations_per_sensor=5, stations=2, anomaly_rate=1.0, seed=1)
+        clean = water_distribution_graph(observations_per_sensor=5, stations=2, anomaly_rate=0.0, seed=2)
+
+        alerts_a = server.ingest("building-A", anomalous)
+        alerts_b = server.ingest("building-B", clean)
+
+        assert alerts_a and not alerts_b
+        assert len(server.received_alerts) == len(alerts_a)
+        grouped = server.alerts_by_device()
+        assert len(grouped["building-A"]) == len(alerts_a)
+        assert grouped["building-B"] == []
+
+    def test_fleet_statistics(self, pressure_rule):
+        server = AdministrationServer(engie_ontology(), rules=[pressure_rule])
+        server.register_device("building-A")
+        graph = water_distribution_graph(observations_per_sensor=3, stations=2, anomaly_rate=0.5, seed=5)
+        server.ingest("building-A", graph)
+        statistics = server.fleet_statistics()
+        assert statistics["building-A"]["instances"] == 1
+        assert statistics["building-A"]["triples"] == len(graph)
+        assert statistics["building-A"]["mean_ms"] > 0
+        assert statistics["building-A"]["energy_joules"] > 0

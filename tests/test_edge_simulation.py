@@ -1,0 +1,127 @@
+"""Tests for the edge-device model, graph-stream processing and alerting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.edge.alerts import Alert, AlertSink, AnomalyRule
+from repro.edge.device import DeviceProfile, EdgeDevice, RASPBERRY_PI_3B_PLUS
+from repro.edge.stream import GraphStreamProcessor
+from repro.rdf.terms import Literal
+from repro.sparql.bindings import Binding, ResultSet
+from repro.store.succinct_edge import SuccinctEdge
+from repro.workloads.engie import (
+    anomaly_detection_query,
+    engie_ontology,
+    water_distribution_graph,
+)
+
+
+class TestEdgeDevice:
+    def test_raspberry_pi_profile(self):
+        device = EdgeDevice(RASPBERRY_PI_3B_PLUS)
+        assert device.memory_budget_bytes == 512 * 1024 * 1024
+        assert "Raspberry" in repr(device)
+
+    def test_memory_admission(self):
+        device = EdgeDevice(RASPBERRY_PI_3B_PLUS)
+        assert device.fits_in_memory(100 * 1024 * 1024)
+        assert not device.fits_in_memory(2 * 1024 * 1024 * 1024)
+
+    def test_max_graph_instances(self):
+        device = EdgeDevice(DeviceProfile(name="tiny", ram_bytes=1024, usable_ram_fraction=1.0))
+        assert device.max_graph_instances(256) == 4
+        assert device.max_graph_instances(0) == 0
+
+    def test_latency_scaling(self):
+        device = EdgeDevice(DeviceProfile(name="slow", ram_bytes=1, cpu_factor=0.5))
+        assert device.scale_latency_ms(10.0) == pytest.approx(20.0)
+
+    def test_energy_accounting(self):
+        device = EdgeDevice(RASPBERRY_PI_3B_PLUS)
+        processing = device.charge_processing(1000.0)
+        transmission = device.charge_transmission(2048)
+        assert processing == pytest.approx(3.5)
+        assert transmission == pytest.approx(0.1)
+        assert device.energy_spent_joules == pytest.approx(3.6)
+        assert device.bytes_sent == 2048
+
+    def test_edge_vs_cloud_energy_favours_edge_for_small_alerts(self):
+        device = EdgeDevice(RASPBERRY_PI_3B_PLUS)
+        comparison = device.edge_vs_cloud_energy(
+            processing_ms=20.0, alert_bytes=200, raw_graph_bytes=50_000
+        )
+        assert comparison["edge_wins"]
+        assert comparison["edge_joules"] < comparison["cloud_joules"]
+
+    def test_succinct_edge_store_fits_on_device(self, engie_store: SuccinctEdge):
+        device = EdgeDevice(RASPBERRY_PI_3B_PLUS)
+        assert device.fits_in_memory(engie_store.memory_footprint_in_bytes())
+
+
+class TestAlerts:
+    def test_alert_describe(self):
+        alert = Alert(rule="pressure", severity="critical", instance_id=3, bindings={"v": Literal(9.0)})
+        text = alert.describe()
+        assert "pressure" in text and "critical" in text and "9.0" in text
+
+    def test_sink_collects_and_forwards(self):
+        received = []
+        sink = AlertSink(callback=received.append)
+        rule = AnomalyRule(name="r1", query="SELECT ?x WHERE { ?x ?p ?o }")
+        results = ResultSet(["x"], [Binding({"x": Literal(1)}), Binding({"x": Literal(2)})])
+        produced = sink.emit_result_set(rule, instance_id=0, results=results)
+        assert len(produced) == 2
+        assert len(sink) == 2
+        assert len(received) == 2
+        assert sink.by_rule()["r1"] == produced
+        assert sink.estimated_payload_bytes() > 0
+
+
+class TestGraphStreamProcessor:
+    @pytest.fixture()
+    def rules(self):
+        return [
+            AnomalyRule(
+                name="pressure-out-of-range",
+                query=anomaly_detection_query(),
+                severity="critical",
+                requires_reasoning=True,
+                description="Pressure outside 3.0-4.5 bar on any station.",
+            )
+        ]
+
+    def test_stream_processing_detects_anomalies(self, rules):
+        processor = GraphStreamProcessor(ontology=engie_ontology(), rules=rules)
+        instances = [
+            water_distribution_graph(observations_per_sensor=4, stations=2, anomaly_rate=1.0, seed=i)
+            for i in range(3)
+        ]
+        statistics = processor.process_stream(instances)
+        assert statistics.instances_processed == 3
+        assert statistics.triples_processed == sum(len(g) for g in instances)
+        assert statistics.alerts_raised > 0
+        assert statistics.alerts_raised == len(processor.sink)
+        assert statistics.mean_processing_ms > 0
+
+    def test_clean_stream_raises_no_alerts(self, rules):
+        processor = GraphStreamProcessor(ontology=engie_ontology(), rules=rules)
+        clean = water_distribution_graph(observations_per_sensor=4, stations=2, anomaly_rate=0.0, seed=9)
+        alerts = processor.process_instance(clean)
+        assert alerts == []
+        assert len(processor.sink) == 0
+
+    def test_device_accounting_updated(self, rules):
+        device = EdgeDevice(RASPBERRY_PI_3B_PLUS)
+        processor = GraphStreamProcessor(ontology=engie_ontology(), rules=rules, device=device)
+        anomalous = water_distribution_graph(observations_per_sensor=4, stations=2, anomaly_rate=1.0, seed=2)
+        processor.process_instance(anomalous)
+        assert device.energy_spent_joules > 0
+
+    def test_alerts_reference_reported_instance(self, rules):
+        processor = GraphStreamProcessor(ontology=engie_ontology(), rules=rules)
+        anomalous = water_distribution_graph(observations_per_sensor=3, stations=2, anomaly_rate=1.0, seed=4)
+        processor.process_instance(anomalous)
+        processor.process_instance(anomalous)
+        instance_ids = {alert.instance_id for alert in processor.sink.alerts}
+        assert instance_ids == {0, 1}

@@ -1,0 +1,187 @@
+"""Tests for the LiteMat semantic-aware encoding."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ontology.litemat import EncodedEntity, LiteMatEncoder, LiteMatEncoding
+from repro.ontology.schema import OntologySchema
+from repro.rdf.namespaces import Namespace, OWL_THING
+from repro.rdf.terms import URI
+
+EX = Namespace("http://example.org/")
+
+
+def figure2_schema() -> OntologySchema:
+    """The example of Figure 2: A ⊑ Thing, B ⊑ Thing, C ⊑ B, D ⊑ B."""
+    schema = OntologySchema()
+    schema.add_concept(EX.A)
+    schema.add_concept(EX.B)
+    schema.add_subclass(EX.C, EX.B)
+    schema.add_subclass(EX.D, EX.B)
+    return schema
+
+
+class TestFigure2Example:
+    def test_identifiers_match_the_paper(self):
+        encoding = LiteMatEncoder(figure2_schema()).encode_concepts()
+        assert encoding.encode(OWL_THING) == 16
+        assert encoding.encode(EX.A) == 20
+        assert encoding.encode(EX.B) == 24
+        assert encoding.encode(EX.C) == 25
+        assert encoding.encode(EX.D) == 26
+        assert encoding.total_length == 5
+
+    def test_metadata_local_lengths(self):
+        encoding = LiteMatEncoder(figure2_schema()).encode_concepts()
+        assert encoding.entry(OWL_THING).local_length == 1
+        assert encoding.entry(EX.B).local_length == 3
+        assert encoding.entry(EX.C).local_length == 5
+
+    def test_intervals_cover_descendants_only(self):
+        encoding = LiteMatEncoder(figure2_schema()).encode_concepts()
+        low, high = encoding.interval(EX.B)
+        assert low <= encoding.encode(EX.C) < high
+        assert low <= encoding.encode(EX.D) < high
+        assert not (low <= encoding.encode(EX.A) < high)
+        thing_low, thing_high = encoding.interval(OWL_THING)
+        for concept in (EX.A, EX.B, EX.C, EX.D):
+            assert thing_low <= encoding.encode(concept) < thing_high
+
+    def test_is_descendant(self):
+        encoding = LiteMatEncoder(figure2_schema()).encode_concepts()
+        assert encoding.is_descendant(EX.C, EX.B)
+        assert encoding.is_descendant(EX.B, EX.B)
+        assert encoding.is_descendant(EX.C, OWL_THING)
+        assert not encoding.is_descendant(EX.B, EX.C)
+        assert not encoding.is_descendant(EX.A, EX.B)
+
+
+class TestEncodingBasics:
+    def test_decode_round_trip(self):
+        encoding = LiteMatEncoder(figure2_schema()).encode_concepts()
+        for term in encoding.terms():
+            assert encoding.decode(encoding.encode(term)) == term
+
+    def test_try_encode_and_try_decode(self):
+        encoding = LiteMatEncoder(figure2_schema()).encode_concepts()
+        assert encoding.try_encode(EX.Unknown) is None
+        assert encoding.try_decode(9999) is None
+        assert encoding.try_encode(EX.A) == 20
+
+    def test_unknown_term_raises(self):
+        encoding = LiteMatEncoder(figure2_schema()).encode_concepts()
+        with pytest.raises(KeyError):
+            encoding.encode(EX.Unknown)
+        with pytest.raises(KeyError):
+            encoding.decode(12345)
+
+    def test_identifiers_never_zero(self):
+        encoding = LiteMatEncoder(figure2_schema()).encode_concepts()
+        assert all(identifier > 0 for identifier in encoding.identifiers().values())
+
+    def test_duplicate_identifier_rejected(self):
+        entries = {
+            EX.A: EncodedEntity(identifier=4, local_length=2, total_length=3),
+            EX.B: EncodedEntity(identifier=4, local_length=3, total_length=3),
+        }
+        with pytest.raises(ValueError):
+            LiteMatEncoding(entries, total_length=3)
+
+    def test_extra_concepts_attached_under_root(self):
+        encoding = LiteMatEncoder(figure2_schema()).encode_concepts(extra_concepts=[EX.Z])
+        assert EX.Z in encoding
+        assert encoding.is_descendant(EX.Z, OWL_THING)
+        assert not encoding.is_descendant(EX.Z, EX.B)
+
+    def test_property_encoding_has_no_explicit_root(self):
+        schema = OntologySchema()
+        schema.add_subproperty(EX.headOf, EX.worksFor)
+        schema.add_subproperty(EX.worksFor, EX.memberOf)
+        encoding = LiteMatEncoder(schema).encode_properties(extra_properties=[EX.name])
+        assert encoding.root is None
+        assert encoding.is_descendant(EX.headOf, EX.memberOf)
+        assert not encoding.is_descendant(EX.name, EX.memberOf)
+
+    def test_interval_of_leaf_is_single_slot_or_more(self):
+        encoding = LiteMatEncoder(figure2_schema()).encode_concepts()
+        low, high = encoding.interval(EX.C)
+        assert high > low
+        assert encoding.encode(EX.C) == low
+
+    def test_repr(self):
+        assert "LiteMatEncoding" in repr(LiteMatEncoder(figure2_schema()).encode_concepts())
+
+
+class TestDeepHierarchies:
+    def test_chain_hierarchy(self):
+        schema = OntologySchema()
+        previous = None
+        concepts = [EX[f"Level{i}"] for i in range(12)]
+        for concept in concepts:
+            if previous is None:
+                schema.add_concept(concept)
+            else:
+                schema.add_subclass(concept, previous)
+            previous = concept
+        encoding = LiteMatEncoder(schema).encode_concepts()
+        for shallower_index in range(len(concepts)):
+            for deeper_index in range(shallower_index, len(concepts)):
+                assert encoding.is_descendant(concepts[deeper_index], concepts[shallower_index])
+
+    def test_wide_hierarchy(self):
+        schema = OntologySchema()
+        children = [EX[f"Child{i}"] for i in range(40)]
+        for child in children:
+            schema.add_subclass(child, EX.Parent)
+        encoding = LiteMatEncoder(schema).encode_concepts()
+        identifiers = [encoding.encode(child) for child in children]
+        assert len(set(identifiers)) == len(children)
+        low, high = encoding.interval(EX.Parent)
+        assert all(low <= identifier < high for identifier in identifiers)
+
+
+# --------------------------------------------------------------------------- #
+# property-based test: on random forests, interval containment == descendancy
+# --------------------------------------------------------------------------- #
+
+
+@st.composite
+def random_forest(draw):
+    size = draw(st.integers(min_value=1, max_value=40))
+    parents = []
+    for index in range(size):
+        if index == 0:
+            parents.append(None)
+        else:
+            parents.append(draw(st.one_of(st.none(), st.integers(min_value=0, max_value=index - 1))))
+    return parents
+
+
+@settings(max_examples=60, deadline=None)
+@given(parents=random_forest())
+def test_property_interval_containment_equals_descendancy(parents):
+    schema = OntologySchema()
+    concepts = [EX[f"N{i}"] for i in range(len(parents))]
+    for index, parent in enumerate(parents):
+        if parent is None:
+            schema.add_concept(concepts[index])
+        else:
+            schema.add_subclass(concepts[index], concepts[parent])
+    encoding = LiteMatEncoder(schema).encode_concepts()
+
+    def is_ancestor(candidate_index: int, ancestor_index: int) -> bool:
+        node = candidate_index
+        while node is not None:
+            if node == ancestor_index:
+                return True
+            node = parents[node]
+        return False
+
+    for candidate_index in range(len(parents)):
+        for ancestor_index in range(len(parents)):
+            expected = is_ancestor(candidate_index, ancestor_index)
+            actual = encoding.is_descendant(concepts[candidate_index], concepts[ancestor_index])
+            assert actual == expected, (candidate_index, ancestor_index)

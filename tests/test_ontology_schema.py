@@ -1,0 +1,142 @@
+"""Tests for RDFS schema extraction and ρdf materialisation."""
+
+from __future__ import annotations
+
+from repro.ontology.rhodf import (
+    apply_domain_range,
+    entailed_types,
+    materialize_rhodf,
+    saturate_properties,
+    saturate_types,
+)
+from repro.ontology.schema import OntologySchema
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import Namespace, OWL_THING, RDF, RDFS
+from repro.rdf.terms import Literal, Triple
+
+EX = Namespace("http://example.org/")
+
+
+def build_schema() -> OntologySchema:
+    schema = OntologySchema()
+    schema.add_subclass(EX.Student, EX.Person)
+    schema.add_subclass(EX.GraduateStudent, EX.Student)
+    schema.add_subclass(EX.UndergraduateStudent, EX.Student)
+    schema.add_subclass(EX.Professor, EX.Person)
+    schema.add_subproperty(EX.worksFor, EX.memberOf)
+    schema.add_subproperty(EX.headOf, EX.worksFor)
+    schema.add_domain(EX.worksFor, EX.Person)
+    schema.add_range(EX.worksFor, EX.Organization)
+    return schema
+
+
+class TestSchemaConstruction:
+    def test_from_graph_extracts_axioms(self):
+        graph = Graph(
+            [
+                Triple(EX.Student, RDFS.subClassOf, EX.Person),
+                Triple(EX.worksFor, RDFS.subPropertyOf, EX.memberOf),
+                Triple(EX.worksFor, RDFS.domain, EX.Person),
+                Triple(EX.worksFor, RDFS.range, EX.Organization),
+            ]
+        )
+        schema = OntologySchema.from_graph(graph)
+        assert schema.concept_parent(EX.Student) == EX.Person
+        assert schema.property_parent(EX.worksFor) == EX.memberOf
+        assert schema.domain_of(EX.worksFor) == EX.Person
+        assert schema.range_of(EX.worksFor) == EX.Organization
+
+    def test_owl_thing_parent_treated_as_root(self):
+        graph = Graph([Triple(EX.Person, RDFS.subClassOf, OWL_THING)])
+        schema = OntologySchema.from_graph(graph)
+        assert schema.concept_parent(EX.Person) is None
+        assert EX.Person in schema.concept_roots()
+
+    def test_non_uri_axioms_ignored(self):
+        graph = Graph([Triple(EX.Person, RDFS.subClassOf, Literal("nope"))])
+        schema = OntologySchema.from_graph(graph)
+        assert EX.Person not in schema.concepts
+
+    def test_multiple_inheritance_keeps_first_parent(self):
+        schema = OntologySchema()
+        schema.add_subclass(EX.TA, EX.Student)
+        schema.add_subclass(EX.TA, EX.Employee)
+        assert schema.concept_parent(EX.TA) == EX.Student
+
+    def test_repr(self):
+        assert "OntologySchema" in repr(build_schema())
+
+
+class TestHierarchyNavigation:
+    def test_children_and_parents(self):
+        schema = build_schema()
+        assert set(schema.concept_children(EX.Student)) == {EX.GraduateStudent, EX.UndergraduateStudent}
+        assert schema.concept_parent(EX.GraduateStudent) == EX.Student
+        assert schema.property_children(EX.worksFor) == [EX.headOf]
+
+    def test_roots(self):
+        schema = build_schema()
+        assert EX.Person in schema.concept_roots()
+        assert EX.memberOf in schema.property_roots()
+
+    def test_subconcepts_transitive(self):
+        schema = build_schema()
+        descendants = set(schema.subconcepts(EX.Person))
+        assert descendants == {EX.Person, EX.Student, EX.GraduateStudent, EX.UndergraduateStudent, EX.Professor}
+        assert schema.subconcepts(EX.Person, include_self=False)[0] != EX.Person
+
+    def test_superconcepts_transitive(self):
+        schema = build_schema()
+        assert schema.superconcepts(EX.GraduateStudent) == [EX.Student, EX.Person]
+        assert schema.superconcepts(EX.GraduateStudent, include_self=True)[0] == EX.GraduateStudent
+
+    def test_subproperties_and_superproperties(self):
+        schema = build_schema()
+        assert set(schema.subproperties(EX.memberOf)) == {EX.memberOf, EX.worksFor, EX.headOf}
+        assert schema.superproperties(EX.headOf) == [EX.worksFor, EX.memberOf]
+
+    def test_is_subconcept_and_subproperty(self):
+        schema = build_schema()
+        assert schema.is_subconcept_of(EX.GraduateStudent, EX.Person)
+        assert not schema.is_subconcept_of(EX.Professor, EX.Student)
+        assert schema.is_subproperty_of(EX.headOf, EX.memberOf)
+        assert not schema.is_subproperty_of(EX.memberOf, EX.headOf)
+
+
+class TestMaterialisation:
+    def build_data(self) -> Graph:
+        return Graph(
+            [
+                Triple(EX.alice, RDF.type, EX.GraduateStudent),
+                Triple(EX.bob, EX.headOf, EX.dept),
+            ]
+        )
+
+    def test_saturate_types_adds_ancestors(self):
+        closed = saturate_types(self.build_data(), build_schema())
+        assert Triple(EX.alice, RDF.type, EX.Student) in closed
+        assert Triple(EX.alice, RDF.type, EX.Person) in closed
+
+    def test_saturate_properties_adds_ancestors(self):
+        closed = saturate_properties(self.build_data(), build_schema())
+        assert Triple(EX.bob, EX.worksFor, EX.dept) in closed
+        assert Triple(EX.bob, EX.memberOf, EX.dept) in closed
+
+    def test_domain_range_adds_types(self):
+        closed = apply_domain_range(
+            Graph([Triple(EX.bob, EX.worksFor, EX.dept)]), build_schema()
+        )
+        assert Triple(EX.bob, RDF.type, EX.Person) in closed
+        assert Triple(EX.dept, RDF.type, EX.Organization) in closed
+
+    def test_full_rhodf_closure_reaches_fixpoint(self):
+        closed = materialize_rhodf(self.build_data(), build_schema())
+        # headOf -> worksFor -> memberOf, domain(worksFor) -> Person.
+        assert Triple(EX.bob, EX.memberOf, EX.dept) in closed
+        assert Triple(EX.bob, RDF.type, EX.Person) in closed
+        # Idempotent: closing again adds nothing.
+        assert len(materialize_rhodf(closed, build_schema())) == len(closed)
+
+    def test_entailed_types(self):
+        types = entailed_types([EX.GraduateStudent], build_schema())
+        assert types == [EX.GraduateStudent, EX.Student, EX.Person]

@@ -1,0 +1,107 @@
+"""Tests for SuccinctEdge store persistence (save / load round trips)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rdf.namespaces import RDF
+from repro.store.persistence import (
+    PersistenceError,
+    dump_store,
+    load_store,
+    load_store_from_bytes,
+    save_store,
+    serialized_size_in_bytes,
+)
+from repro.store.succinct_edge import SuccinctEdge
+from tests.conftest import EX
+
+
+class TestRoundTrip:
+    def test_bytes_round_trip_preserves_triples(self, toy_store, toy_data):
+        payload = dump_store(toy_store)
+        restored = load_store_from_bytes(payload)
+        assert restored.triple_count == toy_store.triple_count
+        assert set(restored.match(None, None, None)) == set(toy_data)
+
+    def test_file_round_trip(self, toy_store, tmp_path):
+        path = tmp_path / "store.sedg"
+        written = save_store(toy_store, str(path))
+        assert path.stat().st_size == written
+        restored = load_store(str(path))
+        assert restored.triple_count == toy_store.triple_count
+
+    def test_queries_agree_after_reload(self, toy_store, toy_data):
+        restored = load_store_from_bytes(dump_store(toy_store))
+        queries = [
+            ("SELECT ?x WHERE { ?x a <http://example.org/Person> }", True),
+            ("SELECT ?x ?d WHERE { ?x <http://example.org/memberOf> ?d }", True),
+            (
+                "SELECT ?x ?n WHERE { ?x a <http://example.org/Department> . "
+                "?y <http://example.org/memberOf> ?x . ?y <http://example.org/name> ?n }",
+                False,
+            ),
+        ]
+        for query, reasoning in queries:
+            assert (
+                restored.query(query, reasoning=reasoning).to_set()
+                == toy_store.query(query, reasoning=reasoning).to_set()
+            )
+
+    def test_litemat_intervals_preserved(self, toy_store):
+        restored = load_store_from_bytes(dump_store(toy_store))
+        for concept in (EX.Person, EX.Student, EX.Department):
+            assert restored.concepts.interval(concept) == toy_store.concepts.interval(concept)
+        for prop in (EX.memberOf, EX.worksFor, EX.headOf):
+            assert restored.properties.interval(prop) == toy_store.properties.interval(prop)
+
+    def test_statistics_preserved(self, toy_store):
+        restored = load_store_from_bytes(dump_store(toy_store))
+        assert restored.statistics.concept_cardinality(EX.Person) == toy_store.statistics.concept_cardinality(EX.Person)
+        assert restored.statistics.property_cardinality(EX.memberOf) == toy_store.statistics.property_cardinality(EX.memberOf)
+        assert restored.statistics.instance_cardinality(EX.alice) == toy_store.statistics.instance_cardinality(EX.alice)
+
+    def test_schema_preserved(self, toy_store):
+        restored = load_store_from_bytes(dump_store(toy_store))
+        assert restored.schema.is_subconcept_of(EX.GraduateStudent, EX.Person)
+        assert restored.schema.is_subproperty_of(EX.headOf, EX.memberOf)
+
+    def test_engie_store_round_trip(self, engie_store, engie_graph):
+        restored = load_store_from_bytes(dump_store(engie_store))
+        assert set(restored.match(None, None, None)) == set(engie_graph)
+
+    def test_small_lubm_round_trip_counts(self, small_lubm_store):
+        restored = load_store_from_bytes(dump_store(small_lubm_store))
+        assert restored.lubm_style_summary() == small_lubm_store.lubm_style_summary()
+
+
+class TestSizeAccounting:
+    def test_serialized_size_matches_dump(self, toy_store):
+        assert serialized_size_in_bytes(toy_store) == len(dump_store(toy_store))
+
+    def test_serialized_size_grows_with_data(self, toy_store, engie_store):
+        assert serialized_size_in_bytes(engie_store) > serialized_size_in_bytes(toy_store)
+
+
+class TestErrorHandling:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(PersistenceError):
+            load_store_from_bytes(b"NOPE" + b"\x00" * 16)
+
+    def test_truncated_payload_rejected(self, toy_store):
+        payload = dump_store(toy_store)
+        with pytest.raises(PersistenceError):
+            load_store_from_bytes(payload[: len(payload) // 2])
+
+    def test_wrong_version_rejected(self, toy_store):
+        payload = bytearray(dump_store(toy_store))
+        payload[4] = 99  # corrupt the version field
+        with pytest.raises(PersistenceError):
+            load_store_from_bytes(bytes(payload))
+
+    def test_empty_store_round_trip(self):
+        from repro.rdf.graph import Graph
+
+        store = SuccinctEdge.from_graph(Graph())
+        restored = load_store_from_bytes(dump_store(store))
+        assert restored.triple_count == 0

@@ -1,0 +1,110 @@
+"""Tests for the in-memory Graph and the namespaces helpers."""
+
+from __future__ import annotations
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import LUBM, Namespace, RDF, SOSA, WELL_KNOWN_PREFIXES
+from repro.rdf.terms import Literal, Triple, URI
+
+EX = Namespace("http://example.org/")
+
+
+def triple(s, p, o) -> Triple:
+    return Triple(s, p, o)
+
+
+class TestNamespace:
+    def test_attribute_and_item_access(self):
+        assert SOSA.Sensor == URI("http://www.w3.org/ns/sosa/Sensor")
+        assert SOSA["observes"] == URI("http://www.w3.org/ns/sosa/observes")
+
+    def test_contains(self):
+        assert SOSA.Sensor in SOSA
+        assert LUBM.Person not in SOSA
+
+    def test_well_known_prefixes_cover_paper_vocabularies(self):
+        for prefix in ("rdf", "rdfs", "sosa", "qudt", "lubm", "unit"):
+            assert prefix in WELL_KNOWN_PREFIXES
+
+
+class TestGraphMutation:
+    def test_add_deduplicates(self):
+        graph = Graph()
+        t = triple(EX.s, EX.p, EX.o)
+        assert graph.add(t) is True
+        assert graph.add(t) is False
+        assert len(graph) == 1
+
+    def test_add_triple_convenience(self):
+        graph = Graph()
+        assert graph.add_triple(EX.s, EX.p, Literal("x")) is True
+        assert len(graph) == 1
+
+    def test_update_counts_new_triples(self):
+        graph = Graph()
+        triples = [triple(EX.s, EX.p, EX.o), triple(EX.s, EX.p, EX.o2)]
+        assert graph.update(triples) == 2
+        assert graph.update(triples) == 0
+
+    def test_insertion_order_preserved(self):
+        graph = Graph()
+        first = triple(EX.b, EX.p, EX.o)
+        second = triple(EX.a, EX.p, EX.o)
+        graph.add(first)
+        graph.add(second)
+        assert list(graph) == [first, second]
+
+    def test_contains(self):
+        graph = Graph([triple(EX.s, EX.p, EX.o)])
+        assert triple(EX.s, EX.p, EX.o) in graph
+        assert triple(EX.s, EX.p, EX.o2) not in graph
+
+
+class TestGraphQueries:
+    def setup_method(self):
+        self.graph = Graph(
+            [
+                triple(EX.alice, RDF.type, EX.Person),
+                triple(EX.bob, RDF.type, EX.Person),
+                triple(EX.alice, EX.knows, EX.bob),
+                triple(EX.alice, EX.name, Literal("Alice")),
+                triple(EX.bob, EX.name, Literal("Bob")),
+            ]
+        )
+
+    def test_triples_pattern_matching(self):
+        assert len(list(self.graph.triples(EX.alice, None, None))) == 3
+        assert len(list(self.graph.triples(None, EX.name, None))) == 2
+        assert len(list(self.graph.triples(None, None, EX.bob))) == 1
+        assert len(list(self.graph.triples(EX.alice, EX.name, Literal("Alice")))) == 1
+        assert len(list(self.graph.triples(EX.alice, EX.name, Literal("Bob")))) == 0
+
+    def test_subjects_objects(self):
+        assert set(self.graph.subjects(RDF.type, EX.Person)) == {EX.alice, EX.bob}
+        assert list(self.graph.objects(EX.alice, EX.knows)) == [EX.bob]
+
+    def test_predicates_distinct_in_order(self):
+        assert self.graph.predicates() == [RDF.type, EX.knows, EX.name]
+
+    def test_types_and_instances(self):
+        assert self.graph.types_of(EX.alice) == [EX.Person]
+        assert self.graph.instances_of(EX.Person) == [EX.alice, EX.bob]
+
+    def test_term_counts(self):
+        subjects, predicates, objects = self.graph.term_counts()
+        assert subjects == 2
+        assert predicates == 3
+        assert objects == 4
+
+    def test_head_slices_in_order(self):
+        head = self.graph.head(2)
+        assert len(head) == 2
+        assert list(head) == list(self.graph)[:2]
+
+    def test_copy_is_independent(self):
+        copy = self.graph.copy()
+        copy.add(triple(EX.new, EX.p, EX.o))
+        assert len(copy) == len(self.graph) + 1
+
+    def test_literals(self):
+        assert self.graph.literals() == [Literal("Alice"), Literal("Bob")]

@@ -1,0 +1,165 @@
+"""Tests for the N-Triples and Turtle parsers/serialisers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import RDF, SOSA
+from repro.rdf.ntriples import (
+    NTriplesParseError,
+    parse_ntriples,
+    parse_ntriples_line,
+    read_ntriples,
+    serialize_ntriples,
+    write_ntriples,
+)
+from repro.rdf.terms import BlankNode, Literal, Triple, URI
+from repro.rdf.turtle import TurtleParseError, parse_turtle, read_turtle
+
+
+class TestNTriplesParsing:
+    def test_simple_statement(self):
+        triple = parse_ntriples_line("<http://s> <http://p> <http://o> .")
+        assert triple == Triple(URI("http://s"), URI("http://p"), URI("http://o"))
+
+    def test_literal_object(self):
+        triple = parse_ntriples_line('<http://s> <http://p> "hello" .')
+        assert triple.object == Literal("hello")
+
+    def test_typed_literal(self):
+        line = '<http://s> <http://p> "3.5"^^<http://www.w3.org/2001/XMLSchema#double> .'
+        triple = parse_ntriples_line(line)
+        assert triple.object.datatype.endswith("double")
+        assert triple.object.to_python() == pytest.approx(3.5)
+
+    def test_language_literal(self):
+        triple = parse_ntriples_line('<http://s> <http://p> "bonjour"@fr .')
+        assert triple.object.language == "fr"
+
+    def test_blank_nodes(self):
+        triple = parse_ntriples_line("_:a <http://p> _:b .")
+        assert triple.subject == BlankNode("a")
+        assert triple.object == BlankNode("b")
+
+    def test_escaped_characters(self):
+        triple = parse_ntriples_line('<http://s> <http://p> "line\\nbreak \\"q\\"" .')
+        assert triple.object.lexical == 'line\nbreak "q"'
+
+    def test_missing_dot_raises(self):
+        with pytest.raises(NTriplesParseError):
+            parse_ntriples_line("<http://s> <http://p> <http://o>")
+
+    def test_garbage_raises(self):
+        with pytest.raises(NTriplesParseError):
+            parse_ntriples_line("this is not a triple .")
+
+    def test_document_with_comments_and_blanks(self):
+        document = """
+        # a comment
+        <http://s> <http://p> <http://o> .
+
+        <http://s> <http://p> "x" .
+        """
+        graph = parse_ntriples(document)
+        assert len(graph) == 2
+
+    def test_round_trip(self):
+        graph = Graph(
+            [
+                Triple(URI("http://s"), RDF.type, SOSA.Sensor),
+                Triple(URI("http://s"), URI("http://p"), Literal("v", language="en")),
+                Triple(BlankNode("r"), URI("http://q"), Literal(2.5)),
+            ]
+        )
+        text = serialize_ntriples(graph)
+        parsed = parse_ntriples(text)
+        assert set(parsed) == set(graph)
+
+    def test_file_round_trip(self, tmp_path):
+        graph = Graph([Triple(URI("http://s"), URI("http://p"), Literal(1))])
+        path = tmp_path / "data.nt"
+        written = write_ntriples(graph, str(path))
+        assert written == 1
+        assert set(read_ntriples(str(path))) == set(graph)
+
+
+class TestTurtleParsing:
+    def test_prefixes_and_a_keyword(self):
+        graph = parse_turtle(
+            """
+            @prefix ex: <http://example.org/> .
+            ex:s a ex:Thing .
+            """
+        )
+        assert Triple(URI("http://example.org/s"), RDF.type, URI("http://example.org/Thing")) in graph
+
+    def test_predicate_and_object_lists(self):
+        graph = parse_turtle(
+            """
+            @prefix ex: <http://example.org/> .
+            ex:s ex:p ex:o1, ex:o2 ; ex:q "v" .
+            """
+        )
+        assert len(graph) == 3
+
+    def test_numbers_and_booleans(self):
+        graph = parse_turtle(
+            """
+            @prefix ex: <http://example.org/> .
+            ex:s ex:int 42 ; ex:dec 3.14 ; ex:flag true .
+            """
+        )
+        objects = {t.predicate.local_name: t.object for t in graph}
+        assert objects["int"].to_python() == 42
+        assert objects["dec"].to_python() == pytest.approx(3.14)
+        assert objects["flag"].to_python() is True
+
+    def test_sparql_style_prefix(self):
+        graph = parse_turtle(
+            """
+            PREFIX ex: <http://example.org/>
+            ex:s ex:p ex:o .
+            """
+        )
+        assert len(graph) == 1
+
+    def test_well_known_prefixes_usable_without_declaration(self):
+        graph = parse_turtle("<http://x> a sosa:Sensor .")
+        assert Triple(URI("http://x"), RDF.type, SOSA.Sensor) in graph
+
+    def test_blank_node_labels(self):
+        graph = parse_turtle("_:r <http://p> \"1\" .")
+        assert list(graph)[0].subject == BlankNode("r")
+
+    def test_typed_literal_with_prefixed_datatype(self):
+        graph = parse_turtle(
+            """
+            @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+            <http://s> <http://p> "2.0"^^xsd:double .
+            """
+        )
+        assert list(graph)[0].object.datatype.endswith("double")
+
+    def test_unknown_prefix_raises(self):
+        with pytest.raises(TurtleParseError):
+            parse_turtle("zzz:s zzz:p zzz:o .")
+
+    def test_literal_subject_raises(self):
+        with pytest.raises(TurtleParseError):
+            parse_turtle('"oops" <http://p> <http://o> .')
+
+    def test_comments_ignored(self):
+        graph = parse_turtle(
+            """
+            # heading comment
+            <http://s> <http://p> <http://o> . # trailing comment
+            """
+        )
+        assert len(graph) == 1
+
+    def test_file_reading(self, tmp_path):
+        path = tmp_path / "onto.ttl"
+        path.write_text("@prefix ex: <http://example.org/> .\nex:A a ex:B .\n", encoding="utf-8")
+        graph = read_turtle(str(path))
+        assert len(graph) == 1

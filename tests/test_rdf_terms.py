@@ -1,0 +1,128 @@
+"""Tests for RDF terms and triples."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rdf.terms import (
+    BlankNode,
+    Literal,
+    Triple,
+    URI,
+    XSD_BOOLEAN,
+    XSD_DATETIME,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+    XSD_STRING,
+)
+
+
+class TestURI:
+    def test_value_and_str(self):
+        uri = URI("http://example.org/thing")
+        assert str(uri) == "http://example.org/thing"
+        assert uri.n3() == "<http://example.org/thing>"
+
+    def test_empty_value_raises(self):
+        with pytest.raises(ValueError):
+            URI("")
+
+    def test_equality_and_hash(self):
+        assert URI("http://a") == URI("http://a")
+        assert URI("http://a") != URI("http://b")
+        assert len({URI("http://a"), URI("http://a")}) == 1
+
+    def test_local_name_with_hash_and_slash(self):
+        assert URI("http://example.org/onto#Person").local_name == "Person"
+        assert URI("http://example.org/data/alice").local_name == "alice"
+        assert URI("urn:isbn").local_name == "urn:isbn"
+
+    def test_ordering(self):
+        assert URI("http://a") < URI("http://b")
+        # URIs sort before blank nodes which sort before literals.
+        assert URI("http://z") < BlankNode("a")
+        assert BlankNode("z") < Literal("a")
+
+
+class TestBlankNode:
+    def test_label_and_n3(self):
+        node = BlankNode("b0")
+        assert str(node) == "_:b0"
+        assert node.n3() == "_:b0"
+
+    def test_empty_label_raises(self):
+        with pytest.raises(ValueError):
+            BlankNode("")
+
+    def test_equality(self):
+        assert BlankNode("x") == BlankNode("x")
+        assert BlankNode("x") != BlankNode("y")
+        assert BlankNode("x") != URI("x")
+
+
+class TestLiteral:
+    def test_plain_string_gets_xsd_string(self):
+        literal = Literal("hello")
+        assert literal.lexical == "hello"
+        assert literal.datatype == XSD_STRING
+        assert literal.language is None
+
+    def test_integer_coercion(self):
+        literal = Literal(42)
+        assert literal.lexical == "42"
+        assert literal.datatype == XSD_INTEGER
+        assert literal.to_python() == 42
+
+    def test_float_coercion(self):
+        literal = Literal(3.5)
+        assert literal.datatype == XSD_DOUBLE
+        assert literal.to_python() == pytest.approx(3.5)
+
+    def test_boolean_coercion(self):
+        assert Literal(True).lexical == "true"
+        assert Literal(False).to_python() is False
+        assert Literal(True).datatype == XSD_BOOLEAN
+
+    def test_language_tag(self):
+        literal = Literal("bonjour", language="fr")
+        assert literal.language == "fr"
+        assert literal.n3() == '"bonjour"@fr'
+
+    def test_language_and_datatype_conflict(self):
+        with pytest.raises(ValueError):
+            Literal("x", datatype=XSD_STRING, language="en")
+
+    def test_typed_literal_n3(self):
+        literal = Literal("2020-06-01T00:00:00", datatype=XSD_DATETIME)
+        assert literal.n3() == f'"2020-06-01T00:00:00"^^<{XSD_DATETIME}>'
+
+    def test_plain_literal_n3_escaping(self):
+        literal = Literal('say "hi"\n')
+        assert literal.n3() == '"say \\"hi\\"\\n"'
+
+    def test_is_numeric(self):
+        assert Literal(1).is_numeric
+        assert Literal(1.5).is_numeric
+        assert not Literal("one").is_numeric
+
+    def test_equality_considers_datatype(self):
+        assert Literal("1", datatype=XSD_INTEGER) != Literal("1")
+        assert Literal("a") == Literal("a")
+
+
+class TestTriple:
+    def test_fields_and_n3(self):
+        triple = Triple(URI("http://s"), URI("http://p"), Literal("o"))
+        assert triple.subject == URI("http://s")
+        assert triple.predicate == URI("http://p")
+        assert triple.object == Literal("o")
+        assert triple.n3() == '<http://s> <http://p> "o" .'
+
+    def test_named_tuple_unpacking(self):
+        subject, predicate, obj = Triple(URI("http://s"), URI("http://p"), URI("http://o"))
+        assert (subject, predicate, obj) == (URI("http://s"), URI("http://p"), URI("http://o"))
+
+    def test_hashable(self):
+        a = Triple(URI("http://s"), URI("http://p"), URI("http://o"))
+        b = Triple(URI("http://s"), URI("http://p"), URI("http://o"))
+        assert len({a, b}) == 1

@@ -1,0 +1,94 @@
+"""Tests for the UNION-rewriting reasoning used by the baseline systems."""
+
+from __future__ import annotations
+
+from repro.ontology.rewriting import (
+    count_union_branches,
+    expand_triple_pattern,
+    rewrite_bgp_with_unions,
+    rewrite_query_with_unions,
+)
+from repro.ontology.schema import OntologySchema
+from repro.rdf.namespaces import Namespace, RDF
+from repro.rdf.terms import URI
+from repro.sparql.ast import BasicGraphPattern, TriplePattern, Variable
+from repro.sparql.parser import parse_query
+
+EX = Namespace("http://example.org/")
+
+
+def schema() -> OntologySchema:
+    s = OntologySchema()
+    s.add_subclass(EX.GraduateStudent, EX.Student)
+    s.add_subclass(EX.UndergraduateStudent, EX.Student)
+    s.add_subproperty(EX.worksFor, EX.memberOf)
+    s.add_subproperty(EX.headOf, EX.worksFor)
+    return s
+
+
+class TestPatternExpansion:
+    def test_rdf_type_pattern_expands_over_subconcepts(self):
+        pattern = TriplePattern(Variable("x"), RDF.type, EX.Student)
+        variants = expand_triple_pattern(pattern, schema())
+        objects = {variant.object for variant in variants}
+        assert objects == {EX.Student, EX.GraduateStudent, EX.UndergraduateStudent}
+
+    def test_property_pattern_expands_over_subproperties(self):
+        pattern = TriplePattern(Variable("x"), EX.memberOf, Variable("y"))
+        variants = expand_triple_pattern(pattern, schema())
+        predicates = {variant.predicate for variant in variants}
+        assert predicates == {EX.memberOf, EX.worksFor, EX.headOf}
+
+    def test_leaf_terms_do_not_expand(self):
+        pattern = TriplePattern(Variable("x"), EX.name, Variable("y"))
+        assert expand_triple_pattern(pattern, schema()) == [pattern]
+        type_pattern = TriplePattern(Variable("x"), RDF.type, EX.GraduateStudent)
+        assert expand_triple_pattern(type_pattern, schema()) == [type_pattern]
+
+
+class TestBgpRewriting:
+    def test_cross_product_of_expansions(self):
+        bgp = BasicGraphPattern(
+            patterns=[
+                TriplePattern(Variable("x"), RDF.type, EX.Student),
+                TriplePattern(Variable("x"), EX.memberOf, Variable("y")),
+            ]
+        )
+        branches = rewrite_bgp_with_unions(bgp, schema())
+        assert len(branches) == 3 * 3
+        assert all(len(branch.patterns) == 2 for branch in branches)
+
+    def test_count_union_branches(self):
+        query = parse_query(
+            "SELECT ?x ?y WHERE { ?x a <http://example.org/Student> . ?x <http://example.org/memberOf> ?y }"
+        )
+        assert count_union_branches(query, schema()) == 9
+
+
+class TestQueryRewriting:
+    def test_query_without_inference_unchanged(self):
+        query = parse_query("SELECT ?x WHERE { ?x <http://example.org/name> ?n }")
+        assert rewrite_query_with_unions(query, schema()) is query
+
+    def test_rewritten_query_has_union_branches(self):
+        query = parse_query("SELECT ?x WHERE { ?x a <http://example.org/Student> }")
+        rewritten = rewrite_query_with_unions(query, schema())
+        assert rewritten is not query
+        assert len(rewritten.where.bgp) == 0
+        assert len(rewritten.where.unions) == 1
+        assert len(rewritten.where.unions[0].branches) == 3
+
+    def test_filters_copied_into_every_branch(self):
+        query = parse_query(
+            "SELECT ?x WHERE { ?x a <http://example.org/Student> . ?x <http://example.org/age> ?v . FILTER(?v > 20) }"
+        )
+        rewritten = rewrite_query_with_unions(query, schema())
+        for branch in rewritten.where.unions[0].branches:
+            assert len(branch.filters) == 1
+
+    def test_projection_preserved(self):
+        query = parse_query("SELECT DISTINCT ?x WHERE { ?x a <http://example.org/Student> } LIMIT 3")
+        rewritten = rewrite_query_with_unions(query, schema())
+        assert rewritten.distinct
+        assert rewritten.limit == 3
+        assert rewritten.projected_names() == ["x"]

@@ -1,0 +1,74 @@
+"""Tests for the fixed-width packed integer sequence."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sds.int_sequence import IntSequence
+
+
+class TestBasics:
+    def test_empty(self):
+        seq = IntSequence([])
+        assert len(seq) == 0
+        assert seq.to_list() == []
+
+    def test_round_trip(self):
+        values = [5, 0, 17, 3, 255, 1]
+        seq = IntSequence(values)
+        assert seq.to_list() == values
+        assert [seq[i] for i in range(len(values))] == values
+
+    def test_width_derived_from_max_value(self):
+        assert IntSequence([0, 1]).width == 1
+        assert IntSequence([7]).width == 3
+        assert IntSequence([255]).width == 8
+
+    def test_explicit_width(self):
+        seq = IntSequence([1, 2, 3], width=16)
+        assert seq.width == 16
+        assert seq.to_list() == [1, 2, 3]
+
+    def test_value_too_wide_raises(self):
+        with pytest.raises(ValueError):
+            IntSequence([16], width=4)
+
+    def test_negative_value_raises(self):
+        with pytest.raises(ValueError):
+            IntSequence([-1])
+
+    def test_access_out_of_range(self):
+        seq = IntSequence([1, 2])
+        with pytest.raises(IndexError):
+            seq.access(2)
+
+    def test_equality_and_hash(self):
+        assert IntSequence([1, 2, 3]) == IntSequence([1, 2, 3])
+        assert IntSequence([1, 2, 3]) != IntSequence([1, 2, 4])
+        assert hash(IntSequence([9])) == hash(IntSequence([9]))
+
+    def test_from_iterable(self):
+        assert IntSequence.from_iterable(range(5)).to_list() == [0, 1, 2, 3, 4]
+
+    def test_repr(self):
+        assert "IntSequence" in repr(IntSequence([1, 2]))
+
+
+class TestSizeAccounting:
+    def test_packed_size_is_compact(self):
+        # 1000 values of width 4 bits -> 500 bytes, far below 1000 * 8.
+        seq = IntSequence([i % 16 for i in range(1000)])
+        assert seq.size_in_bytes() == (1000 * 4 + 7) // 8
+
+    def test_size_scales_with_width(self):
+        narrow = IntSequence([1] * 100)
+        wide = IntSequence([1] * 100, width=32)
+        assert wide.size_in_bytes() > narrow.size_in_bytes()
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=st.lists(st.integers(min_value=0, max_value=10**9), max_size=300))
+def test_property_round_trip(values):
+    assert IntSequence(values).to_list() == values

@@ -1,0 +1,153 @@
+"""Tests for the red-black tree backing the RDFType store."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sds.rbtree import RedBlackTree
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = RedBlackTree()
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+        assert 5 not in tree
+        assert tree.get(5) is None
+        tree.check_invariants()
+
+    def test_insert_and_lookup(self):
+        tree = RedBlackTree()
+        tree.insert(3, "three")
+        tree.insert(1, "one")
+        tree.insert(2, "two")
+        assert tree[1] == "one"
+        assert tree[2] == "two"
+        assert tree[3] == "three"
+        assert len(tree) == 3
+
+    def test_missing_key_raises(self):
+        tree = RedBlackTree()
+        tree.insert(1, "one")
+        with pytest.raises(KeyError):
+            tree[2]
+
+    def test_setitem_and_get(self):
+        tree = RedBlackTree()
+        tree[10] = "a"
+        assert tree.get(10) == "a"
+        assert tree.get(11, "default") == "default"
+
+    def test_duplicate_insert_overwrites(self):
+        tree = RedBlackTree()
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree[1] == "b"
+        assert len(tree) == 1
+
+    def test_in_order_iteration(self):
+        tree = RedBlackTree()
+        for key in [5, 3, 8, 1, 4, 7, 9]:
+            tree.insert(key, key * 10)
+        assert list(tree.keys()) == [1, 3, 4, 5, 7, 8, 9]
+        assert list(tree.values()) == [10, 30, 40, 50, 70, 80, 90]
+        assert list(tree) == list(tree.keys())
+
+    def test_min_max(self):
+        tree = RedBlackTree()
+        for key in [5, 3, 8]:
+            tree.insert(key)
+        assert tree.min_key() == 3
+        assert tree.max_key() == 8
+
+    def test_min_max_empty_raises(self):
+        with pytest.raises(KeyError):
+            RedBlackTree().min_key()
+        with pytest.raises(KeyError):
+            RedBlackTree().max_key()
+
+    def test_tuple_keys_range(self):
+        tree = RedBlackTree()
+        pairs = [(1, 10), (1, 20), (2, 5), (2, 6), (3, 1)]
+        for pair in pairs:
+            tree.insert(pair)
+        selected = [key for key, _ in tree.range_items((2, -1), (3, -1))]
+        assert selected == [(2, 5), (2, 6)]
+
+    def test_size_in_bytes(self):
+        tree = RedBlackTree()
+        for key in range(100):
+            tree.insert(key)
+        assert tree.size_in_bytes() == 100 * 5 * 8
+
+
+class TestInvariants:
+    def test_sequential_insert_keeps_balance(self):
+        tree = RedBlackTree()
+        for key in range(500):
+            tree.insert(key, key)
+        tree.check_invariants()
+        assert list(tree.keys()) == list(range(500))
+
+    def test_reverse_insert_keeps_balance(self):
+        tree = RedBlackTree()
+        for key in reversed(range(500)):
+            tree.insert(key, key)
+        tree.check_invariants()
+        assert list(tree.keys()) == list(range(500))
+
+    def test_random_insert_matches_dict(self):
+        rng = random.Random(5)
+        tree = RedBlackTree()
+        reference = {}
+        for _ in range(2000):
+            key = rng.randrange(10_000)
+            value = rng.randrange(100)
+            tree.insert(key, value)
+            reference[key] = value
+        tree.check_invariants()
+        assert list(tree.items()) == sorted(reference.items())
+
+
+class TestRangeItems:
+    def test_range_is_half_open(self):
+        tree = RedBlackTree()
+        for key in range(10):
+            tree.insert(key, key)
+        assert [k for k, _ in tree.range_items(3, 7)] == [3, 4, 5, 6]
+
+    def test_range_outside_keys(self):
+        tree = RedBlackTree()
+        for key in (2, 4, 6):
+            tree.insert(key)
+        assert list(tree.range_items(7, 100)) == []
+        assert [k for k, _ in tree.range_items(-10, 100)] == [2, 4, 6]
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=st.lists(st.integers(min_value=0, max_value=10_000), max_size=400))
+def test_property_invariants_and_order(keys):
+    tree = RedBlackTree()
+    for key in keys:
+        tree.insert(key, key * 2)
+    tree.check_invariants()
+    assert list(tree.keys()) == sorted(set(keys))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=1000), max_size=200),
+    low=st.integers(min_value=0, max_value=1000),
+    span=st.integers(min_value=0, max_value=500),
+)
+def test_property_range_items_matches_filter(keys, low, span):
+    tree = RedBlackTree()
+    for key in keys:
+        tree.insert(key, None)
+    high = low + span
+    expected = sorted(k for k in set(keys) if low <= k < high)
+    assert [k for k, _ in tree.range_items(low, high)] == expected

@@ -1,0 +1,195 @@
+"""Tests for FILTER / BIND expression evaluation and solution bindings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rdf.terms import Literal, URI
+from repro.sparql.ast import (
+    Arithmetic,
+    BooleanExpression,
+    Comparison,
+    FunctionCall,
+    Negation,
+    Variable,
+)
+from repro.sparql.bindings import Binding, ResultSet
+from repro.sparql.expressions import (
+    ExpressionError,
+    effective_boolean_value,
+    evaluate,
+    evaluate_bind,
+    evaluate_filter,
+    to_number,
+    to_string,
+    to_term,
+)
+from repro.sparql.parser import parse_query
+
+
+def filter_expression(text: str):
+    """Parse the FILTER expression out of a minimal query."""
+    query = parse_query(f"SELECT ?v WHERE {{ ?x <http://p> ?v FILTER({text}) }}")
+    return query.where.filters[0].expression
+
+
+class TestComparisons:
+    def test_numeric_comparisons(self):
+        binding = Binding({"v": Literal(3.2)})
+        assert evaluate_filter(filter_expression("?v > 3"), binding)
+        assert evaluate_filter(filter_expression("?v < 4"), binding)
+        assert not evaluate_filter(filter_expression("?v >= 4"), binding)
+        assert evaluate_filter(filter_expression("?v != 5"), binding)
+
+    def test_numeric_comparison_across_datatypes(self):
+        binding = Binding({"v": Literal("42", datatype="http://www.w3.org/2001/XMLSchema#integer")})
+        assert evaluate_filter(filter_expression("?v = 42.0"), binding)
+
+    def test_string_comparison(self):
+        binding = Binding({"v": Literal("Alice")})
+        assert evaluate_filter(filter_expression('?v = "Alice"'), binding)
+        assert not evaluate_filter(filter_expression('?v = "Bob"'), binding)
+
+    def test_uri_comparison_via_str(self):
+        binding = Binding({"v": URI("http://example.org/x")})
+        assert evaluate_filter(filter_expression('str(?v) = "http://example.org/x"'), binding)
+
+    def test_unbound_variable_makes_filter_false(self):
+        assert not evaluate_filter(filter_expression("?missing > 1"), Binding())
+
+
+class TestBooleanLogic:
+    def test_or_and(self):
+        binding = Binding({"v": Literal(10)})
+        assert evaluate_filter(filter_expression("?v < 3 || ?v > 5"), binding)
+        assert not evaluate_filter(filter_expression("?v < 3 && ?v > 5"), binding)
+        assert evaluate_filter(filter_expression("?v > 3 && ?v < 50"), binding)
+
+    def test_negation(self):
+        binding = Binding({"v": Literal(10)})
+        assert evaluate_filter(filter_expression("!(?v < 3)"), binding)
+
+    def test_effective_boolean_value(self):
+        assert effective_boolean_value(True) is True
+        assert effective_boolean_value(0) is False
+        assert effective_boolean_value("x") is True
+        assert effective_boolean_value("") is False
+        assert effective_boolean_value(Literal(0)) is False
+        assert effective_boolean_value(URI("http://x")) is True
+        assert effective_boolean_value(None) is None
+
+
+class TestArithmetic:
+    def test_basic_operations(self):
+        binding = Binding({"v": Literal(8.0)})
+        assert evaluate(filter_expression("?v + 2"), binding) == pytest.approx(10.0)
+        assert evaluate(filter_expression("?v - 2"), binding) == pytest.approx(6.0)
+        assert evaluate(filter_expression("?v * 2"), binding) == pytest.approx(16.0)
+        assert evaluate(filter_expression("?v / 2"), binding) == pytest.approx(4.0)
+
+    def test_division_by_zero_is_error(self):
+        with pytest.raises(ExpressionError):
+            evaluate(filter_expression("?v / 0"), Binding({"v": Literal(1)}))
+
+    def test_filter_swallows_errors(self):
+        assert not evaluate_filter(filter_expression("?v / 0 > 1"), Binding({"v": Literal(1)}))
+
+
+class TestFunctions:
+    def test_str_of_uri(self):
+        binding = Binding({"u": URI("http://qudt.org/vocab/unit/BAR")})
+        assert evaluate(filter_expression('regex(str(?u), "BAR")'), binding) is True
+
+    def test_regex_case_insensitive_flag(self):
+        binding = Binding({"v": Literal("Pressure")})
+        assert evaluate(filter_expression('regex(?v, "pressure", "i")'), binding) is True
+
+    def test_if_branches(self):
+        binding = Binding({"v": Literal(3500.0), "u": URI("http://qudt.org/vocab/unit/HectoPA")})
+        expression = filter_expression(
+            'if(regex(str(?u), "BAR"), ?v, if(regex(str(?u), "HectoPA"), ?v / 1000, 0))'
+        )
+        assert evaluate(expression, binding) == pytest.approx(3.5)
+
+    def test_bound(self):
+        assert evaluate(filter_expression("bound(?v)"), Binding({"v": Literal(1)})) is True
+        assert evaluate(filter_expression("bound(?v)"), Binding()) is False
+
+    def test_abs(self):
+        assert evaluate(filter_expression("abs(?v)"), Binding({"v": Literal(-4)})) == 4
+
+    def test_isuri_isliteral(self):
+        binding = Binding({"v": URI("http://x"), "w": Literal("x")})
+        assert evaluate(filter_expression("isURI(?v)"), binding) is True
+        assert evaluate(filter_expression("isLiteral(?w)"), binding) is True
+        assert evaluate(filter_expression("isLiteral(?v)"), binding) is False
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(ExpressionError):
+            evaluate(FunctionCall(name="nosuchfunction", arguments=()), Binding())
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(ExpressionError):
+            evaluate(FunctionCall(name="str", arguments=()), Binding())
+
+
+class TestConversions:
+    def test_to_number(self):
+        assert to_number(Literal("2.5")) == pytest.approx(2.5)
+        assert to_number("7") == 7
+        assert to_number(Literal("abc")) is None
+        assert to_number(True) is None
+
+    def test_to_string(self):
+        assert to_string(URI("http://x")) == "http://x"
+        assert to_string(Literal("v")) == "v"
+        assert to_string(False) == "false"
+        assert to_string(None) is None
+
+    def test_to_term(self):
+        assert to_term(2.0) == Literal("2.0", datatype="http://www.w3.org/2001/XMLSchema#double")
+        assert to_term(True).datatype.endswith("boolean")
+        assert to_term(None) is None
+        assert to_term(URI("http://x")) == URI("http://x")
+
+    def test_evaluate_bind_returns_term(self):
+        value = evaluate_bind(filter_expression("?v * 2"), Binding({"v": Literal(2)}))
+        assert value is not None
+        assert float(value.lexical) == pytest.approx(4.0)
+
+
+class TestBindings:
+    def test_extended_does_not_mutate(self):
+        binding = Binding({"a": Literal(1)})
+        extended = binding.extended("b", Literal(2))
+        assert "b" not in binding
+        assert extended["b"] == Literal(2)
+
+    def test_merged_conflict_returns_none(self):
+        left = Binding({"a": Literal(1)})
+        right = Binding({"a": Literal(2)})
+        assert left.merged(right) is None
+        assert left.compatible(right) is False
+
+    def test_merged_union(self):
+        left = Binding({"a": Literal(1)})
+        right = Binding({"b": Literal(2)})
+        merged = left.merged(right)
+        assert merged is not None
+        assert set(merged) == {"a", "b"}
+
+    def test_project(self):
+        binding = Binding({"a": Literal(1), "b": Literal(2)})
+        projected = binding.project(["a", "missing"])
+        assert set(projected) == {"a"}
+
+    def test_result_set_tuples_and_distinct(self):
+        rows = [Binding({"x": Literal(1)}), Binding({"x": Literal(1)}), Binding({"x": Literal(2)})]
+        result = ResultSet(["x"], rows)
+        assert len(result) == 3
+        assert len(result.distinct()) == 2
+        assert result.to_set() == {(Literal(1),), (Literal(2),)}
+
+    def test_binding_equality_and_hash(self):
+        assert Binding({"a": Literal(1)}) == Binding({"a": Literal(1)})
+        assert len({Binding({"a": Literal(1)}), Binding({"a": Literal(1)})}) == 1

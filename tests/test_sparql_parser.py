@@ -1,0 +1,178 @@
+"""Tests for the SPARQL parser (supported subset)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rdf.namespaces import LUBM, RDF
+from repro.rdf.terms import Literal, URI
+from repro.sparql.ast import (
+    Arithmetic,
+    BooleanExpression,
+    Comparison,
+    FunctionCall,
+    TriplePattern,
+    Variable,
+)
+from repro.sparql.parser import SparqlParseError, parse_query
+
+
+class TestSelectClause:
+    def test_projected_variables(self):
+        query = parse_query("SELECT ?x ?y WHERE { ?x <http://p> ?y }")
+        assert query.projected_names() == ["x", "y"]
+        assert not query.distinct
+        assert query.limit is None
+
+    def test_select_star_projects_all_variables(self):
+        query = parse_query("SELECT * WHERE { ?a <http://p> ?b . ?b <http://q> ?c }")
+        assert query.projected_names() == ["a", "b", "c"]
+
+    def test_distinct_flag(self):
+        query = parse_query("SELECT DISTINCT ?x WHERE { ?x <http://p> ?y }")
+        assert query.distinct
+
+    def test_limit(self):
+        query = parse_query("SELECT ?x WHERE { ?x <http://p> ?y } LIMIT 7")
+        assert query.limit == 7
+
+    def test_missing_projection_raises(self):
+        with pytest.raises(SparqlParseError):
+            parse_query("SELECT WHERE { ?x <http://p> ?y }")
+
+    def test_where_keyword_optional(self):
+        query = parse_query("SELECT ?x { ?x <http://p> ?y }")
+        assert len(query.triple_patterns) == 1
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(SparqlParseError):
+            parse_query("SELECT ?x WHERE { ?x <http://p> ?y } nonsense extra")
+
+
+class TestPrefixes:
+    def test_declared_prefix_resolution(self):
+        query = parse_query(
+            "PREFIX ex: <http://example.org/>\nSELECT ?x WHERE { ?x ex:p ex:o }"
+        )
+        pattern = query.triple_patterns[0]
+        assert pattern.predicate == URI("http://example.org/p")
+        assert pattern.object == URI("http://example.org/o")
+
+    def test_well_known_prefixes_preloaded(self):
+        query = parse_query("SELECT ?x WHERE { ?x lubm:worksFor ?y }")
+        assert query.triple_patterns[0].predicate == LUBM.worksFor
+
+    def test_unknown_prefix_raises(self):
+        with pytest.raises(SparqlParseError):
+            parse_query("SELECT ?x WHERE { ?x zzz:p ?y }")
+
+
+class TestTriplePatterns:
+    def test_a_keyword_is_rdf_type(self):
+        query = parse_query("SELECT ?x WHERE { ?x a <http://C> }")
+        pattern = query.triple_patterns[0]
+        assert pattern.predicate == RDF.type
+        assert pattern.is_rdf_type
+
+    def test_predicate_object_lists(self):
+        query = parse_query(
+            "SELECT ?x WHERE { ?x a <http://C> ; <http://p> ?y , ?z . }"
+        )
+        assert len(query.triple_patterns) == 3
+
+    def test_literal_objects(self):
+        query = parse_query('SELECT ?x WHERE { ?x <http://p> "v" . ?x <http://q> 42 . ?x <http://r> 3.5 }')
+        objects = [pattern.object for pattern in query.triple_patterns]
+        assert objects[0] == Literal("v")
+        assert objects[1].to_python() == 42
+        assert objects[2].to_python() == pytest.approx(3.5)
+
+    def test_shape_classification(self):
+        query = parse_query("SELECT * WHERE { <http://s> <http://p> ?o . ?s <http://p> <http://o> . ?s <http://p> ?o }")
+        shapes = [pattern.shape() for pattern in query.triple_patterns]
+        assert shapes == ["s,p,?o", "?s,p,o", "?s,p,?o"]
+
+    def test_variable_names(self):
+        pattern = parse_query("SELECT * WHERE { ?s ?p ?o }").triple_patterns[0]
+        assert pattern.variable_names() == ["s", "p", "o"]
+
+    def test_full_iri_with_dots(self):
+        query = parse_query(
+            "SELECT * WHERE { <http://www.Department0.University0.edu/Publication14> <http://p> ?x }"
+        )
+        assert query.triple_patterns[0].subject.value.endswith("Publication14")
+
+
+class TestFiltersAndBinds:
+    def test_filter_comparison(self):
+        query = parse_query("SELECT ?v WHERE { ?x <http://p> ?v . FILTER(?v > 4) }")
+        expression = query.where.filters[0].expression
+        assert isinstance(expression, Comparison)
+        assert expression.operator == ">"
+
+    def test_filter_boolean_combination(self):
+        query = parse_query("SELECT ?v WHERE { ?x <http://p> ?v FILTER(?v < 3.0 || ?v > 4.5) }")
+        expression = query.where.filters[0].expression
+        assert isinstance(expression, BooleanExpression)
+        assert expression.operator == "or"
+        assert len(expression.operands) == 2
+
+    def test_filter_regex_function(self):
+        query = parse_query('SELECT ?u WHERE { ?x <http://p> ?u FILTER(regex(str(?u), "BAR")) }')
+        expression = query.where.filters[0].expression
+        assert isinstance(expression, FunctionCall)
+        assert expression.name == "regex"
+
+    def test_bind_with_nested_if(self):
+        query = parse_query(
+            'SELECT ?x WHERE { ?x <http://p> ?v BIND(if(?v > 1, ?v, ?v / 1000) AS ?w) }'
+        )
+        bind = query.where.binds[0]
+        assert bind.variable == Variable("w")
+        assert isinstance(bind.expression, FunctionCall)
+
+    def test_arithmetic_precedence(self):
+        query = parse_query("SELECT ?v WHERE { ?x <http://p> ?v FILTER(?v + 2 * 3 > 7) }")
+        comparison = query.where.filters[0].expression
+        assert isinstance(comparison.left, Arithmetic)
+        assert comparison.left.operator == "+"
+        assert isinstance(comparison.left.right, Arithmetic)
+        assert comparison.left.right.operator == "*"
+
+    def test_negation(self):
+        query = parse_query("SELECT ?v WHERE { ?x <http://p> ?v FILTER(!bound(?y)) }")
+        assert query.where.filters[0].expression is not None
+
+
+class TestUnions:
+    def test_two_branch_union(self):
+        query = parse_query(
+            "SELECT ?x WHERE { { ?x a <http://A> } UNION { ?x a <http://B> } }"
+        )
+        union = query.where.unions[0]
+        assert len(union.branches) == 2
+        assert union.branches[0].bgp.patterns[0].object == URI("http://A")
+
+    def test_many_branch_union(self):
+        query = parse_query(
+            "SELECT ?x WHERE { { ?x a <http://A> } UNION { ?x a <http://B> } UNION { ?x a <http://C> } }"
+        )
+        assert len(query.where.unions[0].branches) == 3
+
+    def test_union_with_surrounding_bgp(self):
+        query = parse_query(
+            "SELECT * WHERE { ?x <http://p> ?y . { ?x a <http://A> } UNION { ?x a <http://B> } }"
+        )
+        assert len(query.triple_patterns) == 1
+        assert len(query.where.unions) == 1
+
+
+class TestMotivatingExample:
+    def test_paper_section2_query_parses(self):
+        from repro.workloads.engie import anomaly_detection_query
+
+        query = parse_query(anomaly_detection_query())
+        assert len(query.triple_patterns) == 11
+        assert len(query.where.filters) == 1
+        assert len(query.where.binds) == 1
+        assert query.projected_names() == ["x", "s", "ts", "v1"]

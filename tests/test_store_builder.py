@@ -1,0 +1,144 @@
+"""Tests for the store builder and the SuccinctEdge facade (matching layer)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import Namespace, RDF, RDFS
+from repro.rdf.terms import BlankNode, Literal, Triple, URI
+from repro.store.builder import StoreBuilder
+from repro.store.succinct_edge import SuccinctEdge
+from tests.conftest import EX, build_toy_data, build_toy_ontology
+
+
+class TestTriplePartitioning:
+    def test_three_layouts_cover_all_triples(self, toy_store, toy_data):
+        object_count, datatype_count, type_count = toy_store.lubm_style_summary()
+        assert object_count + datatype_count + type_count == len(toy_data)
+        assert toy_store.triple_count == len(toy_data)
+
+    def test_rdf_type_triples_go_to_type_store(self, toy_store, toy_data):
+        explicit_types = sum(1 for t in toy_data if t.predicate == RDF.type)
+        assert len(toy_store.type_store) == explicit_types
+
+    def test_literal_objects_go_to_datatype_store(self, toy_store, toy_data):
+        literal_triples = sum(1 for t in toy_data if isinstance(t.object, Literal))
+        assert len(toy_store.datatype_store) == literal_triples
+
+    def test_schema_triples_in_data_feed_schema_not_store(self):
+        data = Graph(
+            [
+                Triple(EX.Student, RDFS.subClassOf, EX.Person),
+                Triple(EX.alice, RDF.type, EX.Student),
+            ]
+        )
+        store = SuccinctEdge.from_graph(data)
+        assert store.triple_count == 1
+        assert store.schema.concept_parent(EX.Student) == EX.Person
+
+    def test_schema_triples_kept_when_requested(self):
+        data = Graph(
+            [
+                Triple(EX.Student, RDFS.subClassOf, EX.Person),
+                Triple(EX.alice, RDF.type, EX.Student),
+            ]
+        )
+        store = StoreBuilder(include_schema_triples=True).build(data)
+        assert store.triple_count == 2
+
+    def test_untyped_rdf_type_object_skipped(self):
+        data = Graph([Triple(EX.alice, RDF.type, Literal("oops"))])
+        store = SuccinctEdge.from_graph(data)
+        assert store.triple_count == 0
+        assert store.skipped_triples == 1
+
+    def test_blank_node_subjects_and_objects(self):
+        data = Graph(
+            [
+                Triple(BlankNode("r"), RDF.type, EX.Result),
+                Triple(EX.obs, EX.hasResult, BlankNode("r")),
+                Triple(BlankNode("r"), EX.value, Literal(3.5)),
+            ]
+        )
+        store = SuccinctEdge.from_graph(data)
+        assert store.triple_count == 3
+        assert len(list(store.match(None, EX.hasResult, BlankNode("r")))) == 1
+
+    def test_empty_graph(self):
+        store = SuccinctEdge.from_graph(Graph())
+        assert store.triple_count == 0
+        assert list(store.match(None, None, None)) == []
+
+
+class TestDictionaries:
+    def test_statistics_recorded(self, toy_store):
+        statistics = toy_store.statistics
+        assert statistics.concept_cardinality(EX.Department, with_hierarchy=False) == 2
+        assert statistics.property_cardinality(EX.memberOf, with_hierarchy=False) == 2
+        # Hierarchy-aware counts include headOf and worksFor occurrences.
+        assert statistics.property_cardinality(EX.memberOf) == 4
+
+    def test_concepts_carry_litemat_intervals(self, toy_store):
+        low, high = toy_store.concepts.interval(EX.Person)
+        for concept in (EX.GraduateStudent, EX.Professor, EX.FullProfessor):
+            assert low <= toy_store.concepts.locate(concept) < high
+
+    def test_decode_helpers(self, toy_store):
+        alice_id = toy_store.instances.locate(EX.alice)
+        assert toy_store.decode_instance(alice_id) == EX.alice
+        person_id = toy_store.concepts.locate(EX.Person)
+        assert toy_store.decode_concept(person_id) == EX.Person
+        name_id = toy_store.properties.locate(EX.name)
+        assert toy_store.decode_property(name_id) == EX.name
+
+    def test_size_accounting_positive(self, toy_store):
+        assert toy_store.dictionary_size_in_bytes() > 0
+        assert toy_store.triple_storage_size_in_bytes() > 0
+        assert toy_store.memory_footprint_in_bytes() == (
+            toy_store.dictionary_size_in_bytes() + toy_store.triple_storage_size_in_bytes()
+        )
+
+
+class TestMatchAgainstGraphOracle:
+    """store.match must agree with linear-scan matching over the source graph."""
+
+    @pytest.mark.parametrize(
+        "pattern_name,subject,predicate,obj",
+        [
+            ("all-wildcards", None, None, None),
+            ("by-subject", EX.alice, None, None),
+            ("by-predicate", None, EX.memberOf, None),
+            ("by-type", None, RDF.type, EX.Department),
+            ("by-object-uri", None, None, EX.dept1),
+            ("by-object-literal", None, EX.name, Literal("Bob")),
+            ("fully-bound", EX.alice, EX.memberOf, EX.dept1),
+            ("fully-bound-miss", EX.alice, EX.memberOf, EX.dept2),
+            ("subject-predicate", EX.bob, EX.headOf, None),
+            ("unknown-term", EX.nobody, None, None),
+        ],
+    )
+    def test_match_equals_oracle(self, toy_store, toy_data, pattern_name, subject, predicate, obj):
+        expected = set(toy_data.triples(subject, predicate, obj))
+        actual = set(toy_store.match(subject, predicate, obj))
+        assert actual == expected, pattern_name
+
+    def test_export_graph_round_trip(self, toy_store, toy_data):
+        exported = toy_store.export_graph()
+        assert set(exported) == set(toy_data)
+
+    def test_small_lubm_match_sample(self, small_lubm, small_lubm_store):
+        from repro.rdf.namespaces import LUBM
+
+        graph = small_lubm.graph
+        for predicate in (LUBM.worksFor, LUBM.takesCourse, LUBM.name):
+            expected = set(graph.triples(None, predicate, None))
+            actual = set(small_lubm_store.match(None, predicate, None))
+            assert actual == expected
+
+    def test_small_lubm_type_match(self, small_lubm, small_lubm_store):
+        from repro.rdf.namespaces import LUBM
+
+        expected = set(small_lubm.graph.triples(None, RDF.type, LUBM.GraduateStudent))
+        actual = set(small_lubm_store.match(None, RDF.type, LUBM.GraduateStudent))
+        assert actual == expected

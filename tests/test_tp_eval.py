@@ -1,0 +1,168 @@
+"""Tests for triple-pattern evaluation over the SDS layouts (Algorithms 3-4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query.tp_eval import TriplePatternEvaluator
+from repro.rdf.namespaces import RDF
+from repro.rdf.terms import Literal
+from repro.sparql.ast import TriplePattern, Variable
+from repro.sparql.bindings import Binding
+from tests.conftest import EX
+
+
+@pytest.fixture()
+def evaluator(toy_store):
+    return TriplePatternEvaluator(toy_store, reasoning=True)
+
+
+@pytest.fixture()
+def plain_evaluator(toy_store):
+    return TriplePatternEvaluator(toy_store, reasoning=False)
+
+
+def values(bindings, name):
+    return sorted(str(b[name]) for b in bindings)
+
+
+class TestRdfTypePatterns:
+    def test_explicit_concept_without_reasoning(self, plain_evaluator):
+        pattern = TriplePattern(Variable("x"), RDF.type, EX.GraduateStudent)
+        results = plain_evaluator.evaluate_all(pattern)
+        assert values(results, "x") == [str(EX.alice)]
+
+    def test_concept_interval_with_reasoning(self, evaluator):
+        pattern = TriplePattern(Variable("x"), RDF.type, EX.Person)
+        results = evaluator.evaluate_all(pattern)
+        assert values(results, "x") == sorted(map(str, [EX.alice, EX.bob, EX.carol, EX.dave]))
+
+    def test_reasoning_off_misses_inferred_members(self, plain_evaluator):
+        pattern = TriplePattern(Variable("x"), RDF.type, EX.Person)
+        assert plain_evaluator.evaluate_all(pattern) == []
+
+    def test_unknown_concept_yields_nothing(self, evaluator):
+        pattern = TriplePattern(Variable("x"), RDF.type, EX.Unknown)
+        assert evaluator.evaluate_all(pattern) == []
+
+    def test_bound_subject_membership_check(self, evaluator, plain_evaluator):
+        pattern = TriplePattern(EX.alice, RDF.type, EX.Student)
+        assert len(evaluator.evaluate_all(pattern)) == 1
+        assert plain_evaluator.evaluate_all(pattern) == []
+
+    def test_object_variable_lists_types(self, evaluator, plain_evaluator):
+        pattern = TriplePattern(EX.alice, RDF.type, Variable("c"))
+        with_reasoning = values(evaluator.evaluate_all(pattern), "c")
+        without = values(plain_evaluator.evaluate_all(pattern), "c")
+        assert str(EX.GraduateStudent) in without and len(without) == 1
+        assert set(without) < set(with_reasoning)
+        assert str(EX.Person) in with_reasoning
+
+    def test_subject_and_object_variables(self, plain_evaluator, toy_data):
+        pattern = TriplePattern(Variable("x"), RDF.type, Variable("c"))
+        results = plain_evaluator.evaluate_all(pattern)
+        expected = sum(1 for t in toy_data if t.predicate == RDF.type)
+        assert len(results) == expected
+
+
+class TestPropertyPatterns:
+    def test_spo_algorithm3(self, evaluator):
+        pattern = TriplePattern(EX.alice, EX.memberOf, Variable("o"))
+        assert values(evaluator.evaluate_all(pattern), "o") == [str(EX.dept1)]
+
+    def test_pos_algorithm4(self, evaluator):
+        pattern = TriplePattern(Variable("s"), EX.advisor, EX.bob)
+        assert values(evaluator.evaluate_all(pattern), "s") == [str(EX.alice)]
+
+    def test_property_scan(self, plain_evaluator):
+        pattern = TriplePattern(Variable("s"), EX.memberOf, Variable("o"))
+        results = plain_evaluator.evaluate_all(pattern)
+        assert len(results) == 2
+
+    def test_property_hierarchy_reasoning(self, evaluator, plain_evaluator):
+        pattern = TriplePattern(Variable("s"), EX.memberOf, Variable("o"))
+        with_reasoning = evaluator.evaluate_all(pattern)
+        assert len(with_reasoning) == 4  # memberOf + worksFor + headOf triples
+        assert len(plain_evaluator.evaluate_all(pattern)) == 2
+
+    def test_datatype_property(self, evaluator):
+        pattern = TriplePattern(EX.alice, EX.name, Variable("n"))
+        assert values(evaluator.evaluate_all(pattern), "n") == ["Alice"]
+
+    def test_literal_bound_object(self, evaluator):
+        pattern = TriplePattern(Variable("s"), EX.name, Literal("Bob"))
+        assert values(evaluator.evaluate_all(pattern), "s") == [str(EX.bob)]
+
+    def test_unknown_property(self, evaluator):
+        pattern = TriplePattern(Variable("s"), EX.nosuch, Variable("o"))
+        assert evaluator.evaluate_all(pattern) == []
+
+    def test_fully_bound_existence_check(self, evaluator):
+        hit = TriplePattern(EX.bob, EX.headOf, EX.dept1)
+        miss = TriplePattern(EX.bob, EX.headOf, EX.dept2)
+        assert len(evaluator.evaluate_all(hit)) == 1
+        assert evaluator.evaluate_all(miss) == []
+
+    def test_fully_bound_with_property_reasoning(self, evaluator, plain_evaluator):
+        # bob memberOf dept1 holds only through headOf ⊑ worksFor ⊑ memberOf.
+        pattern = TriplePattern(EX.bob, EX.memberOf, EX.dept1)
+        assert len(evaluator.evaluate_all(pattern)) == 1
+        assert plain_evaluator.evaluate_all(pattern) == []
+
+    def test_binding_propagation(self, evaluator):
+        pattern = TriplePattern(Variable("x"), EX.name, Variable("n"))
+        binding = Binding({"x": EX.carol})
+        results = list(evaluator.evaluate(pattern, binding))
+        assert values(results, "n") == ["Carol"]
+
+    def test_conflicting_binding_rejected(self, evaluator):
+        pattern = TriplePattern(Variable("x"), EX.memberOf, Variable("x"))
+        assert evaluator.evaluate_all(pattern) == []
+
+    def test_same_variable_subject_object_requires_equality(self, toy_store):
+        # Add a self-loop free store: the pattern (?x, advisor, ?x) must be empty.
+        evaluator = TriplePatternEvaluator(toy_store)
+        pattern = TriplePattern(Variable("x"), EX.advisor, Variable("x"))
+        assert evaluator.evaluate_all(pattern) == []
+
+
+class TestUnboundPredicate:
+    def test_subject_bound(self, plain_evaluator, toy_data):
+        pattern = TriplePattern(EX.alice, Variable("p"), Variable("o"))
+        results = plain_evaluator.evaluate_all(pattern)
+        expected = sum(1 for t in toy_data if t.subject == EX.alice)
+        assert len(results) == expected
+        assert str(RDF.type) in values(results, "p")
+
+    def test_fully_unbound_counts_all_triples(self, plain_evaluator, toy_data):
+        pattern = TriplePattern(Variable("s"), Variable("p"), Variable("o"))
+        assert len(plain_evaluator.evaluate_all(pattern)) == len(toy_data)
+
+    def test_predicate_variable_bound_through_binding(self, plain_evaluator):
+        pattern = TriplePattern(EX.alice, Variable("p"), Variable("o"))
+        binding = Binding({"p": EX.name})
+        results = list(plain_evaluator.evaluate(pattern, binding))
+        assert values(results, "o") == ["Alice"]
+
+
+class TestCardinalityEstimates:
+    def test_rdf_type_estimate(self, evaluator, plain_evaluator):
+        pattern = TriplePattern(Variable("x"), RDF.type, EX.Person)
+        assert evaluator.estimate_cardinality(pattern) == 4
+        assert plain_evaluator.estimate_cardinality(pattern) == 0
+
+    def test_property_estimate_matches_algorithm2(self, evaluator):
+        pattern = TriplePattern(Variable("x"), EX.name, Variable("n"))
+        assert evaluator.estimate_cardinality(pattern) == 4
+
+    def test_property_estimate_with_hierarchy(self, evaluator):
+        pattern = TriplePattern(Variable("x"), EX.memberOf, Variable("o"))
+        assert evaluator.estimate_cardinality(pattern) == 4
+
+    def test_unknown_property_estimate_zero(self, evaluator):
+        pattern = TriplePattern(Variable("x"), EX.nosuch, Variable("o"))
+        assert evaluator.estimate_cardinality(pattern) == 0
+
+    def test_variable_predicate_estimate_total(self, evaluator, toy_store):
+        pattern = TriplePattern(Variable("s"), Variable("p"), Variable("o"))
+        assert evaluator.estimate_cardinality(pattern) == toy_store.triple_count

@@ -1,0 +1,181 @@
+"""Tests for the LUBM and ENGIE workload generators and the query catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ontology.schema import OntologySchema
+from repro.rdf.namespaces import LUBM, QUDT, RDF, SOSA
+from repro.rdf.terms import Literal, URI
+from repro.workloads.engie import (
+    PRESSURE_RANGE_BAR,
+    anomaly_detection_query,
+    engie_ontology,
+    water_distribution_250,
+    water_distribution_500,
+    water_distribution_graph,
+)
+from repro.workloads.lubm import (
+    TABLE1_CARDINALITIES,
+    TABLE2_CARDINALITIES,
+    generate_lubm,
+    lubm_ontology,
+    lubm_subsets,
+)
+from repro.workloads.queries import QueryCatalog
+
+
+class TestLubmOntology:
+    def test_class_hierarchy_relevant_to_queries(self):
+        schema = OntologySchema.from_graph(lubm_ontology())
+        assert schema.is_subconcept_of(LUBM.GraduateStudent, LUBM.Person)
+        assert schema.is_subconcept_of(LUBM.FullProfessor, LUBM.Person)
+        assert schema.is_subconcept_of(LUBM.UndergraduateStudent, LUBM.Student)
+        assert schema.is_subconcept_of(LUBM.Department, LUBM.Organization)
+        assert not schema.is_subconcept_of(LUBM.Course, LUBM.Person)
+
+    def test_property_hierarchy(self):
+        schema = OntologySchema.from_graph(lubm_ontology())
+        assert schema.is_subproperty_of(LUBM.headOf, LUBM.memberOf)
+        assert schema.is_subproperty_of(LUBM.worksFor, LUBM.memberOf)
+        assert schema.is_subproperty_of(LUBM.undergraduateDegreeFrom, LUBM.degreeFrom)
+
+    def test_domain_and_range(self):
+        schema = OntologySchema.from_graph(lubm_ontology())
+        assert schema.domain_of(LUBM.takesCourse) == LUBM.Student
+        assert schema.range_of(LUBM.teacherOf) == LUBM.Course
+
+
+class TestLubmGenerator:
+    def test_deterministic(self):
+        first = generate_lubm(departments=1, seed=3)
+        second = generate_lubm(departments=1, seed=3)
+        assert len(first.graph) == len(second.graph)
+        assert set(first.graph) == set(second.graph)
+
+    def test_seed_changes_data(self):
+        first = generate_lubm(departments=1, seed=3)
+        second = generate_lubm(departments=1, seed=4)
+        assert set(first.graph) != set(second.graph)
+
+    def test_scale_with_departments(self):
+        small = generate_lubm(departments=1, seed=1)
+        large = generate_lubm(departments=3, seed=1)
+        assert len(large.graph) > 2 * len(small.graph)
+
+    def test_full_scale_exceeds_100k(self):
+        # The paper's LUBM(1) dataset holds over 100k triples; checked on the
+        # default parameters without generating twice (session fixture reuse).
+        dataset = generate_lubm()
+        assert dataset.triple_count > 100_000
+
+    def test_landmark_cardinalities_table1(self, small_lubm):
+        graph = small_lubm.graph
+        assert len(list(graph.triples(small_lubm.landmark_uri("student_takes_4"), LUBM.takesCourse, None))) == 4
+        for cardinality in TABLE1_CARDINALITIES[1:]:
+            landmark = small_lubm.landmark_uri(f"pub_authors_{cardinality}")
+            assert len(list(graph.triples(landmark, LUBM.publicationAuthor, None))) == cardinality
+
+    def test_landmark_cardinalities_table2(self, small_lubm):
+        graph = small_lubm.graph
+        assert len(list(graph.triples(None, LUBM.advisor, small_lubm.landmark_uri("advisor_5")))) == 5
+        assert len(list(graph.triples(None, LUBM.takesCourse, small_lubm.landmark_uri("course_takers_17")))) == 17
+        assert len(list(graph.triples(None, LUBM.worksFor, small_lubm.landmark_uri("dept_workers_135")))) == 135
+        assert len(list(graph.triples(None, LUBM.name, small_lubm.landmark_literal("pub_name_283")))) == 283
+        assert len(list(graph.triples(None, LUBM.memberOf, small_lubm.landmark_uri("dept_members_521")))) == 521
+
+    def test_landmark_accessors(self, small_lubm):
+        assert small_lubm.landmark_cardinality("advisor_5") == 5
+        assert small_lubm.landmark_cardinality("pub_name_283") == 283
+        assert isinstance(small_lubm.landmark_uri("m5_publication"), URI)
+
+    def test_every_person_has_a_type_and_name(self, small_lubm):
+        graph = small_lubm.graph
+        subjects_with_name = set(graph.subjects(LUBM.name, None))
+        for student in graph.instances_of(LUBM.GraduateStudent):
+            assert student in subjects_with_name
+
+    def test_subsets_are_prefixes(self, small_lubm):
+        subsets = lubm_subsets(small_lubm, sizes=(1000, 5000))
+        assert len(subsets["1K"]) == 1000
+        assert len(subsets["5K"]) == 5000
+        assert list(subsets["1K"]) == list(small_lubm.graph)[:1000]
+        assert subsets["100K"] is small_lubm.graph
+
+
+class TestEngieWorkload:
+    def test_ontology_hierarchy(self):
+        schema = OntologySchema.from_graph(engie_ontology())
+        assert schema.is_subconcept_of(QUDT.PressureOrStressUnit, QUDT.PressureUnit)
+        assert schema.is_subconcept_of(QUDT.Pressure, QUDT.PressureUnit)
+        assert schema.is_subconcept_of(QUDT.AmountOfSubstanceUnit, QUDT.ScienceUnit)
+
+    def test_dataset_sizes_match_paper(self):
+        assert len(water_distribution_250()) == 250
+        assert len(water_distribution_500()) == 500
+
+    def test_topology_follows_figure1(self):
+        graph = water_distribution_graph(observations_per_sensor=3, stations=2, seed=1)
+        platforms = graph.instances_of(SOSA.Platform)
+        assert len(platforms) == 2
+        sensors = graph.instances_of(SOSA.Sensor)
+        assert len(sensors) == 4
+        # Every observation has a result with a numeric value and a unit.
+        for observation in graph.instances_of(SOSA.Observation):
+            results = list(graph.objects(observation, SOSA.hasResult))
+            assert len(results) == 1
+            assert list(graph.objects(results[0], QUDT.numericValue))
+            assert list(graph.objects(results[0], QUDT.unit))
+
+    def test_stations_use_heterogeneous_units(self):
+        graph = water_distribution_graph(observations_per_sensor=3, stations=2, seed=1)
+        units = {str(u) for u in graph.objects(None, QUDT.unit)}
+        assert "http://qudt.org/vocab/unit/BAR" in units
+        assert "http://qudt.org/vocab/unit/HectoPA" in units
+
+    def test_deterministic(self):
+        assert set(water_distribution_250(seed=5)) == set(water_distribution_250(seed=5))
+
+    def test_anomaly_rate_zero_produces_no_out_of_range_pressure(self):
+        graph = water_distribution_graph(observations_per_sensor=10, stations=1, anomaly_rate=0.0, seed=2)
+        low, high = PRESSURE_RANGE_BAR
+        unit_bar = URI("http://qudt.org/vocab/unit/BAR")
+        for result in graph.subjects(QUDT.unit, unit_bar):
+            for value in graph.objects(result, QUDT.numericValue):
+                assert low <= float(value.lexical) <= high
+
+
+class TestQueryCatalog:
+    def test_26_queries_with_paper_identifiers(self, small_lubm_catalog):
+        queries = small_lubm_catalog.all_queries()
+        assert len(queries) == 26
+        identifiers = [query.identifier for query in queries]
+        assert identifiers[:5] == ["S1", "S2", "S3", "S4", "S5"]
+        assert identifiers[-6:] == ["R1", "R2", "R3", "R4", "R5", "R6"]
+
+    def test_groups(self, small_lubm_catalog):
+        assert len(small_lubm_catalog.group("sp?o")) == 5
+        assert len(small_lubm_catalog.group("?spo")) == 5
+        assert len(small_lubm_catalog.group("?sp?o")) == 5
+        assert len(small_lubm_catalog.group("bgp")) == 5
+        assert len(small_lubm_catalog.group("reasoning")) == 6
+
+    def test_reasoning_flags(self, small_lubm_catalog):
+        by_id = small_lubm_catalog.by_identifier()
+        assert not by_id["M4"].requires_reasoning
+        assert by_id["R5"].requires_reasoning
+
+    def test_expected_cardinalities_recorded(self, small_lubm_catalog):
+        by_id = small_lubm_catalog.by_identifier()
+        assert [by_id[f"S{i}"].expected_cardinality for i in range(1, 6)] == list(TABLE1_CARDINALITIES)
+        assert [by_id[f"S{i}"].expected_cardinality for i in range(6, 11)] == list(TABLE2_CARDINALITIES)
+
+    def test_all_queries_parse(self, small_lubm_catalog):
+        from repro.sparql.parser import parse_query
+
+        for query in small_lubm_catalog.all_queries():
+            parsed = parse_query(query.sparql)
+            assert parsed.triple_patterns or parsed.where.unions
+
+    def test_motivating_example_query_text(self):
+        assert "PressureUnit" in anomaly_detection_query()
