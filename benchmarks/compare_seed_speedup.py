@@ -1,0 +1,52 @@
+"""Producer of ``benchmarks/results/pr1_sds_vectorization_speedup.txt``.
+
+Measures the SuccinctEdge store alone (construction plus the fig12 single-TP
+and fig13 BGP queries, best-of-3 hot runs) and prints one row per query with
+wall time and SDS kernel-call counts.  Run it once per code version and diff
+the outputs; the checked-in speedup table was produced by running this
+script against the current tree and against the seed commit via a worktree:
+
+    python benchmarks/compare_seed_speedup.py vectorized   # current tree
+    git worktree add /tmp/seedtree <seed-commit>
+    PYTHONPATH=/tmp/seedtree/src python benchmarks/compare_seed_speedup.py seed
+    git worktree remove /tmp/seedtree
+
+(Seed builds predate the kernel counters, so their kernel_calls column
+prints ``n/a``.)  This is a standalone script, not a pytest benchmark: it
+compares two checkouts, which a single-tree test run cannot do.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+def main(tag: str) -> None:
+    from repro.baselines.registry import create_system
+    from repro.bench.harness import prepare_datasets, query_latency_row
+
+    context = prepare_datasets()
+    started = time.perf_counter()
+    system = create_system("SuccinctEdge")
+    system.load(context.full_graph, ontology=context.lubm.ontology)
+    build_ms = (time.perf_counter() - started) * 1e3
+
+    singles = [context.catalog.by_identifier()[f"S{i}"] for i in range(11, 16)]
+    bgps = list(context.catalog.bgp_queries())
+
+    print(f"### {tag}")
+    print(f"build_ms={build_ms:.1f}")
+    for query in singles + bgps:
+        system.query(query.sparql, reasoning=False)  # warm the store
+        measurement = query_latency_row(system, query, reasoning=False)
+        assert measurement is not None
+        kernel_calls = getattr(measurement, "kernel_calls", None)
+        print(
+            f"{query.identifier} {measurement.total_ms:.2f} "
+            f"kernel_calls={kernel_calls if kernel_calls is not None else 'n/a'}"
+        )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "current")

@@ -13,7 +13,6 @@ on a laptop while preserving the relative behaviour of the systems.
 
 from __future__ import annotations
 
-import os
 import pathlib
 
 import pytest
@@ -21,6 +20,23 @@ import pytest
 from repro.bench.harness import BenchmarkContext, load_all_systems, prepare_datasets
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+_BENCH_DIR = pathlib.Path(__file__).parent.resolve()
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark every benchmark test ``slow``.
+
+    Together with the ``-m "not slow"`` default in ``pyproject.toml`` this
+    keeps the benchmark suite out of the tier-1 run; CI's benchmark-smoke job
+    (and anyone refreshing the paper tables) selects it with ``-m slow``.
+    """
+    for item in items:
+        try:
+            in_bench_dir = _BENCH_DIR in pathlib.Path(str(item.fspath)).resolve().parents
+        except OSError:
+            in_bench_dir = False
+        if in_bench_dir:
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")

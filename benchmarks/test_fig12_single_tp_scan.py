@@ -25,7 +25,10 @@ def test_fig12_single_tp_scan(benchmark, context, loaded_systems, results_dir):
         system = loaded_systems[system_name]
         cells = []
         for query in queries:
-            measurement = query_latency_row(system, query, reasoning=False, repetitions=1)
+            # Best-of-3 hot runs (the harness default and the paper's
+            # Section 7.3.3 methodology): keeps one-off GC pauses from
+            # polluting a cell.
+            measurement = query_latency_row(system, query, reasoning=False)
             assert measurement is not None
             cells.append(measurement.total_ms)
         rows[system_name] = cells

@@ -24,7 +24,8 @@ def test_fig13_bgp_queries(benchmark, context, loaded_systems, results_dir):
         system = loaded_systems[system_name]
         cells = []
         for query in queries:
-            measurement = query_latency_row(system, query, reasoning=False, repetitions=1)
+            # Best-of-3 hot runs (harness default, paper Section 7.3.3).
+            measurement = query_latency_row(system, query, reasoning=False)
             cells.append(None if measurement is None else measurement.total_ms)
         rows[system_name] = cells
     table = format_table(

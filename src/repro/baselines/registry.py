@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Union
 
-from repro.baselines.base import EdgeRDFStore, UnsupportedFeatureError
+from repro.baselines.base import EdgeRDFStore
 from repro.baselines.disk_store import PagedDiskStore
 from repro.baselines.multi_index_store import MultiIndexMemoryStore
 from repro.rdf.graph import Graph

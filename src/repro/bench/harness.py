@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.baselines.base import EdgeRDFStore, UnsupportedFeatureError
 from repro.baselines.registry import SYSTEM_ORDER, create_system

@@ -10,13 +10,21 @@ Every latency this reproduction reports is split into two components:
 
 ``total_ms`` (the sum) is what the paper-style tables print; the raw
 components are always available so the calibration stays transparent.
+
+Measurements additionally record the number of **SDS kernel calls** the
+operation performed (rank/select/scan/access_range invocations counted by
+:mod:`repro.sds.kernels`).  A batched primitive registers as one call, so
+this number makes the effect of batched triple-pattern evaluation visible
+next to the wall-clock improvement.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Any, Callable, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict
+
+from repro.sds.kernels import kernel_counters
 
 
 @dataclass(frozen=True)
@@ -26,6 +34,8 @@ class Measurement:
     measured_ms: float
     simulated_ms: float
     result: Any = None
+    kernel_calls: int = 0
+    kernel_breakdown: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_ms(self) -> float:
@@ -37,16 +47,28 @@ def measure_call(
     callable_: Callable[[], Any],
     simulated_cost_getter: Callable[[], float] = lambda: 0.0,
 ) -> Measurement:
-    """Run ``callable_`` once and capture its latency.
+    """Run ``callable_`` once and capture its latency and kernel-call count.
 
     ``simulated_cost_getter`` is read *after* the call (the baseline stores
     update their ``last_simulated_cost_ms`` during execution).
     """
+    counters_before = kernel_counters()
     started = time.perf_counter()
     result = callable_()
     measured_ms = (time.perf_counter() - started) * 1000.0
     simulated_ms = float(simulated_cost_getter())
-    return Measurement(measured_ms=measured_ms, simulated_ms=simulated_ms, result=result)
+    breakdown = {
+        name: count - counters_before.get(name, 0)
+        for name, count in kernel_counters().items()
+        if count - counters_before.get(name, 0)
+    }
+    return Measurement(
+        measured_ms=measured_ms,
+        simulated_ms=simulated_ms,
+        result=result,
+        kernel_calls=sum(breakdown.values()),
+        kernel_breakdown=breakdown,
+    )
 
 
 def measure_best_of(

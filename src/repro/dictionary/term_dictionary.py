@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.ontology.litemat import LiteMatEncoding
-from repro.rdf.terms import BlankNode, Term, URI
+from repro.rdf.terms import Term, URI
 
 
 class _BaseDictionary:

@@ -8,11 +8,11 @@ alerts from the SuccinctEdge instances deployed at the edge (paper Section 4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.rdf.terms import Term
-from repro.sparql.bindings import Binding, ResultSet
+from repro.sparql.bindings import ResultSet
 
 
 @dataclass(frozen=True)

@@ -15,7 +15,6 @@ that matter for the deployment scenario:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 
 @dataclass(frozen=True)

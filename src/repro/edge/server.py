@@ -10,7 +10,7 @@ deployment loop can be exercised end to end.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.edge.alerts import Alert, AlertSink, AnomalyRule

@@ -16,13 +16,7 @@ from typing import List
 
 from repro.ontology.schema import OntologySchema
 from repro.rdf.terms import URI
-from repro.sparql.ast import (
-    BasicGraphPattern,
-    GroupGraphPattern,
-    SelectQuery,
-    TriplePattern,
-    Variable,
-)
+from repro.sparql.ast import BasicGraphPattern, GroupGraphPattern, SelectQuery, TriplePattern
 
 
 def expand_triple_pattern(pattern: TriplePattern, schema: OntologySchema) -> List[TriplePattern]:

@@ -8,18 +8,13 @@ FILTER / BIND evaluation, UNION branches, projection, DISTINCT and LIMIT.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Union as TypingUnion
+from typing import List, Optional, Union as TypingUnion
 
 from repro.query.optimizer import JoinOrderOptimizer
 from repro.query.plan import JoinMethod, PhysicalPlan
 from repro.query.tp_eval import TriplePatternEvaluator
 from repro.rdf.terms import Term
-from repro.sparql.ast import (
-    GroupGraphPattern,
-    SelectQuery,
-    TriplePattern,
-    Variable,
-)
+from repro.sparql.ast import GroupGraphPattern, SelectQuery, TriplePattern
 from repro.sparql.bindings import Binding, ResultSet
 from repro.sparql.expressions import evaluate_bind, evaluate_filter
 from repro.sparql.parser import parse_query
@@ -57,7 +52,12 @@ class QueryEngine:
         self.reasoning = reasoning
         self.join_strategy = join_strategy
         self.evaluator = TriplePatternEvaluator(store, reasoning=reasoning)
-        self.optimizer = JoinOrderOptimizer(statistics=store.statistics)
+        # Runtime estimates reuse the evaluator's Algorithm-2 counts on the
+        # SDS rank/select directories when dictionary statistics draw a blank.
+        self.optimizer = JoinOrderOptimizer(
+            statistics=store.statistics,
+            runtime_estimator=self.evaluator.estimate_cardinality,
+        )
 
     # ------------------------------------------------------------------ #
     # public API

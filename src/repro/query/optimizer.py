@@ -18,16 +18,10 @@ devices) and combines:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Callable, List, Optional, Sequence, Set, Tuple
 
 from repro.dictionary.statistics import DictionaryStatistics
-from repro.query.plan import (
-    AccessPath,
-    JoinMethod,
-    PhysicalPlan,
-    PlanStep,
-    classify_access_path,
-)
+from repro.query.plan import JoinMethod, PhysicalPlan, PlanStep, classify_access_path
 from repro.query.query_graph import QueryGraph, QueryNode
 from repro.sparql.ast import TriplePattern, Variable
 
@@ -48,10 +42,28 @@ _JOIN_RANK = {"SS": 0, "SO": 1, "OS": 1, "OO": 2, "SP": 3, "PS": 3, "OP": 3, "PO
 
 
 class JoinOrderOptimizer:
-    """Computes a left-deep execution order for the triple patterns of a BGP."""
+    """Computes a left-deep execution order for the triple patterns of a BGP.
 
-    def __init__(self, statistics: Optional[DictionaryStatistics] = None) -> None:
+    Parameters
+    ----------
+    statistics:
+        Per-entry occurrence counts recorded at dictionary creation time.
+    runtime_estimator:
+        Optional fallback invoked when the dictionary statistics cannot
+        estimate a pattern.  The query engine wires this to
+        ``TriplePatternEvaluator.estimate_cardinality``, which computes
+        Algorithm-2 counts on the SDS rank/select directories — the same
+        directories the batched evaluation kernels use, so the estimate
+        comes for free.
+    """
+
+    def __init__(
+        self,
+        statistics: Optional[DictionaryStatistics] = None,
+        runtime_estimator: Optional[Callable[[TriplePattern], int]] = None,
+    ) -> None:
         self.statistics = statistics
+        self.runtime_estimator = runtime_estimator
 
     # ------------------------------------------------------------------ #
     # public API
@@ -189,18 +201,21 @@ class JoinOrderOptimizer:
         return _SHAPE_RANK.get(pattern.shape(), 5)
 
     def _estimate(self, node: QueryNode) -> Optional[int]:
-        if self.statistics is None:
-            return None
-        pattern = node.pattern
-        subject = None if isinstance(pattern.subject, Variable) else pattern.subject
-        predicate = None if isinstance(pattern.predicate, Variable) else pattern.predicate
-        obj = None if isinstance(pattern.object, Variable) else pattern.object
-        return self.statistics.triple_pattern_cardinality(
-            subject=subject,
-            predicate=predicate,  # type: ignore[arg-type]
-            obj=obj,
-            is_rdf_type=node.is_rdf_type,
-        )
+        estimate: Optional[int] = None
+        if self.statistics is not None:
+            pattern = node.pattern
+            subject = None if isinstance(pattern.subject, Variable) else pattern.subject
+            predicate = None if isinstance(pattern.predicate, Variable) else pattern.predicate
+            obj = None if isinstance(pattern.object, Variable) else pattern.object
+            estimate = self.statistics.triple_pattern_cardinality(
+                subject=subject,
+                predicate=predicate,  # type: ignore[arg-type]
+                obj=obj,
+                is_rdf_type=node.is_rdf_type,
+            )
+        if estimate is None and self.runtime_estimator is not None:
+            estimate = self.runtime_estimator(node.pattern)
+        return estimate
 
     @staticmethod
     def _pick_join_method(node: QueryNode, bound_variables: Set[str]) -> JoinMethod:

@@ -15,10 +15,10 @@ SDS operations of the paper's Section 5.2:
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple, Union
+from typing import Iterator, List, Optional, Tuple
 
 from repro.rdf.namespaces import RDF_TYPE
-from repro.rdf.terms import BlankNode, Literal, Term, URI
+from repro.rdf.terms import Literal, Term, URI
 from repro.sparql.ast import TriplePattern, Variable
 from repro.sparql.bindings import Binding
 from repro.store.succinct_edge import SuccinctEdge
@@ -154,10 +154,12 @@ class TriplePatternEvaluator:
                 subjects = store.type_store.subjects_of_interval(low, high)
             else:
                 subjects = store.type_store.subjects_of(concept_id)
+            # ``subject_var`` is guaranteed unbound here (a bound variable
+            # resolves to a term), so each result extends the binding directly.
+            extract = store.instances.extract
+            extend = binding.extended
             for subject_id in subjects:
-                extended = self._emit(binding, [(subject_var, store.instances.extract(subject_id))])
-                if extended is not None:
-                    yield extended
+                yield extend(subject_var, extract(subject_id))
             return
 
         # Object is an unbound variable: enumerate concepts.
@@ -165,20 +167,26 @@ class TriplePatternEvaluator:
             subject_id = store.instances.try_locate(subject_term)
             if subject_id is None:
                 return
+            extend = binding.extended
             for concept in self._concepts_of_subject(subject_id):
-                extended = self._emit(binding, [(object_var, concept)])
-                if extended is not None:
-                    yield extended
+                yield extend(object_var, concept)
             return
 
+        extract = store.instances.extract
+        base = binding.as_dict()
+        adopt = Binding._adopt
+        diagonal = subject_var == object_var
         for subject_id, concept_id in store.type_store.iter_triples():
-            subject_value = store.instances.extract(subject_id)
+            subject_value = extract(subject_id)
             for concept in self._expand_concept(concept_id):
-                extended = self._emit(
-                    binding, [(subject_var, subject_value), (object_var, concept)]
-                )
-                if extended is not None:
-                    yield extended
+                if diagonal:
+                    if subject_value == concept:
+                        yield binding.extended(subject_var, subject_value)
+                    continue
+                values = dict(base)
+                values[subject_var] = subject_value
+                values[object_var] = concept
+                yield adopt(values)
 
     def _concepts_of_subject(self, subject_id: int) -> List[URI]:
         concepts: List[URI] = []
@@ -254,6 +262,8 @@ class TriplePatternEvaluator:
         else:
             single = store.properties.try_locate(predicate)
             property_ids = [] if single is None else [single]
+        extract = store.instances.extract
+        extend = binding.extended
         for property_id in property_ids:
             if subject_id is not None and object_term is not None:
                 if self._contains(property_id, subject_id, object_term):
@@ -263,20 +273,18 @@ class TriplePatternEvaluator:
                 continue
             if subject_id is not None:
                 # (s, p, ?o): Algorithm 3 on the object layout, plus the flat
-                # literal run of the datatype layout.
+                # literal run of the datatype layout.  Each store call
+                # materialises its whole answer run in batched kernel calls;
+                # ``object_var`` is guaranteed unbound (a bound variable
+                # would have been resolved to a term), so the bindings are
+                # extended directly.
                 for object_id in store.object_store.objects_for(subject_id, property_id):
-                    extended = self._emit(
-                        binding, [(object_var, store.instances.extract(object_id))]
-                    )
-                    if extended is not None:
-                        yield extended
+                    yield extend(object_var, extract(object_id))
                 for literal in store.datatype_store.literals_for(subject_id, property_id):
-                    extended = self._emit(binding, [(object_var, literal)])
-                    if extended is not None:
-                        yield extended
+                    yield extend(object_var, literal)
                 continue
             if object_term is not None:
-                # (?s, p, o): Algorithm 4.
+                # (?s, p, o): Algorithm 4, one batched reverse lookup.
                 if isinstance(object_term, Literal):
                     found_subjects = store.datatype_store.subjects_for(property_id, object_term)
                 else:
@@ -285,33 +293,30 @@ class TriplePatternEvaluator:
                         continue
                     found_subjects = store.object_store.subjects_for(property_id, object_id)
                 for found_subject in found_subjects:
-                    extended = self._emit(
-                        binding, [(subject_var, store.instances.extract(found_subject))]
-                    )
-                    if extended is not None:
-                        yield extended
+                    yield extend(subject_var, extract(found_subject))
                 continue
-            # (?s, p, ?o): scan the property run of both layouts.
+            # (?s, p, ?o): materialise the property run of both layouts with
+            # one batched scan each.  The same variable may fill both slots
+            # (``?x p ?x``), in which case only diagonal pairs match.
+            diagonal = subject_var == object_var
+            base = binding.as_dict()
+            adopt = Binding._adopt
             for found_subject, found_object in store.object_store.pairs_for_property(property_id):
-                extended = self._emit(
-                    binding,
-                    [
-                        (subject_var, store.instances.extract(found_subject)),
-                        (object_var, store.instances.extract(found_object)),
-                    ],
-                )
-                if extended is not None:
-                    yield extended
+                if diagonal:
+                    if found_subject == found_object:
+                        yield extend(subject_var, extract(found_subject))
+                    continue
+                values = dict(base)
+                values[subject_var] = extract(found_subject)
+                values[object_var] = extract(found_object)
+                yield adopt(values)
             for found_subject, literal in store.datatype_store.pairs_for_property(property_id):
-                extended = self._emit(
-                    binding,
-                    [
-                        (subject_var, store.instances.extract(found_subject)),
-                        (object_var, literal),
-                    ],
-                )
-                if extended is not None:
-                    yield extended
+                if diagonal:
+                    continue  # a subject URI never equals a literal
+                values = dict(base)
+                values[subject_var] = extract(found_subject)
+                values[object_var] = literal
+                yield adopt(values)
 
     def _contains(self, property_id: int, subject_id: int, object_term: Term) -> bool:
         if isinstance(object_term, Literal):

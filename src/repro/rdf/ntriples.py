@@ -8,7 +8,7 @@ back-end construction time, Figure 8).
 from __future__ import annotations
 
 import re
-from typing import Iterable, Iterator, List, TextIO, Union
+from typing import Iterable, Iterator, TextIO, Union
 
 from repro.rdf.graph import Graph
 from repro.rdf.terms import BlankNode, Literal, Term, Triple, URI

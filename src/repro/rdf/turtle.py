@@ -16,7 +16,7 @@ multi-line literals — none of which appear in the reproduction's inputs.
 from __future__ import annotations
 
 import re
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional, Tuple
 
 from repro.rdf.graph import Graph
 from repro.rdf.namespaces import RDF, WELL_KNOWN_PREFIXES

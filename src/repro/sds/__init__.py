@@ -18,6 +18,11 @@ that preserves the operations the paper needs:
 
 from repro.sds.bitvector import BitVector, BitVectorBuilder
 from repro.sds.int_sequence import IntSequence
+from repro.sds.kernels import (
+    kernel_counters,
+    reset_kernel_counters,
+    total_kernel_calls,
+)
 from repro.sds.rbtree import RedBlackTree
 from repro.sds.wavelet_tree import WaveletTree
 
@@ -27,4 +32,7 @@ __all__ = [
     "IntSequence",
     "RedBlackTree",
     "WaveletTree",
+    "kernel_counters",
+    "reset_kernel_counters",
+    "total_kernel_calls",
 ]

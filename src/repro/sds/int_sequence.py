@@ -5,23 +5,32 @@ datatype-property subjects into the literal store) as packed integer arrays:
 every value is stored with ``ceil(log2(max_value + 1))`` bits, which keeps the
 memory footprint close to the information-theoretic minimum while retaining
 O(1) random access.
+
+Values are packed little-endian into 64-bit words (a value may straddle a
+word boundary), so construction and the batched ``access_range`` kernel run
+word-at-a-time instead of manipulating one huge Python integer — the seed
+implementation's single big-int buffer made both construction and slicing
+quadratic in the sequence length.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence
+from array import array
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.sds.kernels import KERNEL_COUNTS, WORD_BITS as _WORD_BITS, WORD_MASK as _WORD_MASK
 
 
 class IntSequence:
     """Immutable fixed-width integer array with O(1) access.
 
-    Values are packed into a single Python integer used as a bit buffer; the
-    width is derived from the maximum value unless given explicitly.
+    Values are packed into 64-bit words; the width is derived from the
+    maximum value unless given explicitly.
     """
 
-    __slots__ = ("_buffer", "_width", "_length", "_mask")
+    __slots__ = ("_words", "_width", "_length", "_mask")
 
-    def __init__(self, values: Sequence[int], width: int | None = None) -> None:
+    def __init__(self, values: Sequence[int], width: Optional[int] = None) -> None:
         data = list(values)
         for value in data:
             if value < 0:
@@ -35,10 +44,21 @@ class IntSequence:
         self._width = width
         self._length = len(data)
         self._mask = (1 << width) - 1
-        buffer = 0
-        for index, value in enumerate(data):
-            buffer |= value << (index * width)
-        self._buffer = buffer
+        words: List[int] = []
+        current = 0
+        filled = 0
+        for value in data:
+            current |= (value << filled) & _WORD_MASK
+            filled += width
+            while filled >= _WORD_BITS:
+                words.append(current)
+                filled -= _WORD_BITS
+                # Bits of ``value`` that spilled past the word boundary.
+                current = value >> (width - filled) if filled else 0
+                current &= _WORD_MASK
+        if filled:
+            words.append(current)
+        self._words = array("Q", words)
 
     # ------------------------------------------------------------------ #
 
@@ -46,8 +66,7 @@ class IntSequence:
         return self._length
 
     def __iter__(self) -> Iterator[int]:
-        for index in range(self._length):
-            yield self.access(index)
+        return iter(self.access_range(0, self._length))
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, IntSequence):
@@ -55,14 +74,14 @@ class IntSequence:
         return (
             self._length == other._length
             and self._width == other._width
-            and self._buffer == other._buffer
+            and self._words == other._words
         )
 
     def __hash__(self) -> int:
-        return hash((self._length, self._width, self._buffer))
+        return hash((self._length, self._width, self._words.tobytes()))
 
     def __repr__(self) -> str:
-        preview = ", ".join(str(v) for v in list(self)[:8])
+        preview = ", ".join(str(v) for v in self.access_range(0, min(8, self._length)))
         suffix = ", ..." if self._length > 8 else ""
         return f"IntSequence([{preview}{suffix}], width={self._width})"
 
@@ -75,19 +94,63 @@ class IntSequence:
         """Return the value stored at ``index``."""
         if not 0 <= index < self._length:
             raise IndexError(f"index {index} out of range [0, {self._length})")
-        return (self._buffer >> (index * self._width)) & self._mask
+        width = self._width
+        bit_index = index * width
+        word_index, offset = divmod(bit_index, _WORD_BITS)
+        value = self._words[word_index] >> offset
+        spilled = offset + width - _WORD_BITS
+        consumed = _WORD_BITS - offset
+        while spilled > 0:
+            word_index += 1
+            value |= self._words[word_index] << consumed
+            consumed += _WORD_BITS
+            spilled -= _WORD_BITS
+        return value & self._mask
 
     __getitem__ = access
 
+    def access_range(self, start: int, stop: int) -> List[int]:
+        """Values at positions ``[start, stop)`` decoded in one word-level pass.
+
+        The batched counterpart of :meth:`access`: the backing words are
+        walked once, so materialising a run of ``k`` values costs
+        O(k·width/64 + k) instead of ``k`` independent bit-window reads.
+        """
+        start = max(0, start)
+        stop = min(self._length, stop)
+        if start >= stop:
+            return []
+        KERNEL_COUNTS["access_range"] += 1
+        width = self._width
+        mask = self._mask
+        words = self._words
+        word_count = len(words)
+        out: List[int] = []
+        push = out.append
+        bit_index = start * width
+        word_index, offset = divmod(bit_index, _WORD_BITS)
+        buffer = words[word_index] >> offset
+        available = _WORD_BITS - offset
+        word_index += 1
+        for _ in range(stop - start):
+            while available < width and word_index < word_count:
+                buffer |= words[word_index] << available
+                available += _WORD_BITS
+                word_index += 1
+            push(buffer & mask)
+            buffer >>= width
+            available -= width
+        return out
+
     def to_list(self) -> List[int]:
         """Materialise the sequence as a plain list."""
-        return list(self)
+        return self.access_range(0, self._length)
 
     def size_in_bytes(self) -> int:
         """Approximate packed storage footprint in bytes."""
         return (self._length * self._width + 7) // 8
 
     @classmethod
-    def from_iterable(cls, values: Iterable[int], width: int | None = None) -> "IntSequence":
+    def from_iterable(cls, values: Iterable[int], width: Optional[int] = None) -> "IntSequence":
         """Build from any iterable of non-negative integers."""
         return cls(list(values), width=width)

@@ -1,0 +1,117 @@
+"""Word-level SDS kernel helpers shared by the succinct structures.
+
+The rank/select/scan primitives of :mod:`repro.sds` all bottom out in a small
+set of word-level kernels collected here:
+
+* ``popcount`` — number of set bits in a 64-bit word.  Uses the native
+  ``int.bit_count`` (CPython >= 3.10, a single CPU instruction) and falls back
+  to a 16-bit lookup table on older interpreters, mirroring the classic
+  sdsl-lite table-driven popcount;
+* ``nth_set_bit`` — offset of the n-th set bit inside a word, skipping 16-bit
+  chunks through the same table;
+* ``set_offsets`` — decode every set-bit offset of a word in one pass
+  (lowest-set-bit stripping), the building block of the batched
+  ``scan_ones`` / ``select_range`` kernels.
+
+The module also hosts the **kernel-call counters** used by the benchmark
+harness: every public rank/select/scan entry point on the SDS structures
+counts as one kernel call, so a batched primitive that replaces O(results)
+round-trips registers as a single call.  ``measure_call`` snapshots the
+counters around each measured operation and reports the delta alongside wall
+time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+WORD_BITS = 64
+WORD_MASK = (1 << WORD_BITS) - 1
+
+#: 16-bit popcount lookup table (64 KiB, shared by every structure).
+POPCOUNT16 = bytes(bin(value).count("1") for value in range(1 << 16))
+
+_HAS_BIT_COUNT = hasattr(int, "bit_count")
+
+if _HAS_BIT_COUNT:
+
+    def popcount(word: int) -> int:
+        """Number of set bits in a 64-bit word (native ``int.bit_count``)."""
+        return word.bit_count()  # type: ignore[attr-defined]
+
+else:
+
+    def popcount(word: int) -> int:
+        """Number of set bits in a 64-bit word (16-bit table fallback)."""
+        table = POPCOUNT16
+        return (
+            table[word & 0xFFFF]
+            + table[(word >> 16) & 0xFFFF]
+            + table[(word >> 32) & 0xFFFF]
+            + table[(word >> 48) & 0xFFFF]
+        )
+
+
+def nth_set_bit(word: int, n: int) -> int:
+    """Offset (0-based) of the ``n``-th (1-based) set bit inside ``word``.
+
+    Skips 16-bit chunks via the popcount table, then strips low set bits
+    inside the final chunk.
+    """
+    table = POPCOUNT16
+    offset = 0
+    w = word
+    while True:
+        chunk = w & 0xFFFF
+        count = table[chunk]
+        if n > count:
+            n -= count
+            w >>= 16
+            offset += 16
+            if not w:
+                raise ValueError(f"word {word:#x} has fewer set bits than requested")
+            continue
+        for _ in range(n - 1):
+            chunk &= chunk - 1
+        return offset + (chunk & -chunk).bit_length() - 1
+
+
+def set_offsets(word: int) -> List[int]:
+    """Offsets of every set bit of ``word``, ascending, as a list."""
+    out: List[int] = []
+    w = word
+    while w:
+        low = w & -w
+        out.append(low.bit_length() - 1)
+        w ^= low
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# kernel-call accounting
+# --------------------------------------------------------------------------- #
+
+#: Mutable per-operation call counters.  Keys are kernel names (``rank``,
+#: ``select``, ``rank_many``, ``select_many``, ``scan``, ``access_range``...).
+#: The hot kernels increment their (preset) keys directly.
+KERNEL_COUNTS: Dict[str, int] = {}
+
+
+def kernel_counters() -> Dict[str, int]:
+    """A snapshot copy of the per-kernel call counters."""
+    return dict(KERNEL_COUNTS)
+
+
+def total_kernel_calls() -> int:
+    """Total kernel calls recorded since the last reset."""
+    return sum(KERNEL_COUNTS.values())
+
+
+def reset_kernel_counters() -> None:
+    """Zero every counter (benchmark harness hook).
+
+    Counters are zeroed in place, not removed: the hot kernels increment
+    their preset keys directly.
+    """
+    for name in KERNEL_COUNTS:
+        KERNEL_COUNTS[name] = 0

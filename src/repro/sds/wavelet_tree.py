@@ -10,34 +10,44 @@ The tree is balanced over the symbol interval ``[0, sigma)``: each node holds
 a :class:`~repro.sds.bitvector.BitVector` whose ``i``-th bit says whether the
 ``i``-th element of the node's subsequence belongs to the lower (0) or the
 upper (1) half of the node's symbol interval.
+
+Besides the classic single-element operations, the tree exposes the batched
+kernels the store layer evaluates triple patterns with:
+
+* ``access_range(begin, end)`` — decode a whole position interval in one
+  word-level pass per tree level (instead of one root-to-leaf walk per
+  element);
+* ``rank_many`` — rank many positions along a single root-to-leaf descent;
+* ``select_many`` / ``select_range`` — materialise many occurrence positions
+  with one forward bitmap scan per level on the way back up;
+* batched ``range_search`` / ``range_search_symbols`` built from the above.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.sds.bitvector import BitVector, BitVectorBuilder
+from repro.sds.kernels import KERNEL_COUNTS
 
 
 class _Node:
-    """Internal wavelet-tree node covering the symbol interval [lo, hi)."""
+    """Internal wavelet-tree node covering the symbol interval [lo, hi).
 
-    __slots__ = ("lo", "hi", "bits", "left", "right")
+    ``mid`` and ``is_leaf`` are precomputed plain attributes: they are read
+    on every level of every descent, where a property call would dominate.
+    """
+
+    __slots__ = ("lo", "hi", "mid", "is_leaf", "bits", "left", "right")
 
     def __init__(self, lo: int, hi: int) -> None:
         self.lo = lo
         self.hi = hi
+        self.mid = (lo + hi) // 2
+        self.is_leaf = hi - lo <= 1
         self.bits: Optional[BitVector] = None
         self.left: Optional["_Node"] = None
         self.right: Optional["_Node"] = None
-
-    @property
-    def mid(self) -> int:
-        return (self.lo + self.hi) // 2
-
-    @property
-    def is_leaf(self) -> bool:
-        return self.hi - self.lo <= 1
 
 
 class WaveletTree:
@@ -84,15 +94,20 @@ class WaveletTree:
             return node
         mid = node.mid
         builder = BitVectorBuilder()
+        bits: List[int] = []
         left_data: List[int] = []
         right_data: List[int] = []
+        push_bit = bits.append
+        push_left = left_data.append
+        push_right = right_data.append
         for value in data:
             if value < mid:
-                builder.append(0)
-                left_data.append(value)
+                push_bit(0)
+                push_left(value)
             else:
-                builder.append(1)
-                right_data.append(value)
+                push_bit(1)
+                push_right(value)
+        builder.extend(bits)
         node.bits = builder.build()
         node.left = self._build(left_data, lo, mid)
         node.right = self._build(right_data, mid, hi)
@@ -106,8 +121,7 @@ class WaveletTree:
         return self._length
 
     def __iter__(self) -> Iterator[int]:
-        for i in range(self._length):
-            yield self.access(i)
+        return iter(self.access_range(0, self._length))
 
     def __repr__(self) -> str:
         return f"WaveletTree(len={self._length}, sigma={self._sigma})"
@@ -119,7 +133,7 @@ class WaveletTree:
 
     def to_list(self) -> List[int]:
         """Materialise the sequence (testing helper)."""
-        return list(self)
+        return self.access_range(0, self._length)
 
     # ------------------------------------------------------------------ #
     # SDS operations
@@ -129,19 +143,85 @@ class WaveletTree:
         """Return the symbol stored at position ``index``."""
         if not 0 <= index < self._length:
             raise IndexError(f"index {index} out of range [0, {self._length})")
+        KERNEL_COUNTS["access"] += 1
         node = self._root
         while not node.is_leaf:
             assert node.bits is not None
-            bit = node.bits.access(index)
+            bit, ones_before = node.bits._access_rank1(index)
             if bit == 0:
-                index = node.bits.rank(index, 0)
+                index = index - ones_before
                 node = node.left  # type: ignore[assignment]
             else:
-                index = node.bits.rank(index, 1)
+                index = ones_before
                 node = node.right  # type: ignore[assignment]
         return node.lo
 
     __getitem__ = access
+
+    def access_range(self, begin: int, end: int) -> List[int]:
+        """Symbols at positions ``[begin, end)``, decoded level-by-level.
+
+        The batched counterpart of :meth:`access`: every tree level is
+        traversed once with word-level bitmap scans, so decoding a run of
+        ``k`` symbols costs O(k · log sigma) cheap list operations instead of
+        ``k`` independent root-to-leaf walks of rank calls.
+        """
+        begin = max(0, begin)
+        end = min(self._length, end)
+        if begin >= end:
+            return []
+        return self._decode_range(self._root, begin, end)
+
+    def _decode_range(self, node: _Node, begin: int, end: int) -> List[int]:
+        if begin >= end:
+            return []
+        if node.is_leaf or node.bits is None:
+            return [node.lo] * (end - begin)
+        if end - begin == 1:
+            # Tiny runs (single-object probes during bind-propagation joins)
+            # skip the per-level interleave machinery.
+            index = begin
+            while not node.is_leaf:
+                if node.bits is None:
+                    break
+                bit, ones_before = node.bits._access_rank1(index)
+                if bit == 0:
+                    index = index - ones_before
+                    node = node.left  # type: ignore[assignment]
+                else:
+                    index = ones_before
+                    node = node.right  # type: ignore[assignment]
+            return [node.lo]
+        bits = node.bits
+        ones_begin = bits._rank1(begin)
+        ones_end = bits._rank1(end)
+        left_begin = begin - ones_begin
+        left_end = end - ones_end
+        left_values = self._decode_range(node.left, left_begin, left_end)  # type: ignore[arg-type]
+        right_values = self._decode_range(
+            node.right, begin - left_begin, end - left_end  # type: ignore[arg-type]
+        )
+        if not right_values:
+            return left_values
+        if not left_values:
+            return right_values
+        # Interleave the two halves following this node's bitmap.
+        ones = bits.scan_ones(begin, end)
+        out: List[int] = []
+        push = out.append
+        left_iter = iter(left_values)
+        right_iter = iter(right_values)
+        next_left = next(left_iter, None)
+        one_index = 0
+        one_count = len(ones)
+        for position in range(begin, end):
+            if one_index < one_count and ones[one_index] == position:
+                push(next(right_iter))
+                one_index += 1
+            else:
+                push(next_left)  # type: ignore[arg-type]
+                next_left = next(left_iter, None)
+        return out
 
     def rank(self, index: int, symbol: int) -> int:
         """Number of occurrences of ``symbol`` in positions ``[0, index)``."""
@@ -149,18 +229,39 @@ class WaveletTree:
             raise IndexError(f"rank index {index} out of range [0, {self._length}]")
         if not 0 <= symbol < self._sigma:
             return 0
+        KERNEL_COUNTS["rank"] += 1
         node = self._root
         while not node.is_leaf:
             if node.bits is None:
                 # Empty internal node: the subtree holds no elements.
                 return 0
             if symbol < node.mid:
-                index = node.bits.rank(index, 0)
+                index = index - node.bits._rank1(index)
                 node = node.left  # type: ignore[assignment]
             else:
-                index = node.bits.rank(index, 1)
+                index = node.bits._rank1(index)
                 node = node.right  # type: ignore[assignment]
         return index
+
+    def rank_many(self, indices: Sequence[int], symbol: int) -> List[int]:
+        """Batched :meth:`rank`: one root-to-leaf descent ranks every index."""
+        indices = list(indices)
+        for index in indices:
+            if not 0 <= index <= self._length:
+                raise IndexError(f"rank index {index} out of range [0, {self._length}]")
+        if not indices:
+            return []
+        if not 0 <= symbol < self._sigma:
+            return [0] * len(indices)
+        node = self._root
+        current = indices
+        while not node.is_leaf:
+            if node.bits is None:
+                return [0] * len(indices)
+            bit = 0 if symbol < node.mid else 1
+            current = node.bits.rank_many(current, bit)
+            node = node.left if bit == 0 else node.right  # type: ignore[assignment]
+        return current
 
     def count(self, symbol: int) -> int:
         """Total number of occurrences of ``symbol`` in the sequence."""
@@ -175,31 +276,97 @@ class WaveletTree:
                 f"symbol {symbol} occurs {self.count(symbol)} times, "
                 f"cannot select occurrence {occurrence}"
             )
+        KERNEL_COUNTS["select"] += 1
+        path = self._path_to(symbol)
+        position = occurrence - 1
+        for parent, bit in reversed(path):
+            assert parent.bits is not None
+            if bit:
+                position = parent.bits._select1(position + 1)
+            else:
+                position = parent.bits._select0(position + 1)
+        return position
+
+    def select_many(self, occurrences: Sequence[int], symbol: int) -> List[int]:
+        """Positions of many ascending (1-based) occurrences of ``symbol``.
+
+        The batched counterpart of :meth:`select`: one forward bitmap scan
+        per level maps all occurrence positions back up the tree together.
+        """
+        occurrences = list(occurrences)
+        if not occurrences:
+            return []
+        if occurrences[0] <= 0:
+            raise ValueError("select occurrence is 1-based and must be positive")
+        if self.count(symbol) < occurrences[-1]:
+            raise ValueError(
+                f"symbol {symbol} occurs {self.count(symbol)} times, "
+                f"cannot select occurrence {occurrences[-1]}"
+            )
+        if len(occurrences) == 1:
+            return [self.select(occurrences[0], symbol)]
+        path = self._path_to(symbol)
+        positions = [occurrence - 1 for occurrence in occurrences]
+        for parent, bit in reversed(path):
+            assert parent.bits is not None
+            positions = parent.bits.select_many(
+                [position + 1 for position in positions], bit
+            )
+        return positions
+
+    def select_range(self, first: int, last: int, symbol: int) -> List[int]:
+        """Positions of occurrences ``first..last`` (1-based, inclusive) of ``symbol``."""
+        if first <= 0:
+            raise ValueError("select occurrence is 1-based and must be positive")
+        if last < first:
+            return []
+        return self.select_many(range(first, last + 1), symbol)
+
+    def _rank_pair(self, begin: int, end: int, symbol: int) -> Tuple[int, int]:
+        """``(rank(begin, symbol), rank(end, symbol))`` in one fused descent."""
+        if not 0 <= symbol < self._sigma:
+            return 0, 0
+        KERNEL_COUNTS["rank"] += 1
+        node = self._root
+        while not node.is_leaf:
+            bits = node.bits
+            if bits is None:
+                return 0, 0
+            ones_begin = bits._rank1(begin)
+            ones_end = bits._rank1(end)
+            if symbol < node.mid:
+                begin = begin - ones_begin
+                end = end - ones_end
+                node = node.left  # type: ignore[assignment]
+            else:
+                begin = ones_begin
+                end = ones_end
+                node = node.right  # type: ignore[assignment]
+        return begin, end
+
+    def _path_to(self, symbol: int) -> List[Tuple[_Node, int]]:
+        """Root-to-leaf path of ``symbol``: ``(node, branch bit)`` pairs."""
         path: List[Tuple[_Node, int]] = []
         node = self._root
         while not node.is_leaf:
             bit = 0 if symbol < node.mid else 1
             path.append((node, bit))
             node = node.left if bit == 0 else node.right  # type: ignore[assignment]
-        position = occurrence - 1
-        for parent, bit in reversed(path):
-            assert parent.bits is not None
-            position = parent.bits.select(position + 1, bit)
-        return position
+        return path
 
     def range_search(self, begin: int, end: int, symbol: int) -> List[int]:
         """All positions of ``symbol`` inside ``[begin, end)``, in order.
 
         This is the paper's ``rangeSearch(a, b, c)`` primitive: it prunes the
-        search using rank on the boundaries instead of scanning the interval.
+        search using rank on the boundaries, then materialises the matching
+        positions with one batched select scan per level.
         """
         begin = max(0, begin)
         end = min(self._length, end)
         if begin >= end:
             return []
-        first = self.rank(begin, symbol)
-        last = self.rank(end, symbol)
-        return [self.select(occurrence, symbol) for occurrence in range(first + 1, last + 1)]
+        first, last = self._rank_pair(begin, end, symbol)
+        return self.select_range(first + 1, last, symbol)
 
     def count_in_range(self, begin: int, end: int, symbol: int) -> int:
         """Number of occurrences of ``symbol`` inside ``[begin, end)``."""
@@ -207,7 +374,8 @@ class WaveletTree:
         end = min(self._length, end)
         if begin >= end:
             return 0
-        return self.rank(end, symbol) - self.rank(begin, symbol)
+        first, last = self._rank_pair(begin, end, symbol)
+        return last - first
 
     def range_search_symbols(
         self, begin: int, end: int, symbol_lo: int, symbol_hi: int
@@ -217,7 +385,8 @@ class WaveletTree:
         Returns ``(position, symbol)`` pairs sorted by position.  This is the
         wavelet-tree range-report used to evaluate LiteMat identifier
         intervals (reasoning over concept/property hierarchies) without
-        enumerating every individual sub-concept.
+        enumerating every individual sub-concept.  Matching positions are
+        mapped back to the root with one batched select scan per level.
         """
         begin = max(0, begin)
         end = min(self._length, end)
@@ -225,10 +394,7 @@ class WaveletTree:
         symbol_hi = min(self._sigma, symbol_hi)
         if begin >= end or symbol_lo >= symbol_hi:
             return []
-        results: List[Tuple[int, int]] = []
-        self._collect_range(self._root, begin, end, symbol_lo, symbol_hi, results)
-        results.sort()
-        return results
+        return self._collect_range(self._root, begin, end, symbol_lo, symbol_hi)
 
     def _collect_range(
         self,
@@ -237,26 +403,49 @@ class WaveletTree:
         end: int,
         symbol_lo: int,
         symbol_hi: int,
-        results: List[Tuple[int, int]],
-    ) -> None:
+    ) -> List[Tuple[int, int]]:
+        """Matching ``(position-in-node, symbol)`` pairs, sorted by position."""
         if begin >= end:
-            return
+            return []
         if symbol_hi <= node.lo or symbol_lo >= node.hi:
-            return
-        if node.is_leaf:
-            # Every position in [begin, end) at this leaf holds symbol node.lo;
-            # map them back to positions in the root sequence.
-            symbol = node.lo
-            for occurrence in range(begin + 1, end + 1):
-                results.append((self.select(occurrence, symbol), symbol))
-            return
+            return []
+        if symbol_lo <= node.lo and node.hi <= symbol_hi:
+            # Fully covered: decode the interval directly.
+            values = self._decode_range(node, begin, end)
+            return list(zip(range(begin, end), values))
         assert node.bits is not None
-        left_begin = node.bits.rank(begin, 0)
-        left_end = node.bits.rank(end, 0)
-        right_begin = node.bits.rank(begin, 1)
-        right_end = node.bits.rank(end, 1)
-        self._collect_range(node.left, left_begin, left_end, symbol_lo, symbol_hi, results)  # type: ignore[arg-type]
-        self._collect_range(node.right, right_begin, right_end, symbol_lo, symbol_hi, results)  # type: ignore[arg-type]
+        bits = node.bits
+        left_begin = bits.rank(begin, 0)
+        left_end = bits.rank(end, 0)
+        lefts = self._collect_range(
+            node.left, left_begin, left_end, symbol_lo, symbol_hi  # type: ignore[arg-type]
+        )
+        rights = self._collect_range(
+            node.right, begin - left_begin, end - left_end, symbol_lo, symbol_hi  # type: ignore[arg-type]
+        )
+        # Map child positions back to this node's positions (batched select),
+        # then merge the two sorted lists.
+        left_positions = bits.select_many([position + 1 for position, _ in lefts], 0)
+        right_positions = bits.select_many([position + 1 for position, _ in rights], 1)
+        merged: List[Tuple[int, int]] = []
+        push = merged.append
+        li = ri = 0
+        left_count = len(lefts)
+        right_count = len(rights)
+        while li < left_count and ri < right_count:
+            if left_positions[li] < right_positions[ri]:
+                push((left_positions[li], lefts[li][1]))
+                li += 1
+            else:
+                push((right_positions[ri], rights[ri][1]))
+                ri += 1
+        while li < left_count:
+            push((left_positions[li], lefts[li][1]))
+            li += 1
+        while ri < right_count:
+            push((right_positions[ri], rights[ri][1]))
+            ri += 1
+        return merged
 
     def count_symbols_in_range(
         self, begin: int, end: int, symbol_lo: int, symbol_hi: int

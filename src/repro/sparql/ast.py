@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Union as TypingUnion
 
 from repro.rdf.namespaces import RDF_TYPE
-from repro.rdf.terms import BlankNode, Literal, Term, URI
+from repro.rdf.terms import BlankNode, Literal, URI
 
 
 @dataclass(frozen=True)

@@ -40,11 +40,18 @@ class Binding:
         """Iterate over ``(variable, term)`` pairs."""
         return self._values.items()
 
+    @classmethod
+    def _adopt(cls, values: Dict[str, Term]) -> "Binding":
+        """Wrap ``values`` without copying (internal fast path; caller owns the dict)."""
+        binding = cls.__new__(cls)
+        binding._values = values
+        return binding
+
     def extended(self, name: str, value: Term) -> "Binding":
         """A new binding with ``name`` additionally bound to ``value``."""
         merged = dict(self._values)
         merged[name] = value
-        return Binding(merged)
+        return Binding._adopt(merged)
 
     def merged(self, other: "Binding") -> Optional["Binding"]:
         """Merge with ``other``; return ``None`` when they conflict."""
@@ -53,7 +60,7 @@ class Binding:
             if name in merged and merged[name] != value:
                 return None
             merged[name] = value
-        return Binding(merged)
+        return Binding._adopt(merged)
 
     def compatible(self, other: "Binding") -> bool:
         """Whether the two bindings agree on every shared variable."""
@@ -64,7 +71,9 @@ class Binding:
 
     def project(self, names: Sequence[str]) -> "Binding":
         """Restrict to the given variable names (unbound names are dropped)."""
-        return Binding({name: self._values[name] for name in names if name in self._values})
+        return Binding._adopt(
+            {name: self._values[name] for name in names if name in self._values}
+        )
 
     def as_dict(self) -> Dict[str, Term]:
         """A plain-dict copy of the mapping."""

@@ -72,13 +72,12 @@ class StoreBuilder:
         schema = OntologySchema()
         if self.ontology is not None:
             schema = OntologySchema.from_graph(self.ontology)
-        # Schema axioms shipped inside the data graph also feed the hierarchy.
-        for triple in data:
-            if triple.predicate in _SCHEMA_PREDICATES:
-                schema._ingest(triple)  # noqa: SLF001 — builder is a friend of the schema
-
+        # One pass feeds schema axioms shipped inside the data graph into the
+        # hierarchy AND collects the concepts/properties the data mentions.
         data_concepts, data_properties = self._collect_terms(
-            data, include_schema_predicates=self.include_schema_triples
+            data,
+            schema=schema,
+            include_schema_predicates=self.include_schema_triples,
         )
         encoder = LiteMatEncoder(schema)
         concept_encoding = encoder.encode_concepts(extra_concepts=data_concepts)
@@ -138,20 +137,30 @@ class StoreBuilder:
 
     @staticmethod
     def _collect_terms(
-        data: Graph, include_schema_predicates: bool = False
+        data: Graph,
+        schema: Optional[OntologySchema] = None,
+        include_schema_predicates: bool = False,
     ) -> Tuple[List[URI], List[URI]]:
-        """Concepts and properties mentioned by the data but maybe not declared."""
+        """Concepts and properties mentioned by the data but maybe not declared.
+
+        When ``schema`` is given, schema axioms found in the data graph are
+        ingested into it during the same pass (the seed implementation walked
+        the graph twice).
+        """
         concepts: List[URI] = []
         seen_concepts = set()
         properties: List[URI] = []
         seen_properties = set()
         for triple in data:
+            if triple.predicate in _SCHEMA_PREDICATES:
+                if schema is not None:
+                    schema._ingest(triple)  # noqa: SLF001 — builder is a friend of the schema
+                if not include_schema_predicates:
+                    continue
             if triple.predicate == RDF_TYPE:
                 if isinstance(triple.object, URI) and triple.object not in seen_concepts:
                     seen_concepts.add(triple.object)
                     concepts.append(triple.object)
-                continue
-            if triple.predicate in _SCHEMA_PREDICATES and not include_schema_predicates:
                 continue
             if triple.predicate not in seen_properties:
                 seen_properties.add(triple.predicate)

@@ -10,6 +10,10 @@ The layout mirrors :class:`~repro.store.triple_store.ObjectTripleStore` for
 the property and subject layers (``wt_p``, ``bm_ps``, ``wt_s``, ``bm_so``) but
 the object layer is an :class:`~repro.sds.int_sequence.IntSequence` of
 positions into the shared :class:`~repro.dictionary.literal_store.LiteralStore`.
+
+As in the object layout, the evaluation entry points are range-materialising:
+whole literal runs are decoded with one batched ``access_range`` over the
+pointer sequence plus one batched select scan over the run bitmap.
 """
 
 from __future__ import annotations
@@ -27,16 +31,24 @@ EncodedDatatypeTriple = Tuple[int, int, Literal]
 
 
 class DatatypeTripleStore:
-    """Immutable PS(+flat literal) store over datatype-property triples."""
+    """Immutable PS(+flat literal) store over datatype-property triples.
+
+    ``presorted`` promises that ``triples`` already arrive in (property,
+    subject) order, skipping the sort pass.
+    """
 
     def __init__(
         self,
         triples: Sequence[EncodedDatatypeTriple],
         literal_store: Optional[LiteralStore] = None,
+        presorted: bool = False,
     ) -> None:
         self.literals = literal_store if literal_store is not None else LiteralStore()
         # Sort by (property, subject); keep literal insertion order within a pair.
-        ordered = sorted(triples, key=lambda triple: (triple[0], triple[1]))
+        if presorted:
+            ordered = list(triples)
+        else:
+            ordered = sorted(triples, key=lambda triple: (triple[0], triple[1]))
         self._triple_count = len(ordered)
 
         property_layer: List[int] = []
@@ -74,6 +86,9 @@ class DatatypeTripleStore:
         self.object_pointers = IntSequence(literal_pointers)
         self.bm_ps: BitVector = ps_bits.build()
         self.bm_so: BitVector = so_bits.build()
+        # Memoised property navigation (see ObjectTripleStore).
+        self._property_index_cache: dict = {}
+        self._subject_run_cache: dict = {}
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -99,19 +114,55 @@ class DatatypeTripleStore:
     # ------------------------------------------------------------------ #
 
     def _property_index(self, property_id: int) -> Optional[int]:
+        try:
+            return self._property_index_cache[property_id]
+        except KeyError:
+            pass
         if self.wt_p.count(property_id) == 0:
-            return None
-        return self.wt_p.select(1, property_id)
+            index: Optional[int] = None
+        else:
+            index = self.wt_p.select(1, property_id)
+        self._property_index_cache[property_id] = index
+        return index
 
     def _subject_run(self, property_index: int) -> Tuple[int, int]:
+        try:
+            return self._subject_run_cache[property_index]
+        except KeyError:
+            pass
         begin = self.bm_ps.select(property_index + 1, 1)
         end = self.bm_ps.select(property_index + 2, 1)
+        self._subject_run_cache[property_index] = (begin, end)
         return begin, end
 
     def _object_run(self, subject_index: int) -> Tuple[int, int]:
-        begin = self.bm_so.select(subject_index + 1, 1)
-        end = self.bm_so.select(subject_index + 2, 1)
+        begin, end = self.bm_so.select_range(subject_index + 1, subject_index + 2, 1)
         return begin, end
+
+    def subject_run(self, property_id: int) -> Optional[Tuple[int, int]]:
+        """Subject-layer interval ``[begin, end)`` of ``property_id``, or ``None``."""
+        property_index = self._property_index(property_id)
+        if property_index is None:
+            return None
+        return self._subject_run(property_index)
+
+    def object_run_boundaries(self, subject_begin: int, subject_end: int) -> List[int]:
+        """Pointer-layer run starts for subject positions ``[subject_begin, subject_end]``."""
+        return self.bm_so.select_range(subject_begin + 1, subject_end + 1, 1)
+
+    def subjects_in_interval(self, begin: int, end: int) -> List[int]:
+        """Subject identifiers at subject-layer positions ``[begin, end)`` (batched)."""
+        return self.wt_s.access_range(begin, end)
+
+    def literals_in_interval(self, begin: int, end: int) -> List[Literal]:
+        """Literals at pointer-layer positions ``[begin, end)`` (batched decode)."""
+        get = self.literals.get
+        return [get(pointer) for pointer in self.object_pointers.access_range(begin, end)]
+
+    def literals_for_run(self, subject_index: int) -> List[Literal]:
+        """Literals of the ``(property, subject)`` pair at ``subject_index`` (batched)."""
+        object_begin, object_end = self._object_run(subject_index)
+        return self.literals_in_interval(object_begin, object_end)
 
     def count_triples_with_property(self, property_id: int) -> int:
         """Algorithm 2 applied to the datatype layout."""
@@ -136,49 +187,74 @@ class DatatypeTripleStore:
     # ------------------------------------------------------------------ #
 
     def literals_for(self, subject_id: int, property_id: int) -> List[Literal]:
-        """Literal objects of ``(subject, property, ?o)``."""
+        """Literal objects of ``(subject, property, ?o)`` (batched run decode)."""
         property_index = self._property_index(property_id)
         if property_index is None:
             return []
         subject_begin, subject_end = self._subject_run(property_index)
+        positions = self.wt_s.range_search(subject_begin, subject_end, subject_id)
+        if not positions:
+            return []
+        if len(positions) == 1:
+            return self.literals_for_run(positions[0])
+        boundaries = self.bm_so.select_many(
+            [occurrence for position in positions for occurrence in (position + 1, position + 2)],
+            1,
+        )
         results: List[Literal] = []
-        for subject_index in self.wt_s.range_search(subject_begin, subject_end, subject_id):
-            object_begin, object_end = self._object_run(subject_index)
-            for object_index in range(object_begin, object_end):
-                results.append(self.literals.get(self.object_pointers.access(object_index)))
+        for index in range(0, len(boundaries), 2):
+            results.extend(self.literals_in_interval(boundaries[index], boundaries[index + 1]))
         return results
 
     def subjects_for(self, property_id: int, literal: Literal) -> List[int]:
         """Subjects of ``(?s, property, literal)``.
 
-        Literals are not dictionary-encoded, so this scans the property's
-        object run and compares values — the paper accepts this cost because
-        literal-bound patterns are rare in its IoT workload.
+        Literals are not dictionary-encoded, so this decodes the property's
+        whole pointer run in one batched pass and compares values — the paper
+        accepts this cost because literal-bound patterns are rare in its IoT
+        workload.
         """
         property_index = self._property_index(property_id)
         if property_index is None:
             return []
         subject_begin, subject_end = self._subject_run(property_index)
+        if subject_begin >= subject_end:
+            return []
+        subjects = self.wt_s.access_range(subject_begin, subject_end)
+        boundaries = self.object_run_boundaries(subject_begin, subject_end)
+        literals = self.literals_in_interval(boundaries[0], boundaries[-1])
+        base = boundaries[0]
         results: List[int] = []
-        for subject_index in range(subject_begin, subject_end):
-            object_begin, object_end = self._object_run(subject_index)
-            for object_index in range(object_begin, object_end):
-                if self.literals.get(self.object_pointers.access(object_index)) == literal:
-                    results.append(self.wt_s.access(subject_index))
+        for offset, subject_id in enumerate(subjects):
+            for object_index in range(boundaries[offset] - base, boundaries[offset + 1] - base):
+                if literals[object_index] == literal:
+                    results.append(subject_id)
                     break
         return results
 
     def pairs_for_property(self, property_id: int) -> Iterator[Tuple[int, Literal]]:
-        """All ``(subject, literal)`` pairs of ``(?s, property, ?o)``, in PS order."""
+        """All ``(subject, literal)`` pairs of ``(?s, property, ?o)``, in PS order.
+
+        The whole property run is materialised with three batched kernel
+        calls (subject layer, run boundaries, pointer layer) and then zipped.
+        """
         property_index = self._property_index(property_id)
         if property_index is None:
             return
-        subject_begin, subject_end = self._subject_run(property_index)
-        for subject_index in range(subject_begin, subject_end):
-            subject_id = self.wt_s.access(subject_index)
-            object_begin, object_end = self._object_run(subject_index)
-            for object_index in range(object_begin, object_end):
-                yield subject_id, self.literals.get(self.object_pointers.access(object_index))
+        yield from self._pairs_in_subject_run(*self._subject_run(property_index))
+
+    def _pairs_in_subject_run(
+        self, subject_begin: int, subject_end: int
+    ) -> Iterator[Tuple[int, Literal]]:
+        if subject_begin >= subject_end:
+            return
+        subjects = self.wt_s.access_range(subject_begin, subject_end)
+        boundaries = self.object_run_boundaries(subject_begin, subject_end)
+        literals = self.literals_in_interval(boundaries[0], boundaries[-1])
+        base = boundaries[0]
+        for offset, subject_id in enumerate(subjects):
+            for object_index in range(boundaries[offset] - base, boundaries[offset + 1] - base):
+                yield subject_id, literals[object_index]
 
     def pairs_for_property_interval(
         self, property_low: int, property_high: int
@@ -189,24 +265,15 @@ class DatatypeTripleStore:
             0, len(self.wt_p), property_low, property_high
         ):
             subject_begin, subject_end = self._subject_run(position)
-            for subject_index in range(subject_begin, subject_end):
-                subject_id = self.wt_s.access(subject_index)
-                object_begin, object_end = self._object_run(subject_index)
-                for object_index in range(object_begin, object_end):
-                    literal = self.literals.get(self.object_pointers.access(object_index))
-                    yield property_id, subject_id, literal
+            for subject_id, literal in self._pairs_in_subject_run(subject_begin, subject_end):
+                yield property_id, subject_id, literal
 
     def iter_triples(self) -> Iterator[EncodedDatatypeTriple]:
-        """All stored triples in PS order."""
-        for position in range(len(self.wt_p)):
-            property_id = self.wt_p.access(position)
+        """All stored triples in PS order (one batched scan per property run)."""
+        for position, property_id in enumerate(self.wt_p.to_list()):
             subject_begin, subject_end = self._subject_run(position)
-            for subject_index in range(subject_begin, subject_end):
-                subject_id = self.wt_s.access(subject_index)
-                object_begin, object_end = self._object_run(subject_index)
-                for object_index in range(object_begin, object_end):
-                    literal = self.literals.get(self.object_pointers.access(object_index))
-                    yield property_id, subject_id, literal
+            for subject_id, literal in self._pairs_in_subject_run(subject_begin, subject_end):
+                yield property_id, subject_id, literal
 
     # ------------------------------------------------------------------ #
     # storage accounting

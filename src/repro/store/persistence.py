@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import io
 import struct
-from typing import BinaryIO, Dict, Iterable, List, Tuple
+from typing import BinaryIO, Dict, List, Tuple
 
 from repro.ontology.litemat import EncodedEntity, LiteMatEncoding
 from repro.ontology.schema import OntologySchema
@@ -354,8 +354,10 @@ def load_store_from_bytes(payload: bytes):
         concepts=concepts,
         properties=properties,
         instances=instances,
-        object_store=ObjectTripleStore(object_triples),
-        datatype_store=DatatypeTripleStore(datatype_triples, LiteralStore()),
+        # Triples were serialised in PSO order by iter_triples, so the sort
+        # pass can be skipped on reload.
+        object_store=ObjectTripleStore(object_triples, presorted=True),
+        datatype_store=DatatypeTripleStore(datatype_triples, LiteralStore(), presorted=True),
         type_store=RDFTypeStore(type_triples),
         statistics=DictionaryStatistics(concepts, properties, instances),
         skipped_triples=skipped,

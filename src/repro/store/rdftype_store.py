@@ -31,9 +31,13 @@ class RDFTypeStore:
     def __init__(self, triples: Iterable[EncodedTypeTriple] = ()) -> None:
         self._so = RedBlackTree()
         self._os = RedBlackTree()
-        self._count = 0
-        for subject_id, concept_id in triples:
-            self.insert(subject_id, concept_id)
+        # Bulk path: dedup once up front so each triple costs two tree
+        # insertions instead of two membership probes plus two insertions.
+        unique = sorted(set(triples))
+        for subject_id, concept_id in unique:
+            self._so.insert((subject_id, concept_id), None)
+            self._os.insert((concept_id, subject_id), None)
+        self._count = len(unique)
 
     # ------------------------------------------------------------------ #
     # construction
@@ -92,7 +96,7 @@ class RDFTypeStore:
 
     def count_concept(self, concept_id: int) -> int:
         """Number of explicit ``rdf:type`` triples for ``concept_id``."""
-        return len(self.subjects_of(concept_id))
+        return sum(1 for _ in self._os.range_items((concept_id, -1), (concept_id + 1, -1)))
 
     def count_concept_interval(self, concept_low: int, concept_high: int) -> int:
         """Number of explicit typings whose concept falls in ``[low, high)``."""

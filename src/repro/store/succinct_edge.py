@@ -16,7 +16,7 @@ layouts and the statistics, and exposes:
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple, Union
+from typing import Iterator, Optional, Tuple, Union
 
 from repro.dictionary.statistics import DictionaryStatistics
 from repro.dictionary.term_dictionary import (
@@ -148,9 +148,13 @@ class SuccinctEdge:
             subject_id = None if subject is None else self.instances.try_locate(subject)
             if subject is not None and subject_id is None:
                 return
+            if subject_id is not None:
+                # Fully bound: one O(log n) membership probe instead of
+                # enumerating the whole concept run.
+                if self.type_store.contains(subject_id, concept_id):
+                    yield Triple(subject, RDF_TYPE, obj)  # type: ignore[arg-type]
+                return
             for candidate in self.type_store.subjects_of(concept_id):
-                if subject_id is not None and candidate != subject_id:
-                    continue
                 yield Triple(self.instances.extract(candidate), RDF_TYPE, obj)  # type: ignore[arg-type]
             return
         if subject is not None:

@@ -17,6 +17,12 @@ This is the core single-index layout of Figure 5(b):
 Every triple-pattern evaluation is a sequence of ``select`` / ``rank`` /
 ``access`` / ``range_search`` operations on these five structures, i.e. the
 store is *decompression-free* (paper contribution ii).
+
+The evaluation entry points are **range-materialising**: a pattern is
+answered with one batched kernel call per layout (``select_range`` over the
+bitmaps, ``access_range`` / batched ``range_search`` over the wavelet trees)
+instead of O(results) individual rank/select round-trips, which is what keeps
+the scan benchmarks fast in pure Python.
 """
 
 from __future__ import annotations
@@ -31,10 +37,15 @@ EncodedTriple = Tuple[int, int, int]
 
 
 class ObjectTripleStore:
-    """Immutable PSO store over integer-encoded object-property triples."""
+    """Immutable PSO store over integer-encoded object-property triples.
 
-    def __init__(self, triples: Sequence[EncodedTriple]) -> None:
-        ordered = sorted(set(triples))
+    ``presorted`` promises that ``triples`` are already deduplicated and in
+    PSO order (e.g. when rebuilding from a persisted store), skipping the
+    sort pass.
+    """
+
+    def __init__(self, triples: Sequence[EncodedTriple], presorted: bool = False) -> None:
+        ordered = list(triples) if presorted else sorted(set(triples))
         self._triple_count = len(ordered)
 
         property_layer: List[int] = []
@@ -73,6 +84,11 @@ class ObjectTripleStore:
         self.wt_o = WaveletTree(object_layer, alphabet_size=alphabet)
         self.bm_ps: BitVector = ps_bits.build()
         self.bm_so: BitVector = so_bits.build()
+        # The property layer is tiny (one entry per distinct property) but its
+        # navigation is probed once per bind-propagation binding; the layouts
+        # are immutable, so both lookups are memoised.
+        self._property_index_cache: dict = {}
+        self._subject_run_cache: dict = {}
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -99,21 +115,61 @@ class ObjectTripleStore:
 
     def _property_index(self, property_id: int) -> Optional[int]:
         """Position of ``property_id`` in the property layer, or ``None``."""
+        try:
+            return self._property_index_cache[property_id]
+        except KeyError:
+            pass
         if self.wt_p.count(property_id) == 0:
-            return None
-        return self.wt_p.select(1, property_id)
+            index: Optional[int] = None
+        else:
+            index = self.wt_p.select(1, property_id)
+        self._property_index_cache[property_id] = index
+        return index
 
     def _subject_run(self, property_index: int) -> Tuple[int, int]:
         """Subject-layer interval ``[begin, end)`` of the property at ``property_index``."""
+        try:
+            return self._subject_run_cache[property_index]
+        except KeyError:
+            pass
         begin = self.bm_ps.select(property_index + 1, 1)
         end = self.bm_ps.select(property_index + 2, 1)
+        self._subject_run_cache[property_index] = (begin, end)
         return begin, end
 
     def _object_run(self, subject_index: int) -> Tuple[int, int]:
         """Object-layer interval ``[begin, end)`` of the subject at ``subject_index``."""
-        begin = self.bm_so.select(subject_index + 1, 1)
-        end = self.bm_so.select(subject_index + 2, 1)
+        begin, end = self.bm_so.select_range(subject_index + 1, subject_index + 2, 1)
         return begin, end
+
+    def subject_run(self, property_id: int) -> Optional[Tuple[int, int]]:
+        """Subject-layer interval ``[begin, end)`` of ``property_id``, or ``None``."""
+        property_index = self._property_index(property_id)
+        if property_index is None:
+            return None
+        return self._subject_run(property_index)
+
+    def object_run_boundaries(self, subject_begin: int, subject_end: int) -> List[int]:
+        """Object-layer run starts for subject positions ``[subject_begin, subject_end]``.
+
+        One batched select scan returns ``subject_end - subject_begin + 1``
+        boundary positions; consecutive entries delimit each subject's object
+        run (the sentinel bit makes the last boundary valid).
+        """
+        return self.bm_so.select_range(subject_begin + 1, subject_end + 1, 1)
+
+    def subjects_in_interval(self, begin: int, end: int) -> List[int]:
+        """Subject identifiers at subject-layer positions ``[begin, end)`` (batched)."""
+        return self.wt_s.access_range(begin, end)
+
+    def objects_in_interval(self, begin: int, end: int) -> List[int]:
+        """Object identifiers at object-layer positions ``[begin, end)`` (batched)."""
+        return self.wt_o.access_range(begin, end)
+
+    def objects_for_run(self, subject_index: int) -> List[int]:
+        """Objects of the ``(property, subject)`` pair at ``subject_index`` (batched)."""
+        object_begin, object_end = self._object_run(subject_index)
+        return self.wt_o.access_range(object_begin, object_end)
 
     def count_triples_with_property(self, property_id: int) -> int:
         """Algorithm 2: number of triples carrying ``property_id``.
@@ -142,16 +198,28 @@ class ObjectTripleStore:
     # ------------------------------------------------------------------ #
 
     def objects_for(self, subject_id: int, property_id: int) -> List[int]:
-        """Algorithm 3 core: objects of ``(subject, property, ?o)``, ascending."""
+        """Algorithm 3 core: objects of ``(subject, property, ?o)``, ascending.
+
+        One batched ``range_search`` finds every position of the subject, one
+        batched select scan finds all object-run boundaries, and each run is
+        decoded with ``access_range``.
+        """
         property_index = self._property_index(property_id)
         if property_index is None:
             return []
         subject_begin, subject_end = self._subject_run(property_index)
+        positions = self.wt_s.range_search(subject_begin, subject_end, subject_id)
+        if not positions:
+            return []
+        if len(positions) == 1:
+            return self.objects_for_run(positions[0])
+        boundaries = self.bm_so.select_many(
+            [occurrence for position in positions for occurrence in (position + 1, position + 2)],
+            1,
+        )
         results: List[int] = []
-        for subject_index in self.wt_s.range_search(subject_begin, subject_end, subject_id):
-            object_begin, object_end = self._object_run(subject_index)
-            for object_index in range(object_begin, object_end):
-                results.append(self.wt_o.access(object_index))
+        for index in range(0, len(boundaries), 2):
+            results.extend(self.wt_o.access_range(boundaries[index], boundaries[index + 1]))
         return results
 
     def subjects_for(self, property_id: int, object_id: int) -> List[int]:
@@ -162,23 +230,37 @@ class ObjectTripleStore:
         subject_begin, subject_end = self._subject_run(property_index)
         object_begin = self.bm_so.select(subject_begin + 1, 1)
         object_end = self.bm_so.select(subject_end + 1, 1)
-        results: List[int] = []
-        for object_index in self.wt_o.range_search(object_begin, object_end, object_id):
-            subject_index = self.bm_so.rank(object_index + 1, 1) - 1
-            results.append(self.wt_s.access(subject_index))
-        return results
+        positions = self.wt_o.range_search(object_begin, object_end, object_id)
+        if not positions:
+            return []
+        subject_indices = self.bm_so.rank_many(
+            [position + 1 for position in positions], 1
+        )
+        return [self.wt_s.access(subject_index - 1) for subject_index in subject_indices]
 
     def pairs_for_property(self, property_id: int) -> Iterator[Tuple[int, int]]:
-        """All ``(subject, object)`` pairs of ``(?s, property, ?o)``, in PSO order."""
+        """All ``(subject, object)`` pairs of ``(?s, property, ?o)``, in PSO order.
+
+        The whole property run is materialised with three batched kernel
+        calls (subject layer, run boundaries, object layer) and then zipped.
+        """
         property_index = self._property_index(property_id)
         if property_index is None:
             return
-        subject_begin, subject_end = self._subject_run(property_index)
-        for subject_index in range(subject_begin, subject_end):
-            subject_id = self.wt_s.access(subject_index)
-            object_begin, object_end = self._object_run(subject_index)
-            for object_index in range(object_begin, object_end):
-                yield subject_id, self.wt_o.access(object_index)
+        yield from self._pairs_in_subject_run(*self._subject_run(property_index))
+
+    def _pairs_in_subject_run(
+        self, subject_begin: int, subject_end: int
+    ) -> Iterator[Tuple[int, int]]:
+        if subject_begin >= subject_end:
+            return
+        subjects = self.wt_s.access_range(subject_begin, subject_end)
+        boundaries = self.object_run_boundaries(subject_begin, subject_end)
+        objects = self.wt_o.access_range(boundaries[0], boundaries[-1])
+        base = boundaries[0]
+        for offset, subject_id in enumerate(subjects):
+            for object_index in range(boundaries[offset] - base, boundaries[offset + 1] - base):
+                yield subject_id, objects[object_index]
 
     def contains(self, subject_id: int, property_id: int, object_id: int) -> bool:
         """Whether the fully-bound triple is stored."""
@@ -192,28 +274,22 @@ class ObjectTripleStore:
 
         This is the reasoning access path of Section 5.2: instead of running
         one query per sub-property, the property layer is probed once per
-        *stored* property inside the interval.
+        *stored* property inside the interval, and each property run is
+        materialised with the batched pair scan.
         """
         for position, property_id in self.wt_p.range_search_symbols(
             0, len(self.wt_p), property_low, property_high
         ):
             subject_begin, subject_end = self._subject_run(position)
-            for subject_index in range(subject_begin, subject_end):
-                subject_id = self.wt_s.access(subject_index)
-                object_begin, object_end = self._object_run(subject_index)
-                for object_index in range(object_begin, object_end):
-                    yield property_id, subject_id, self.wt_o.access(object_index)
+            for subject_id, object_id in self._pairs_in_subject_run(subject_begin, subject_end):
+                yield property_id, subject_id, object_id
 
     def iter_triples(self) -> Iterator[EncodedTriple]:
-        """All stored triples in PSO order."""
-        for position in range(len(self.wt_p)):
-            property_id = self.wt_p.access(position)
+        """All stored triples in PSO order (one batched scan per property run)."""
+        for position, property_id in enumerate(self.wt_p.to_list()):
             subject_begin, subject_end = self._subject_run(position)
-            for subject_index in range(subject_begin, subject_end):
-                subject_id = self.wt_s.access(subject_index)
-                object_begin, object_end = self._object_run(subject_index)
-                for object_index in range(object_begin, object_end):
-                    yield property_id, subject_id, self.wt_o.access(object_index)
+            for subject_id, object_id in self._pairs_in_subject_run(subject_begin, subject_end):
+                yield property_id, subject_id, object_id
 
     # ------------------------------------------------------------------ #
     # storage accounting

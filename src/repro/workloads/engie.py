@@ -20,7 +20,6 @@ with the same topology and annotations:
 from __future__ import annotations
 
 import random
-from typing import List, Optional
 
 from repro.rdf.graph import Graph
 from repro.rdf.namespaces import QUDT, QUDT_UNIT, RDF, RDFS, SOSA

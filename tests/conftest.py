@@ -3,15 +3,15 @@
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import pytest
 
-from repro.ontology.rhodf import apply_domain_range, saturate_properties, saturate_types
+from repro.ontology.rhodf import saturate_properties, saturate_types
 from repro.ontology.schema import OntologySchema
 from repro.rdf.graph import Graph
 from repro.rdf.namespaces import RDF, RDFS, Namespace
-from repro.rdf.terms import Literal, Term, Triple, URI
+from repro.rdf.terms import Literal, Triple
 from repro.sparql.ast import GroupGraphPattern, SelectQuery, TriplePattern, Variable
 from repro.sparql.bindings import Binding, ResultSet
 from repro.sparql.expressions import evaluate_bind, evaluate_filter

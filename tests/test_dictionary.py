@@ -14,7 +14,7 @@ from repro.dictionary.term_dictionary import (
 from repro.ontology.litemat import LiteMatEncoder
 from repro.ontology.schema import OntologySchema
 from repro.rdf.namespaces import Namespace
-from repro.rdf.terms import BlankNode, Literal, URI
+from repro.rdf.terms import BlankNode, Literal
 
 EX = Namespace("http://example.org/")
 

@@ -18,7 +18,7 @@ from repro.baselines.multi_index_store import MultiIndexMemoryStore
 from repro.ontology.schema import OntologySchema
 from repro.rdf.graph import Graph
 from repro.rdf.namespaces import Namespace, RDF, RDFS
-from repro.rdf.terms import Literal, Triple, URI
+from repro.rdf.terms import Literal, Triple
 from repro.sparql.ast import BasicGraphPattern, GroupGraphPattern, SelectQuery, TriplePattern, Variable
 from repro.store.succinct_edge import SuccinctEdge
 from tests.conftest import hierarchy_closure, naive_bgp_bindings

@@ -81,7 +81,7 @@ class TestBgpQueries:
         assert succinct.query(query).to_set() == baseline.query(query).to_set()
 
     def test_m2_selects_only_graduate_students(self, systems, queries, small_lubm):
-        from repro.rdf.namespaces import LUBM, RDF
+        from repro.rdf.namespaces import LUBM
 
         succinct, _ = systems
         result = succinct.query(queries["M2"].sparql)

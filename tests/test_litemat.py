@@ -9,7 +9,6 @@ from hypothesis import strategies as st
 from repro.ontology.litemat import EncodedEntity, LiteMatEncoder, LiteMatEncoding
 from repro.ontology.schema import OntologySchema
 from repro.rdf.namespaces import Namespace, OWL_THING
-from repro.rdf.terms import URI
 
 EX = Namespace("http://example.org/")
 

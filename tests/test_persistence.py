@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.rdf.namespaces import RDF
 from repro.store.persistence import (
     PersistenceError,
     dump_store,

@@ -6,9 +6,8 @@ import pytest
 
 from repro.query.engine import QueryEngine
 from repro.query.rewriter import HighLevelQueryBuilder
-from repro.rdf.namespaces import QUDT, Namespace
+from repro.rdf.namespaces import QUDT
 from repro.rdf.terms import Literal
-from repro.sparql.parser import parse_query
 from tests.conftest import EX, hierarchy_closure, naive_query
 
 

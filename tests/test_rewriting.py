@@ -10,7 +10,6 @@ from repro.ontology.rewriting import (
 )
 from repro.ontology.schema import OntologySchema
 from repro.rdf.namespaces import Namespace, RDF
-from repro.rdf.terms import URI
 from repro.sparql.ast import BasicGraphPattern, TriplePattern, Variable
 from repro.sparql.parser import parse_query
 

@@ -5,14 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.rdf.terms import Literal, URI
-from repro.sparql.ast import (
-    Arithmetic,
-    BooleanExpression,
-    Comparison,
-    FunctionCall,
-    Negation,
-    Variable,
-)
+from repro.sparql.ast import FunctionCall
 from repro.sparql.bindings import Binding, ResultSet
 from repro.sparql.expressions import (
     ExpressionError,

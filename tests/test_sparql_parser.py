@@ -6,14 +6,7 @@ import pytest
 
 from repro.rdf.namespaces import LUBM, RDF
 from repro.rdf.terms import Literal, URI
-from repro.sparql.ast import (
-    Arithmetic,
-    BooleanExpression,
-    Comparison,
-    FunctionCall,
-    TriplePattern,
-    Variable,
-)
+from repro.sparql.ast import Arithmetic, BooleanExpression, Comparison, FunctionCall, Variable
 from repro.sparql.parser import SparqlParseError, parse_query
 
 

@@ -5,11 +5,11 @@ from __future__ import annotations
 import pytest
 
 from repro.rdf.graph import Graph
-from repro.rdf.namespaces import Namespace, RDF, RDFS
-from repro.rdf.terms import BlankNode, Literal, Triple, URI
+from repro.rdf.namespaces import RDF, RDFS
+from repro.rdf.terms import BlankNode, Literal, Triple
 from repro.store.builder import StoreBuilder
 from repro.store.succinct_edge import SuccinctEdge
-from tests.conftest import EX, build_toy_data, build_toy_ontology
+from tests.conftest import EX
 
 
 class TestTriplePartitioning:

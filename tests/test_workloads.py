@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.ontology.schema import OntologySchema
-from repro.rdf.namespaces import LUBM, QUDT, RDF, SOSA
-from repro.rdf.terms import Literal, URI
+from repro.rdf.namespaces import LUBM, QUDT, SOSA
+from repro.rdf.terms import URI
 from repro.workloads.engie import (
     PRESSURE_RANGE_BAR,
     anomaly_detection_query,
@@ -22,7 +21,6 @@ from repro.workloads.lubm import (
     lubm_ontology,
     lubm_subsets,
 )
-from repro.workloads.queries import QueryCatalog
 
 
 class TestLubmOntology:
