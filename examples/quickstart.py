@@ -98,6 +98,42 @@ def main() -> None:
     )
     print(f"\n   (without reasoning the Sensor query returns {len(without)} rows)")
 
+    print("\n4. Analytics — hottest reading per equipment (OPTIONAL + ORDER BY):")
+    result = store.query(
+        """
+        SELECT ?sensor ?value ?target WHERE {
+          ?sensor <http://example.org/plant/lastReading> ?value .
+          OPTIONAL { ?sensor <http://example.org/plant/mountedOn> ?target }
+        }
+        ORDER BY DESC(?value) LIMIT 2
+        """
+    )
+    for row in result:
+        mounted = row.get("target") or "(not mounted)"
+        print(f"   {row['sensor']}  ->  {row['value']}  on  {mounted}")
+
+    print("\n5. Aggregation — sensors per equipment (GROUP BY + COUNT):")
+    result = store.query(
+        """
+        SELECT ?target (COUNT(?sensor) AS ?sensors) WHERE {
+          ?sensor <http://example.org/plant/attachedTo> ?target .
+        }
+        GROUP BY ?target ORDER BY DESC(?sensors)
+        """,
+        reasoning=True,
+    )
+    for row in result:
+        print(f"   {row['target']}  hosts  {row['sensors']}  sensor(s)")
+
+    print("\n6. ASK — is any reading above 75?")
+    answer = store.query(
+        """
+        ASK { ?sensor <http://example.org/plant/lastReading> ?value .
+              FILTER(?value > 75) }
+        """
+    )
+    print(f"   {bool(answer)}")
+
 
 if __name__ == "__main__":
     main()

@@ -18,13 +18,16 @@ from repro.ontology.rewriting import rewrite_query_with_unions
 from repro.ontology.schema import OntologySchema
 from repro.rdf.graph import Graph
 from repro.rdf.terms import Term, Triple, URI
+from repro.sparql.algebra import apply_solution_modifiers, values_bindings
 from repro.sparql.ast import (
+    AskQuery,
     GroupGraphPattern,
+    Query,
     SelectQuery,
     TriplePattern,
     Variable,
 )
-from repro.sparql.bindings import Binding, ResultSet
+from repro.sparql.bindings import AskResult, Binding, ResultSet
 from repro.sparql.expressions import evaluate_bind, evaluate_filter
 from repro.sparql.parser import parse_query
 
@@ -115,40 +118,63 @@ class EdgeRDFStore:
 
     def query(
         self,
-        query: TypingUnion[str, SelectQuery],
+        query: TypingUnion[str, Query],
         reasoning: bool = False,
-    ) -> ResultSet:
-        """Answer a SELECT query.
+    ) -> TypingUnion[ResultSet, AskResult]:
+        """Answer a SELECT or ASK query.
 
         With ``reasoning`` the query is first rewritten into a UNION of
         inference-free queries against the remembered ontology — the strategy
         the paper applies to every baseline.  Systems that do not support
-        UNION raise :class:`UnsupportedFeatureError`.
+        UNION raise :class:`UnsupportedFeatureError`.  Solution modifiers
+        (GROUP BY + aggregates, ORDER BY, OFFSET, LIMIT) are applied through
+        the shared algebra (:mod:`repro.sparql.algebra`), so the baselines
+        answer the same query forms as SuccinctEdge — materialized rather
+        than streamed.
         """
         parsed = parse_query(query) if isinstance(query, str) else query
+        if isinstance(parsed, AskQuery):
+            # ASK shares the SELECT path: the reasoning rewrite and the
+            # UNION capability check apply to its WHERE clause too.
+            probe = SelectQuery(projection=None, where=parsed.where)
+            if reasoning:
+                probe = rewrite_query_with_unions(probe, self.schema)
+            if probe.where.unions and not self.supports_union:
+                raise UnsupportedFeatureError(f"{self.name} does not support the UNION clause")
+            return AskResult(bool(self._evaluate_group(probe.where)))
         if reasoning:
             parsed = rewrite_query_with_unions(parsed, self.schema)
         if parsed.where.unions and not self.supports_union:
             raise UnsupportedFeatureError(f"{self.name} does not support the UNION clause")
         bindings = self._evaluate_group(parsed.where)
-        names = parsed.projected_names()
-        projected = [binding.project(names) for binding in bindings]
-        result = ResultSet(names, projected)
-        if parsed.distinct:
-            result = result.distinct()
-        if parsed.limit is not None:
-            result = ResultSet(result.variables, result.bindings[: parsed.limit])
-        return result
+        return apply_solution_modifiers(parsed, bindings)
 
     # -- group evaluation ------------------------------------------------ #
 
-    def _evaluate_group(self, group: GroupGraphPattern) -> List[Binding]:
-        bindings = self._evaluate_bgp(list(group.bgp.patterns))
+    def _evaluate_group(
+        self, group: GroupGraphPattern, seed: Optional[Binding] = None
+    ) -> List[Binding]:
+        bindings = self._evaluate_bgp(list(group.bgp.patterns), seed or Binding())
         for union in group.unions:
             union_bindings: List[Binding] = []
             for branch in union.branches:
                 union_bindings.extend(self._evaluate_group(branch))
             bindings = self._combine(bindings, union_bindings)
+        for optional in group.optionals:
+            joined: List[Binding] = []
+            for binding in bindings:
+                extensions = self._evaluate_group(optional, seed=binding)
+                joined.extend(extensions if extensions else [binding])
+            bindings = joined
+        for block in group.values:
+            table = values_bindings(block)
+            merged_rows: List[Binding] = []
+            for binding in bindings:
+                for row in table:
+                    merged = binding.merged(row)
+                    if merged is not None:
+                        merged_rows.append(merged)
+            bindings = merged_rows
         for bind in group.binds:
             updated: List[Binding] = []
             for binding in bindings:
@@ -175,11 +201,11 @@ class EdgeRDFStore:
 
     # -- BGP evaluation --------------------------------------------------- #
 
-    def _evaluate_bgp(self, patterns: List[TriplePattern]) -> List[Binding]:
+    def _evaluate_bgp(self, patterns: List[TriplePattern], seed: Binding) -> List[Binding]:
         if not patterns:
-            return [Binding()]
+            return [seed]
         ordered = self._order_patterns(patterns)
-        bindings = [Binding()]
+        bindings = [seed]
         for pattern in ordered:
             next_bindings: List[Binding] = []
             for binding in bindings:

@@ -164,8 +164,9 @@ class MultiIndexMemoryStore(EdgeRDFStore):
     def query(self, query, reasoning: bool = False):
         """Answer a query and record the simulated engine cost."""
         result = super().query(query, reasoning=reasoning)
+        result_rows = len(result) if hasattr(result, "__len__") else 1  # ASK: one row
         self.last_simulated_cost_ms = (
-            self.per_query_overhead_ms + self.per_result_overhead_ms * len(result)
+            self.per_query_overhead_ms + self.per_result_overhead_ms * result_rows
         )
         return result
 

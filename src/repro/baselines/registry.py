@@ -29,8 +29,8 @@ from repro.baselines.disk_store import PagedDiskStore
 from repro.baselines.multi_index_store import MultiIndexMemoryStore
 from repro.rdf.graph import Graph
 from repro.rdf.terms import Term, Triple, URI
-from repro.sparql.ast import SelectQuery
-from repro.sparql.bindings import ResultSet
+from repro.sparql.ast import Query
+from repro.sparql.bindings import AskResult, ResultSet
 from repro.store.succinct_edge import SuccinctEdge
 
 
@@ -72,8 +72,8 @@ class SuccinctEdgeSystem(EdgeRDFStore):
         return self.store.match(subject, predicate, obj)
 
     def query(
-        self, query: Union[str, SelectQuery], reasoning: bool = False
-    ) -> ResultSet:
+        self, query: Union[str, Query], reasoning: bool = False
+    ) -> Union[ResultSet, AskResult]:
         """Native SuccinctEdge execution (LiteMat reasoning, no rewriting)."""
         self.last_simulated_cost_ms = 0.0
         return self.store.query(query, reasoning=reasoning)

@@ -58,8 +58,10 @@ def rewrite_bgp_with_unions(
 def rewrite_query_with_unions(query: SelectQuery, schema: OntologySchema) -> SelectQuery:
     """Rewrite a SELECT query into its UNION-of-BGPs inference-free form.
 
-    Filters and binds of the original group are copied into every branch.
-    When no pattern needs expansion the query is returned unchanged.
+    Filters, binds, OPTIONAL groups and VALUES blocks of the original group
+    are copied into every branch; the solution modifiers (DISTINCT, LIMIT,
+    OFFSET, ORDER BY, GROUP BY) are preserved on the rewritten query.  When
+    no pattern needs expansion the query is returned unchanged.
     """
     branches = rewrite_bgp_with_unions(query.where.bgp, schema)
     if len(branches) <= 1:
@@ -72,6 +74,8 @@ def rewrite_query_with_unions(query: SelectQuery, schema: OntologySchema) -> Sel
                 bgp=branch,
                 filters=list(query.where.filters),
                 binds=list(query.where.binds),
+                optionals=list(query.where.optionals),
+                values=list(query.where.values),
             )
             for branch in branches
         ]
@@ -82,6 +86,9 @@ def rewrite_query_with_unions(query: SelectQuery, schema: OntologySchema) -> Sel
         where=rewritten_where,
         distinct=query.distinct,
         limit=query.limit,
+        offset=query.offset,
+        order_by=list(query.order_by),
+        group_by=list(query.group_by),
     )
 
 

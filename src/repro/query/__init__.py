@@ -1,26 +1,43 @@
 """Query optimization and processing (paper Section 5).
 
 * :mod:`repro.query.query_graph` — the query graph (TP nodes, SS/SO join edges);
-* :mod:`repro.query.optimizer` — Algorithm 1: heuristic + statistics join ordering;
-* :mod:`repro.query.plan` — the left-deep physical plan description;
+* :mod:`repro.query.optimizer` — Algorithm 1: heuristic + statistics join
+  ordering, plus the solution-modifier pipeline planner;
+* :mod:`repro.query.plan` — the left-deep physical plan and the modifier
+  pipeline description;
 * :mod:`repro.query.tp_eval` — triple-pattern evaluation as SDS operations
   (Algorithms 3 and 4) with LiteMat interval reasoning;
-* :mod:`repro.query.engine` — the full SELECT pipeline (BGP joins, FILTER,
-  BIND, UNION, projection);
+* :mod:`repro.query.operators` — the streaming (generator-based) physical
+  operators: joins, OPTIONAL/VALUES, FILTER/BIND, sort/top-k, slice;
+* :mod:`repro.query.engine` — the streaming SELECT/ASK pipeline;
+* :mod:`repro.query.materializing` — the seed list-materializing engine,
+  kept as the differential-testing oracle;
 * :mod:`repro.query.rewriter` — the "high-level concept" query helper of the
   paper's contribution (iv).
 """
 
 from repro.query.engine import QueryEngine
+from repro.query.materializing import MaterializingQueryEngine
 from repro.query.optimizer import JoinOrderOptimizer
-from repro.query.plan import AccessPath, PhysicalPlan, PlanStep
+from repro.query.plan import (
+    AccessPath,
+    ModifierOp,
+    ModifierStep,
+    PhysicalPlan,
+    PipelinePlan,
+    PlanStep,
+)
 from repro.query.query_graph import JoinEdge, QueryGraph, QueryNode
 
 __all__ = [
     "AccessPath",
     "JoinEdge",
     "JoinOrderOptimizer",
+    "MaterializingQueryEngine",
+    "ModifierOp",
+    "ModifierStep",
     "PhysicalPlan",
+    "PipelinePlan",
     "PlanStep",
     "QueryEngine",
     "QueryGraph",

@@ -1,28 +1,44 @@
-"""SPARQL SELECT execution over a SuccinctEdge store.
+"""Streaming SPARQL SELECT/ASK execution over a SuccinctEdge store.
 
-The engine glues together the optimizer (join ordering) and the triple-pattern
-evaluator (SDS operations), and adds the relational operators the paper's
-queries need: bind-propagation joins, merge joins over ordered subject runs,
-FILTER / BIND evaluation, UNION branches, projection, DISTINCT and LIMIT.
+The engine compiles a parsed query into a *pull-based pipeline* of generator
+operators (:mod:`repro.query.operators`): triple-pattern scans and
+bind-propagation joins stream bindings one at a time on top of the batched
+SDS kernels, and the solution modifiers (aggregation, ORDER BY with a top-k
+short circuit, projection, DISTINCT, the lazy OFFSET/LIMIT slice) are chained
+behind them exactly as planned by
+:meth:`~repro.query.optimizer.JoinOrderOptimizer.plan_modifiers`.  Because
+consumers pull, a ``LIMIT 10`` stops every upstream operator after ten rows
+— the remaining triple-pattern probes (and their SDS kernel calls) never
+execute — and ``ASK`` stops after the first solution.
+
+The previous list-materializing evaluation survives as
+:class:`~repro.query.materializing.MaterializingQueryEngine`; the
+differential tests check that the two return byte-identical results.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Union as TypingUnion
+from typing import Dict, Iterator, List, Set, Tuple, Union as TypingUnion
 
+from repro.query import operators as ops
 from repro.query.optimizer import JoinOrderOptimizer
-from repro.query.plan import JoinMethod, PhysicalPlan
+from repro.query.plan import JoinMethod, ModifierOp, PhysicalPlan, PipelinePlan
 from repro.query.tp_eval import TriplePatternEvaluator
-from repro.rdf.terms import Term
-from repro.sparql.ast import GroupGraphPattern, SelectQuery, TriplePattern
-from repro.sparql.bindings import Binding, ResultSet
-from repro.sparql.expressions import evaluate_bind, evaluate_filter
+from repro.sparql.algebra import group_solutions
+from repro.sparql.ast import (
+    AskQuery,
+    GroupGraphPattern,
+    Query,
+    SelectQuery,
+    TriplePattern,
+)
+from repro.sparql.bindings import AskResult, Binding, ResultSet
 from repro.sparql.parser import parse_query
 from repro.store.succinct_edge import SuccinctEdge
 
 
 class QueryEngine:
-    """Executes SELECT queries (supported subset) against a SuccinctEdge store.
+    """Executes SELECT/ASK queries (supported subset) against a SuccinctEdge store.
 
     Parameters
     ----------
@@ -58,178 +74,191 @@ class QueryEngine:
             statistics=store.statistics,
             runtime_estimator=self.evaluator.estimate_cardinality,
         )
+        # Plans per BGP (patterns are frozen/hashable).  OPTIONAL groups are
+        # re-evaluated seeded once per upstream row; without the cache every
+        # row would re-run the optimizer and its SDS cardinality probes.
+        self._plan_cache: Dict[Tuple[TriplePattern, ...], PhysicalPlan] = {}
+
+    def _plan_bgp(self, patterns: List[TriplePattern]) -> PhysicalPlan:
+        """The (cached) physical plan for one BGP."""
+        key = tuple(patterns)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = self.optimizer.optimize(patterns)
+            self._plan_cache[key] = plan
+        return plan
 
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
 
-    def execute(self, query: TypingUnion[str, SelectQuery]) -> ResultSet:
-        """Parse (if needed) and execute a SELECT query."""
-        parsed = parse_query(query) if isinstance(query, str) else query
-        bindings = self._evaluate_group(parsed.where)
-        names = parsed.projected_names()
-        projected = [binding.project(names) for binding in bindings]
-        result = ResultSet(names, projected)
-        if parsed.distinct:
-            result = result.distinct()
-        if parsed.limit is not None:
-            result = ResultSet(result.variables, result.bindings[: parsed.limit])
-        return result
+    def execute(
+        self, query: TypingUnion[str, Query]
+    ) -> TypingUnion[ResultSet, AskResult]:
+        """Parse (if needed) and execute a query.
 
-    def plan(self, query: TypingUnion[str, SelectQuery]) -> PhysicalPlan:
-        """The physical plan the engine would use for ``query`` (EXPLAIN)."""
+        Returns a :class:`~repro.sparql.bindings.ResultSet` for SELECT
+        queries and an :class:`~repro.sparql.bindings.AskResult` (truthy iff
+        the pattern has a solution) for ASK queries.  Execution is lazy
+        end-to-end: the result is materialized here, but upstream operators
+        only ever produce the rows the solution modifiers actually consume.
+        """
+        parsed = parse_query(query) if isinstance(query, str) else query
+        if isinstance(parsed, AskQuery):
+            return self.ask(parsed)
+        assert isinstance(parsed, SelectQuery)
+        names = parsed.projected_names()
+        return ResultSet(names, self.stream(parsed))
+
+    def ask(self, query: TypingUnion[str, AskQuery]) -> AskResult:
+        """Execute an ASK query, stopping at the first solution found."""
+        parsed = parse_query(query) if isinstance(query, str) else query
+        if not isinstance(parsed, AskQuery):
+            raise TypeError(f"ask() needs an ASK query, got {type(parsed).__name__}")
+        solutions = self._group_stream(parsed.where, Binding())
+        return AskResult(next(solutions, None) is not None)
+
+    def stream(self, query: TypingUnion[str, SelectQuery]) -> Iterator[Binding]:
+        """The streaming entry point: yield projected solutions one by one.
+
+        The returned iterator drives the whole operator pipeline lazily —
+        consuming only a prefix (e.g. ``itertools.islice``) evaluates only
+        that prefix, which is what the edge server uses to serve paginated
+        results without computing full answer sets.
+        """
+        parsed = parse_query(query) if isinstance(query, str) else query
+        if not isinstance(parsed, SelectQuery):
+            raise TypeError(f"stream() needs a SELECT query, got {type(parsed).__name__}")
+        stream: Iterator[Binding] = self._group_stream(parsed.where, Binding())
+        names = parsed.projected_names()
+        for step in self.optimizer.plan_modifiers(parsed):
+            if step.op == ModifierOp.AGGREGATE:
+                stream = iter(group_solutions(parsed, list(stream)))
+            elif step.op == ModifierOp.EXTEND:
+                stream = ops.extend_select(stream, parsed.select_expressions())
+            elif step.op == ModifierOp.SORT:
+                stream = iter(ops.order(stream, parsed.order_by))
+            elif step.op == ModifierOp.TOP_K:
+                fetch = (parsed.offset or 0) + (parsed.limit or 0)
+                stream = iter(ops.top_k(stream, parsed.order_by, fetch))
+            elif step.op == ModifierOp.PROJECT:
+                stream = ops.project(stream, names)
+            elif step.op == ModifierOp.DISTINCT:
+                stream = ops.distinct(stream, names)
+            elif step.op == ModifierOp.SLICE:
+                stream = ops.slice_solutions(stream, parsed.offset, parsed.limit)
+        return stream
+
+    def plan(self, query: TypingUnion[str, Query]) -> PhysicalPlan:
+        """The physical plan for the query's top-level BGP (EXPLAIN).
+
+        Covers the WHERE clause's basic graph pattern only — the join order,
+        access paths and join methods of the paper's Algorithm 1.  Use
+        :meth:`pipeline_plan` for the full pipeline including the
+        solution-modifier operators.
+        """
         parsed = parse_query(query) if isinstance(query, str) else query
         return self.optimizer.optimize(list(parsed.where.bgp.patterns))
 
+    def pipeline_plan(self, query: TypingUnion[str, Query]) -> PipelinePlan:
+        """The full execution plan: BGP steps plus solution-modifier operators."""
+        parsed = parse_query(query) if isinstance(query, str) else query
+        where = self.optimizer.optimize(list(parsed.where.bgp.patterns))
+        if isinstance(parsed, SelectQuery):
+            return PipelinePlan(where=where, modifiers=self.optimizer.plan_modifiers(parsed))
+        return PipelinePlan(where=where, modifiers=[])
+
+    def explain(self, query: TypingUnion[str, Query]) -> str:
+        """Multi-line EXPLAIN output for the full pipeline."""
+        return self.pipeline_plan(query).explain()
+
     # ------------------------------------------------------------------ #
-    # group evaluation
+    # group evaluation (streaming)
     # ------------------------------------------------------------------ #
 
-    def _evaluate_group(self, group: GroupGraphPattern) -> List[Binding]:
-        bindings = self._evaluate_bgp(list(group.bgp.patterns))
+    def _group_stream(self, group: GroupGraphPattern, seed: Binding) -> Iterator[Binding]:
+        """The WHERE-clause pipeline for one group graph pattern.
+
+        Operators are chained in the engine's evaluation order: BGP joins,
+        UNION combination, OPTIONAL left-outer joins, VALUES, BINDs, then
+        FILTERs.  ``seed`` pre-binds variables (used by OPTIONAL evaluation,
+        where the outer solution propagates into the group's patterns).
+
+        This is a generator function, so *nothing* — including UNION branch
+        materialization — happens before the first solution is pulled;
+        ``ASK``/``LIMIT`` early termination survives pipeline construction.
+        """
+        stream = self._bgp_stream(list(group.bgp.patterns), seed)
         for union in group.unions:
-            union_bindings: List[Binding] = []
+            branch_solutions: List[Binding] = []
             for branch in union.branches:
-                union_bindings.extend(self._evaluate_group(branch))
-            bindings = self._combine(bindings, union_bindings)
+                branch_solutions.extend(self._group_stream(branch, Binding()))
+            stream = ops.union_combine(stream, branch_solutions)
+        for optional in group.optionals:
+            stream = ops.optional_join(stream, optional, self._group_stream)
+        for block in group.values:
+            stream = ops.values_join(stream, block)
         for bind in group.binds:
-            extended: List[Binding] = []
-            for binding in bindings:
-                value = evaluate_bind(bind.expression, binding)
-                if value is None:
-                    extended.append(binding)
-                else:
-                    extended.append(binding.extended(bind.variable.name, value))
-            bindings = extended
+            stream = ops.extend(stream, bind)
         for constraint in group.filters:
-            bindings = [b for b in bindings if evaluate_filter(constraint.expression, b)]
-        return bindings
-
-    @staticmethod
-    def _combine(left: List[Binding], right: List[Binding]) -> List[Binding]:
-        """Join two binding sets on their shared variables (nested loop)."""
-        if not left:
-            return right
-        if not right:
-            return []
-        combined: List[Binding] = []
-        for left_binding in left:
-            for right_binding in right:
-                merged = left_binding.merged(right_binding)
-                if merged is not None:
-                    combined.append(merged)
-        return combined
+            stream = ops.filter_solutions(stream, constraint.expression)
+        yield from stream
 
     # ------------------------------------------------------------------ #
-    # BGP evaluation (left-deep plan)
+    # BGP evaluation (left-deep streaming pipeline)
     # ------------------------------------------------------------------ #
 
-    def _evaluate_bgp(self, patterns: List[TriplePattern]) -> List[Binding]:
+    def _bgp_stream(self, patterns: List[TriplePattern], seed: Binding) -> Iterator[Binding]:
+        """Chain the planned BGP steps into a lazy left-deep join pipeline.
+
+        Bind-propagation joins stream; a merge join materializes the pipeline
+        prefix first (it needs the whole left side anyway, and the merge
+        decision compares its size against the pattern's cardinality
+        estimate, mirroring the materializing engine step for step).  A
+        generator function, so even that materialization waits for the
+        first pull.
+        """
         if not patterns:
-            return [Binding()]
-        plan = self.optimizer.optimize(patterns)
-        current: List[Binding] = []
+            yield seed
+            return
+        plan = self._plan_bgp(patterns)
+        stream: Iterator[Binding] = iter([seed])
+        bound: Set[str] = set(seed)
         for position, step in enumerate(plan.steps):
             if position == 0:
-                current = list(self.evaluator.evaluate(step.pattern, Binding()))
-                continue
-            if not current:
-                return []
-            method = self._effective_join_method(step.join_method, step.pattern, current)
-            if method == JoinMethod.MERGE:
-                current = self._merge_join(current, step.pattern)
+                stream = ops.bind_join(self.evaluator, stream, step.pattern)
             else:
-                current = self._bind_propagation_join(current, step.pattern)
-        return current
+                stream = self._join_step(stream, step.pattern, step.join_method, bound)
+            bound.update(step.pattern.variable_names())
+        yield from stream
 
-    def _effective_join_method(
-        self, planned: JoinMethod, pattern: TriplePattern, current: List[Binding]
-    ) -> JoinMethod:
+    def _join_step(
+        self,
+        stream: Iterator[Binding],
+        pattern: TriplePattern,
+        planned: JoinMethod,
+        bound: Set[str],
+    ) -> Iterator[Binding]:
+        """One join of the left-deep plan, honouring the join-strategy knob."""
+        shared = [name for name in pattern.variable_names() if name in bound]
         if self.join_strategy == "bind":
-            return JoinMethod.BIND_PROPAGATION
+            return ops.bind_join(self.evaluator, stream, pattern)
         if self.join_strategy == "merge":
-            shared = self._shared_variables(pattern, current)
-            return JoinMethod.MERGE if len(shared) == 1 else JoinMethod.BIND_PROPAGATION
-        if planned == JoinMethod.MERGE:
-            shared = self._shared_variables(pattern, current)
             if len(shared) != 1:
-                return JoinMethod.BIND_PROPAGATION
-            # A merge join enumerates the pattern's whole property run; it only
-            # pays off when the intermediate result is at least comparable in
-            # size (otherwise bind propagation probes far fewer entries).
+                return ops.bind_join(self.evaluator, stream, pattern)
+            left = list(stream)
+            return ops.merge_join(self.evaluator, left, pattern, shared[0])
+        if planned == JoinMethod.MERGE and len(shared) == 1:
+            # The merge decision needs the left cardinality: a merge join
+            # enumerates the pattern's whole property run, which only pays
+            # off when the prefix is at least comparable in size.  The
+            # prefix is materialized here — the merge join would have to
+            # buffer it anyway.
+            left = list(stream)
+            if not left:
+                return iter(())
             right_estimate = self.evaluator.estimate_cardinality(pattern)
-            if right_estimate > 2 * len(current):
-                return JoinMethod.BIND_PROPAGATION
-            return JoinMethod.MERGE
-        return planned
-
-    @staticmethod
-    def _shared_variables(pattern: TriplePattern, current: List[Binding]) -> List[str]:
-        if not current:
-            return []
-        bound_names = set(current[0].as_dict())
-        for binding in current[1:]:
-            bound_names |= set(binding.as_dict())
-        return [name for name in pattern.variable_names() if name in bound_names]
-
-    def _bind_propagation_join(
-        self, current: List[Binding], pattern: TriplePattern
-    ) -> List[Binding]:
-        """Index nested-loop join: propagate each binding into the pattern."""
-        results: List[Binding] = []
-        for binding in current:
-            results.extend(self.evaluator.evaluate(pattern, binding))
-        return results
-
-    def _merge_join(self, current: List[Binding], pattern: TriplePattern) -> List[Binding]:
-        """Sort-merge join on the single variable shared with the prefix.
-
-        The PSO layout already delivers the right-hand side ordered by subject
-        inside a property run; the left-hand side is sorted on the join key,
-        then both sides are merged.
-        """
-        shared = self._shared_variables(pattern, current)
-        if len(shared) != 1:
-            return self._bind_propagation_join(current, pattern)
-        join_name = shared[0]
-        right = list(self.evaluator.evaluate(pattern, Binding()))
-
-        def key(binding: Binding) -> tuple:
-            value = binding.get(join_name)
-            return _term_sort_key(value)
-
-        left_sorted = sorted(current, key=key)
-        right_sorted = sorted(right, key=key)
-        results: List[Binding] = []
-        left_index = 0
-        right_index = 0
-        while left_index < len(left_sorted) and right_index < len(right_sorted):
-            left_key = key(left_sorted[left_index])
-            right_key = key(right_sorted[right_index])
-            if left_key < right_key:
-                left_index += 1
-                continue
-            if right_key < left_key:
-                right_index += 1
-                continue
-            # Equal keys: emit the cross product of the two equal runs.
-            left_end = left_index
-            while left_end < len(left_sorted) and key(left_sorted[left_end]) == left_key:
-                left_end += 1
-            right_end = right_index
-            while right_end < len(right_sorted) and key(right_sorted[right_end]) == right_key:
-                right_end += 1
-            for i in range(left_index, left_end):
-                for j in range(right_index, right_end):
-                    merged = left_sorted[i].merged(right_sorted[j])
-                    if merged is not None:
-                        results.append(merged)
-            left_index = left_end
-            right_index = right_end
-        return results
-
-
-def _term_sort_key(term: Optional[Term]) -> tuple:
-    if term is None:
-        return (9, "")
-    return (0, term.n3() if hasattr(term, "n3") else str(term))
+            if right_estimate > 2 * len(left):
+                return ops.bind_join(self.evaluator, iter(left), pattern)
+            return ops.merge_join(self.evaluator, left, pattern, shared[0])
+        return ops.bind_join(self.evaluator, stream, pattern)

@@ -1,0 +1,252 @@
+"""The original list-materializing SELECT engine, kept as a reference oracle.
+
+This is the seed repository's :class:`QueryEngine` evaluation strategy: every
+operator consumes and produces a fully materialized ``List[Binding]``.  The
+streaming engine (:mod:`repro.query.engine`) replaced it as the production
+path, but the materializing evaluator is retained because
+
+* it is an independent implementation the differential tests compare the
+  streaming pipeline against (both must return byte-identical results on the
+  paper's query workload), and
+* the streaming-vs-materializing benchmark uses it to show the kernel-call
+  and latency effect of early termination (``LIMIT``/``ASK``/top-k).
+
+Both engines share the same optimizer, triple-pattern evaluator and
+solution-modifier algebra (:mod:`repro.sparql.algebra`), so differences can
+only come from the operator evaluation strategy under test.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union as TypingUnion
+
+from repro.query.operators import term_join_key
+from repro.query.optimizer import JoinOrderOptimizer
+from repro.query.plan import JoinMethod, PhysicalPlan
+from repro.query.tp_eval import TriplePatternEvaluator
+from repro.sparql.algebra import apply_solution_modifiers, values_bindings
+from repro.sparql.ast import AskQuery, GroupGraphPattern, Query, SelectQuery, TriplePattern
+from repro.sparql.bindings import AskResult, Binding, ResultSet
+from repro.sparql.expressions import evaluate_bind, evaluate_filter
+from repro.sparql.parser import parse_query
+from repro.store.succinct_edge import SuccinctEdge
+
+
+class MaterializingQueryEngine:
+    """Evaluates queries with fully materialized intermediate binding lists.
+
+    Accepts the same queries and produces the same results (in the same
+    order) as the streaming :class:`~repro.query.engine.QueryEngine`; only
+    the evaluation strategy differs.  See the module docstring for why it is
+    kept.
+    """
+
+    def __init__(
+        self,
+        store: SuccinctEdge,
+        reasoning: bool = True,
+        join_strategy: str = "auto",
+    ) -> None:
+        if join_strategy not in ("auto", "bind", "merge"):
+            raise ValueError(f"unknown join strategy {join_strategy!r}")
+        self.store = store
+        self.reasoning = reasoning
+        self.join_strategy = join_strategy
+        self.evaluator = TriplePatternEvaluator(store, reasoning=reasoning)
+        self.optimizer = JoinOrderOptimizer(
+            statistics=store.statistics,
+            runtime_estimator=self.evaluator.estimate_cardinality,
+        )
+        # Same per-BGP plan cache as the streaming engine: seeded OPTIONAL
+        # evaluation would otherwise re-plan the group once per outer row.
+        self._plan_cache: Dict[Tuple[TriplePattern, ...], "PhysicalPlan"] = {}
+
+    def _plan_bgp(self, patterns: List[TriplePattern]):
+        """The (cached) physical plan for one BGP."""
+        key = tuple(patterns)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = self.optimizer.optimize(patterns)
+            self._plan_cache[key] = plan
+        return plan
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    def execute(
+        self, query: TypingUnion[str, Query]
+    ) -> TypingUnion[ResultSet, AskResult]:
+        """Parse (if needed) and execute a SELECT or ASK query."""
+        parsed = parse_query(query) if isinstance(query, str) else query
+        if isinstance(parsed, AskQuery):
+            return AskResult(bool(self._evaluate_group(parsed.where)))
+        assert isinstance(parsed, SelectQuery)
+        bindings = self._evaluate_group(parsed.where)
+        return apply_solution_modifiers(parsed, bindings)
+
+    # ------------------------------------------------------------------ #
+    # group evaluation
+    # ------------------------------------------------------------------ #
+
+    def _evaluate_group(
+        self, group: GroupGraphPattern, seed: Optional[Binding] = None
+    ) -> List[Binding]:
+        bindings = self._evaluate_bgp(list(group.bgp.patterns), seed or Binding())
+        for union in group.unions:
+            union_bindings: List[Binding] = []
+            for branch in union.branches:
+                union_bindings.extend(self._evaluate_group(branch))
+            bindings = self._combine(bindings, union_bindings)
+        for optional in group.optionals:
+            joined: List[Binding] = []
+            for binding in bindings:
+                extensions = self._evaluate_group(optional, seed=binding)
+                joined.extend(extensions if extensions else [binding])
+            bindings = joined
+        for block in group.values:
+            table = values_bindings(block)
+            merged_rows: List[Binding] = []
+            for binding in bindings:
+                for row in table:
+                    merged = binding.merged(row)
+                    if merged is not None:
+                        merged_rows.append(merged)
+            bindings = merged_rows
+        for bind in group.binds:
+            extended: List[Binding] = []
+            for binding in bindings:
+                value = evaluate_bind(bind.expression, binding)
+                if value is None:
+                    extended.append(binding)
+                else:
+                    extended.append(binding.extended(bind.variable.name, value))
+            bindings = extended
+        for constraint in group.filters:
+            bindings = [b for b in bindings if evaluate_filter(constraint.expression, b)]
+        return bindings
+
+    @staticmethod
+    def _combine(left: List[Binding], right: List[Binding]) -> List[Binding]:
+        """Join two binding sets on their shared variables (nested loop)."""
+        if not left:
+            return right
+        if not right:
+            return []
+        combined: List[Binding] = []
+        for left_binding in left:
+            for right_binding in right:
+                merged = left_binding.merged(right_binding)
+                if merged is not None:
+                    combined.append(merged)
+        return combined
+
+    # ------------------------------------------------------------------ #
+    # BGP evaluation (left-deep plan)
+    # ------------------------------------------------------------------ #
+
+    def _evaluate_bgp(self, patterns: List[TriplePattern], seed: Binding) -> List[Binding]:
+        if not patterns:
+            return [seed]
+        plan = self._plan_bgp(patterns)
+        current: List[Binding] = [seed]
+        for position, step in enumerate(plan.steps):
+            if position == 0:
+                next_bindings: List[Binding] = []
+                for binding in current:
+                    next_bindings.extend(self.evaluator.evaluate(step.pattern, binding))
+                current = next_bindings
+                continue
+            if not current:
+                return []
+            method = self._effective_join_method(step.join_method, step.pattern, current)
+            if method == JoinMethod.MERGE:
+                current = self._merge_join(current, step.pattern)
+            else:
+                current = self._bind_propagation_join(current, step.pattern)
+        return current
+
+    def _effective_join_method(
+        self, planned: JoinMethod, pattern: TriplePattern, current: List[Binding]
+    ) -> JoinMethod:
+        if self.join_strategy == "bind":
+            return JoinMethod.BIND_PROPAGATION
+        if self.join_strategy == "merge":
+            shared = self._shared_variables(pattern, current)
+            return JoinMethod.MERGE if len(shared) == 1 else JoinMethod.BIND_PROPAGATION
+        if planned == JoinMethod.MERGE:
+            shared = self._shared_variables(pattern, current)
+            if len(shared) != 1:
+                return JoinMethod.BIND_PROPAGATION
+            # A merge join enumerates the pattern's whole property run; it only
+            # pays off when the intermediate result is at least comparable in
+            # size (otherwise bind propagation probes far fewer entries).
+            right_estimate = self.evaluator.estimate_cardinality(pattern)
+            if right_estimate > 2 * len(current):
+                return JoinMethod.BIND_PROPAGATION
+            return JoinMethod.MERGE
+        return planned
+
+    @staticmethod
+    def _shared_variables(pattern: TriplePattern, current: List[Binding]) -> List[str]:
+        if not current:
+            return []
+        bound_names = set(current[0].as_dict())
+        for binding in current[1:]:
+            bound_names |= set(binding.as_dict())
+        return [name for name in pattern.variable_names() if name in bound_names]
+
+    def _bind_propagation_join(
+        self, current: List[Binding], pattern: TriplePattern
+    ) -> List[Binding]:
+        """Index nested-loop join: propagate each binding into the pattern."""
+        results: List[Binding] = []
+        for binding in current:
+            results.extend(self.evaluator.evaluate(pattern, binding))
+        return results
+
+    def _merge_join(self, current: List[Binding], pattern: TriplePattern) -> List[Binding]:
+        """Sort-merge join on the single variable shared with the prefix.
+
+        The PSO layout already delivers the right-hand side ordered by subject
+        inside a property run; the left-hand side is sorted on the join key,
+        then both sides are merged.
+        """
+        shared = self._shared_variables(pattern, current)
+        if len(shared) != 1:
+            return self._bind_propagation_join(current, pattern)
+        join_name = shared[0]
+        right = list(self.evaluator.evaluate(pattern, Binding()))
+
+        def key(binding: Binding) -> tuple:
+            return term_join_key(binding.get(join_name))
+
+        left_sorted = sorted(current, key=key)
+        right_sorted = sorted(right, key=key)
+        results: List[Binding] = []
+        left_index = 0
+        right_index = 0
+        while left_index < len(left_sorted) and right_index < len(right_sorted):
+            left_key = key(left_sorted[left_index])
+            right_key = key(right_sorted[right_index])
+            if left_key < right_key:
+                left_index += 1
+                continue
+            if right_key < left_key:
+                right_index += 1
+                continue
+            # Equal keys: emit the cross product of the two equal runs.
+            left_end = left_index
+            while left_end < len(left_sorted) and key(left_sorted[left_end]) == left_key:
+                left_end += 1
+            right_end = right_index
+            while right_end < len(right_sorted) and key(right_sorted[right_end]) == right_key:
+                right_end += 1
+            for i in range(left_index, left_end):
+                for j in range(right_index, right_end):
+                    merged = left_sorted[i].merged(right_sorted[j])
+                    if merged is not None:
+                        results.append(merged)
+            left_index = left_end
+            right_index = right_end
+        return results

@@ -21,9 +21,16 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Sequence, Set, Tuple
 
 from repro.dictionary.statistics import DictionaryStatistics
-from repro.query.plan import JoinMethod, PhysicalPlan, PlanStep, classify_access_path
+from repro.query.plan import (
+    JoinMethod,
+    ModifierOp,
+    ModifierStep,
+    PhysicalPlan,
+    PlanStep,
+    classify_access_path,
+)
 from repro.query.query_graph import QueryGraph, QueryNode
-from repro.sparql.ast import TriplePattern, Variable
+from repro.sparql.ast import SelectQuery, TriplePattern, Variable
 
 #: Heuristic-1 priority ranks (lower executes earlier).
 _SHAPE_RANK = {
@@ -216,6 +223,61 @@ class JoinOrderOptimizer:
         if estimate is None and self.runtime_estimator is not None:
             estimate = self.runtime_estimator(node.pattern)
         return estimate
+
+    # ------------------------------------------------------------------ #
+    # solution-modifier pipeline
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def plan_modifiers(query: SelectQuery) -> List[ModifierStep]:
+        """The ordered solution-modifier operators for a SELECT query.
+
+        Encodes two pipeline optimizations the streaming engine relies on:
+
+        * **LIMIT/OFFSET pushdown** — the slice is a lazy ``islice`` at the
+          end of the pipeline, so once ``offset + limit`` rows have passed
+          the upstream operators stop being pulled (no further
+          triple-pattern probes, hence no further SDS kernel calls);
+        * **top-k short circuit** — ``ORDER BY ... LIMIT k`` (without
+          DISTINCT, whose duplicate elimination happens after the sort and
+          could consume arbitrarily many sorted rows) replaces the full
+          sort with a bounded ``heapq.nsmallest(offset + limit)``
+          selection.
+        """
+        steps: List[ModifierStep] = []
+        if query.aggregated:
+            keys = ", ".join(str(condition) for condition in query.group_by)
+            aggregates = ", ".join(str(item.expression) for item in query.select_expressions())
+            steps.append(ModifierStep(ModifierOp.AGGREGATE, f"keys=[{keys}] {aggregates}".strip()))
+        elif query.select_expressions():
+            detail = ", ".join(
+                f"{item.expression} AS ?{item.variable.name}"
+                for item in query.select_expressions()
+            )
+            steps.append(ModifierStep(ModifierOp.EXTEND, detail))
+        if query.order_by:
+            fetch = None
+            if query.limit is not None and not query.distinct:
+                fetch = (query.offset or 0) + query.limit
+            keys = ", ".join(
+                ("DESC(%s)" if condition.descending else "%s") % (condition.expression,)
+                for condition in query.order_by
+            )
+            if fetch is not None:
+                steps.append(ModifierStep(ModifierOp.TOP_K, f"k={fetch} keys=[{keys}]"))
+            else:
+                steps.append(ModifierStep(ModifierOp.SORT, f"keys=[{keys}]"))
+        steps.append(ModifierStep(ModifierOp.PROJECT, ", ".join(query.projected_names())))
+        if query.distinct:
+            steps.append(ModifierStep(ModifierOp.DISTINCT))
+        if query.limit is not None or query.offset is not None:
+            detail = []
+            if query.offset is not None:
+                detail.append(f"offset={query.offset}")
+            if query.limit is not None:
+                detail.append(f"limit={query.limit}")
+            steps.append(ModifierStep(ModifierOp.SLICE, " ".join(detail)))
+        return steps
 
     @staticmethod
     def _pick_join_method(node: QueryNode, bound_variables: Set[str]) -> JoinMethod:

@@ -5,6 +5,14 @@ the access path the executor will use (which storage layout and which of the
 paper's algorithms) and the join type linking it to the already-computed
 prefix.  The plan is purely descriptive — the executor interprets it — but it
 doubles as an ``EXPLAIN`` output for debugging and for the optimizer tests.
+
+Since the streaming-pipeline rework the plan has a second half: the
+*solution-modifier pipeline* (:class:`ModifierStep` / :class:`PipelinePlan`)
+describing the operators applied after the WHERE clause — aggregation,
+ordering (with the top-k short circuit for ``ORDER BY ... LIMIT k``),
+projection, DISTINCT and the lazy OFFSET/LIMIT slice.  The streaming engine
+executes exactly the steps listed here, so ``EXPLAIN`` output and execution
+cannot disagree.
 """
 
 from __future__ import annotations
@@ -78,6 +86,44 @@ class PhysicalPlan:
     def explain(self) -> str:
         """Multi-line EXPLAIN-style description of the plan."""
         return "\n".join(step.describe() for step in self.steps)
+
+
+class ModifierOp(enum.Enum):
+    """Solution-modifier operators applied after the WHERE-clause pipeline."""
+
+    AGGREGATE = "aggregate"        # GROUP BY + aggregate projection (blocking)
+    EXTEND = "extend"              # non-aggregated (expr AS ?var) projections
+    SORT = "sort"                  # full ORDER BY sort (blocking)
+    TOP_K = "top-k"                # bounded ORDER BY ... LIMIT k selection
+    PROJECT = "project"            # restrict to the projected variables
+    DISTINCT = "distinct"          # duplicate-row elimination (streaming)
+    SLICE = "slice"                # lazy OFFSET/LIMIT
+
+
+@dataclass
+class ModifierStep:
+    """One solution-modifier operator with its parameters."""
+
+    op: ModifierOp
+    detail: str = ""
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return f"{self.op.value}({self.detail})" if self.detail else self.op.value
+
+
+@dataclass
+class PipelinePlan:
+    """The full query plan: WHERE-clause steps plus the modifier pipeline."""
+
+    where: "PhysicalPlan"
+    modifiers: List[ModifierStep] = field(default_factory=list)
+
+    def explain(self) -> str:
+        """Multi-line EXPLAIN output covering both plan halves."""
+        lines = [self.where.explain()] if self.where.steps else []
+        lines.extend(step.describe() for step in self.modifiers)
+        return "\n".join(lines)
 
 
 def classify_access_path(pattern: TriplePattern) -> AccessPath:

@@ -15,7 +15,7 @@ SDS operations of the paper's Section 5.2:
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 from repro.rdf.namespaces import RDF_TYPE
 from repro.rdf.terms import Literal, Term, URI
@@ -58,6 +58,20 @@ class TriplePatternEvaluator:
     def evaluate_all(self, pattern: TriplePattern) -> List[Binding]:
         """Evaluate ``pattern`` with no initial binding (convenience for tests)."""
         return list(self.evaluate(pattern, Binding()))
+
+    def evaluate_many(
+        self, pattern: TriplePattern, bindings: Iterable[Binding]
+    ) -> Iterator[Binding]:
+        """Stream the bind-propagation join of ``bindings`` with ``pattern``.
+
+        Pulls one upstream binding at a time, propagates it into the pattern
+        (one batched SDS probe) and yields the extensions before touching the
+        next upstream binding — the primitive the streaming pipeline's
+        ``LIMIT``/``ASK`` early termination relies on: upstream bindings the
+        consumer never asks about are never probed.
+        """
+        for binding in bindings:
+            yield from self.evaluate(pattern, binding)
 
     def estimate_cardinality(self, pattern: TriplePattern) -> int:
         """Run-time cardinality estimate computed on the SDS structures.

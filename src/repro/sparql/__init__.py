@@ -1,37 +1,52 @@
 """SPARQL substrate (subset).
 
-SuccinctEdge answers SELECT queries whose WHERE clause is a basic graph
-pattern optionally extended with FILTER, BIND and UNION (the latter is what
-the baselines need for reasoning by query rewriting).  This package provides:
+SuccinctEdge answers SELECT and ASK queries whose WHERE clause is a basic
+graph pattern optionally extended with FILTER, BIND, UNION, OPTIONAL and
+VALUES, with the solution modifiers GROUP BY (+ aggregates), ORDER BY,
+OFFSET and LIMIT.  This package provides:
 
 * :mod:`repro.sparql.ast` — the query abstract syntax tree,
 * :mod:`repro.sparql.parser` — a recursive-descent parser for the subset,
 * :mod:`repro.sparql.expressions` — FILTER/BIND expression evaluation,
+* :mod:`repro.sparql.algebra` — aggregates, ordering keys and the
+  materialized solution-modifier pipeline shared with the baselines,
 * :mod:`repro.sparql.bindings` — solution mappings (variable bindings).
 """
 
 from repro.sparql.ast import (
+    Aggregate,
+    AskQuery,
     BasicGraphPattern,
     Bind,
     Filter,
     GroupGraphPattern,
+    InlineData,
+    OrderCondition,
+    SelectExpression,
     SelectQuery,
     TriplePattern,
     Union,
     Variable,
 )
-from repro.sparql.bindings import Binding, ResultSet
-from repro.sparql.parser import SparqlParseError, parse_query
+from repro.sparql.bindings import AskResult, Binding, ResultSet
+from repro.sparql.parser import SparqlParseError, SparqlParser, parse_query
 
 __all__ = [
+    "Aggregate",
+    "AskQuery",
+    "AskResult",
     "BasicGraphPattern",
     "Bind",
     "Binding",
     "Filter",
     "GroupGraphPattern",
+    "InlineData",
+    "OrderCondition",
     "ResultSet",
+    "SelectExpression",
     "SelectQuery",
     "SparqlParseError",
+    "SparqlParser",
     "TriplePattern",
     "Union",
     "Variable",

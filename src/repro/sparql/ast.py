@@ -1,9 +1,13 @@
 """Abstract syntax tree of the supported SPARQL subset.
 
-The grammar covers what the paper's 26 evaluation queries and its motivating
-example need: ``SELECT`` (possibly ``*``) over a WHERE clause made of triple
-patterns, ``FILTER`` constraints, ``BIND`` assignments and ``UNION`` branches
-(the baselines' reasoning rewrites are unions of BGPs).
+The grammar covers the useful core of SPARQL 1.1 SELECT/ASK: a WHERE clause
+made of triple patterns, ``FILTER`` constraints, ``BIND`` assignments,
+``UNION`` branches (the baselines' reasoning rewrites are unions of BGPs),
+``OPTIONAL`` groups (left-outer joins) and ``VALUES`` inline data, plus the
+solution modifiers ``GROUP BY`` with aggregates, ``ORDER BY``, ``OFFSET``
+and ``LIMIT``.  ``docs/sparql_support.md`` gives the full grammar in EBNF
+together with the operator semantics and known deviations from the W3C
+recommendation.
 """
 
 from __future__ import annotations
@@ -115,9 +119,34 @@ class FunctionCall:
     arguments: Tuple["Expression", ...]
 
 
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate call such as ``COUNT(?x)``, ``SUM(DISTINCT ?v)`` or ``COUNT(*)``.
+
+    ``expression`` is ``None`` only for ``COUNT(*)``.
+    """
+
+    name: str  # one of count, sum, min, max, avg, sample
+    expression: Optional["Expression"]
+    distinct: bool = False
+
+    def __str__(self) -> str:
+        inner = "*" if self.expression is None else str(self.expression)
+        prefix = "DISTINCT " if self.distinct else ""
+        return f"{self.name.upper()}({prefix}{inner})"
+
+
 #: Expression nodes: constants, variables, or composite nodes above.
 Expression = TypingUnion[
-    URI, Literal, Variable, Comparison, BooleanExpression, Negation, Arithmetic, FunctionCall
+    URI,
+    Literal,
+    Variable,
+    Comparison,
+    BooleanExpression,
+    Negation,
+    Arithmetic,
+    FunctionCall,
+    Aggregate,
 ]
 
 
@@ -166,16 +195,34 @@ class Union:
 
 
 @dataclass
+class InlineData:
+    """A ``VALUES`` block: an inline table of bindings joined with the group.
+
+    ``rows`` holds one tuple per data row; ``None`` entries stand for
+    ``UNDEF`` (the variable stays unbound in that row).
+    """
+
+    variables: List[Variable] = field(default_factory=list)
+    rows: List[Tuple[Optional[PatternTerm], ...]] = field(default_factory=list)
+
+    def variable_names(self) -> List[str]:
+        """Names of the VALUES variables, in declaration order."""
+        return [variable.name for variable in self.variables]
+
+
+@dataclass
 class GroupGraphPattern:
-    """A WHERE-clause group: BGP + filters + binds + unions."""
+    """A WHERE-clause group: BGP + filters + binds + unions + optionals + values."""
 
     bgp: BasicGraphPattern = field(default_factory=BasicGraphPattern)
     filters: List[Filter] = field(default_factory=list)
     binds: List[Bind] = field(default_factory=list)
     unions: List[Union] = field(default_factory=list)
+    optionals: List["GroupGraphPattern"] = field(default_factory=list)
+    values: List[InlineData] = field(default_factory=list)
 
     def variables(self) -> List[str]:
-        """All variable names bound in the group (BGP, BINDs and UNION branches)."""
+        """All variable names bound in the group (BGP, BINDs, UNION/OPTIONAL branches, VALUES)."""
         names = self.bgp.variables()
         for bind in self.binds:
             if bind.variable.name not in names:
@@ -185,25 +232,118 @@ class GroupGraphPattern:
                 for name in branch.variables():
                     if name not in names:
                         names.append(name)
+        for optional in self.optionals:
+            for name in optional.variables():
+                if name not in names:
+                    names.append(name)
+        for block in self.values:
+            for name in block.variable_names():
+                if name not in names:
+                    names.append(name)
         return names
+
+
+# --------------------------------------------------------------------- #
+# solution modifiers and query forms
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SelectExpression:
+    """A projection expression ``(expression AS ?variable)``.
+
+    The expression may contain aggregates (``(COUNT(?x) AS ?c)``); plain
+    variable projections are represented by :class:`Variable` directly.
+    """
+
+    expression: Expression
+    variable: Variable
+
+
+#: One item of a SELECT clause: a plain variable or ``(expr AS ?var)``.
+ProjectionItem = TypingUnion[Variable, SelectExpression]
+
+
+@dataclass(frozen=True)
+class OrderCondition:
+    """One ``ORDER BY`` key: an expression plus a direction."""
+
+    expression: Expression
+    descending: bool = False
 
 
 @dataclass
 class SelectQuery:
-    """A parsed SELECT query."""
+    """A parsed SELECT query.
 
-    projection: Optional[List[Variable]]  # None means SELECT *
+    ``projection`` is ``None`` for ``SELECT *``; otherwise it lists plain
+    variables and ``(expression AS ?var)`` items in clause order.  The
+    solution modifiers follow the SPARQL 1.1 evaluation order: grouping and
+    aggregation, then ``ORDER BY``, projection, ``DISTINCT``, ``OFFSET``
+    and finally ``LIMIT``.
+    """
+
+    projection: Optional[List[ProjectionItem]]  # None means SELECT *
     where: GroupGraphPattern
     distinct: bool = False
     limit: Optional[int] = None
+    offset: Optional[int] = None
+    order_by: List[OrderCondition] = field(default_factory=list)
+    group_by: List[Expression] = field(default_factory=list)
 
     def projected_names(self) -> List[str]:
         """Names of the projected variables (all bound variables for ``*``)."""
         if self.projection is None:
             return self.where.variables()
-        return [variable.name for variable in self.projection]
+        names: List[str] = []
+        for item in self.projection:
+            name = item.name if isinstance(item, Variable) else item.variable.name
+            if name not in names:
+                names.append(name)
+        return names
+
+    def select_expressions(self) -> List[SelectExpression]:
+        """The ``(expr AS ?var)`` items of the SELECT clause, in order."""
+        if self.projection is None:
+            return []
+        return [item for item in self.projection if isinstance(item, SelectExpression)]
+
+    @property
+    def aggregated(self) -> bool:
+        """Whether the query needs a grouping/aggregation phase."""
+        if self.group_by:
+            return True
+        return any(
+            contains_aggregate(item.expression) for item in self.select_expressions()
+        )
 
     @property
     def triple_patterns(self) -> Sequence[TriplePattern]:
         """Triple patterns of the top-level BGP (convenience accessor)."""
         return self.where.bgp.patterns
+
+
+@dataclass
+class AskQuery:
+    """A parsed ASK query: true iff the WHERE clause has at least one solution."""
+
+    where: GroupGraphPattern
+
+
+#: Any parsed query form.
+Query = TypingUnion[SelectQuery, AskQuery]
+
+
+def contains_aggregate(expression: Expression) -> bool:
+    """Whether an expression tree contains an :class:`Aggregate` node."""
+    if isinstance(expression, Aggregate):
+        return True
+    if isinstance(expression, (Comparison, Arithmetic)):
+        return contains_aggregate(expression.left) or contains_aggregate(expression.right)
+    if isinstance(expression, BooleanExpression):
+        return any(contains_aggregate(operand) for operand in expression.operands)
+    if isinstance(expression, Negation):
+        return contains_aggregate(expression.operand)
+    if isinstance(expression, FunctionCall):
+        return any(contains_aggregate(argument) for argument in expression.arguments)
+    return False

@@ -92,6 +92,35 @@ class Binding:
         return f"Binding({inner})"
 
 
+class AskResult:
+    """The boolean outcome of an ASK query.
+
+    Truthiness follows the answer (``bool(result)``), so an :class:`AskResult`
+    drops into conditions directly; the underlying value is ``.boolean``.
+    """
+
+    __slots__ = ("boolean",)
+
+    def __init__(self, boolean: bool) -> None:
+        self.boolean = bool(boolean)
+
+    def __bool__(self) -> bool:
+        return self.boolean
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, AskResult):
+            return self.boolean == other.boolean
+        if isinstance(other, bool):
+            return self.boolean == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.boolean)
+
+    def __repr__(self) -> str:
+        return f"AskResult({self.boolean})"
+
+
 class ResultSet:
     """An ordered collection of bindings with the projected variable names."""
 

@@ -4,6 +4,13 @@ SPARQL effective boolean value (EBV) rules are applied where the paper's
 queries need them: numeric comparisons, string regex, ``if`` conditionals and
 arithmetic over observation values (the anomaly-detection query of Section 2
 converts hectopascal to bar with ``?v1 / 1000`` inside an ``if``).
+
+Aggregates (``COUNT``/``SUM``/...) are *not* row-scoped and therefore do not
+evaluate here: :mod:`repro.sparql.algebra` computes them over groups and
+substitutes their results before calling :func:`evaluate`.  A bare
+:class:`~repro.sparql.ast.Aggregate` node reaching this evaluator is a query
+placement error (e.g. an aggregate inside FILTER) and raises
+:class:`ExpressionError`.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from typing import Optional, Union
 from repro.rdf.terms import Literal, Term, URI
 from repro.rdf.terms import XSD_BOOLEAN, XSD_DOUBLE, XSD_STRING
 from repro.sparql.ast import (
+    Aggregate,
     Arithmetic,
     BooleanExpression,
     Comparison,
@@ -57,6 +65,11 @@ def evaluate(expression: Expression, binding: Binding) -> Value:
         return _evaluate_arithmetic(expression, binding)
     if isinstance(expression, FunctionCall):
         return _evaluate_function(expression, binding)
+    if isinstance(expression, Aggregate):
+        raise ExpressionError(
+            f"aggregate {expression.name.upper()}() is only valid in the SELECT "
+            "clause of a grouped query, not in a row-scoped expression"
+        )
     raise ExpressionError(f"unsupported expression node: {expression!r}")
 
 

@@ -1,19 +1,34 @@
 """Recursive-descent parser for the supported SPARQL subset.
 
-Supported grammar (sufficient for the paper's 26 evaluation queries, the
-motivating anomaly-detection query of Section 2, and the UNION rewritings
-used by the baseline systems)::
+Supported grammar (the useful core of SPARQL 1.1 SELECT/ASK — see
+``docs/sparql_support.md`` for the full EBNF and the known deviations from
+the W3C recommendation)::
 
-    Query      := Prologue SELECT (DISTINCT)? (Var+ | '*') WHERE? Group (LIMIT INT)?
-    Prologue   := (PREFIX pname: <iri>)*
-    Group      := '{' (TriplesBlock | Filter | Bind | GroupUnion)* '}'
-    GroupUnion := Group (UNION Group)+
+    Query      := Prologue (SelectQuery | AskQuery)
+    SelectQuery:= SELECT (DISTINCT)? (SelectItem+ | '*') WHERE? Group Modifiers
+    SelectItem := Var | '(' Expression AS Var ')'
+    AskQuery   := ASK WHERE? Group
+    Modifiers  := (GROUP BY GroupCond+)? (ORDER BY OrderCond+)?
+                  (LIMIT INT | OFFSET INT)*
+    GroupCond  := Var | '(' Expression ')'
+    OrderCond  := (ASC | DESC) '(' Expression ')' | Var | '(' Expression ')'
+    Group      := '{' (TriplesBlock | Filter | Bind | Optional | Values
+                       | GroupUnion)* '}'
+    GroupUnion := Group (UNION Group)*
+    Optional   := OPTIONAL Group
     Filter     := FILTER '(' Expression ')'
     Bind       := BIND '(' Expression AS Var ')'
+    Values     := VALUES (Var | '(' Var* ')') '{' DataRow* '}'
+    DataRow    := Term | '(' (Term | UNDEF)* ')'
 
 Triple blocks support the ``a`` keyword, ``;`` predicate lists and ``,``
 object lists.  Expressions support ``||``, ``&&``, ``!``, comparisons,
-arithmetic, and the builtins ``regex``, ``str``, ``if``, ``bound``, ``abs``.
+arithmetic, the builtins ``regex``, ``str``, ``if``, ``bound``, ``abs``,
+and the aggregates ``COUNT`` / ``SUM`` / ``MIN`` / ``MAX`` / ``AVG`` /
+``SAMPLE`` (with ``DISTINCT`` and ``COUNT(*)``).
+
+Parse errors raise :class:`SparqlParseError`, which reports the 1-based
+line and column of the offending token together with its text.
 """
 
 from __future__ import annotations
@@ -25,7 +40,9 @@ from repro.rdf.namespaces import RDF, WELL_KNOWN_PREFIXES
 from repro.rdf.terms import BlankNode, Literal, URI
 from repro.rdf.terms import XSD_BOOLEAN, XSD_DECIMAL, XSD_INTEGER
 from repro.sparql.ast import (
+    Aggregate,
     Arithmetic,
+    AskQuery,
     BasicGraphPattern,
     Bind,
     BooleanExpression,
@@ -34,17 +51,55 @@ from repro.sparql.ast import (
     Filter,
     FunctionCall,
     GroupGraphPattern,
+    InlineData,
     Negation,
+    OrderCondition,
     PatternTerm,
+    ProjectionItem,
+    Query,
+    SelectExpression,
     SelectQuery,
     TriplePattern,
     Union,
     Variable,
+    contains_aggregate,
 )
 
 
 class SparqlParseError(ValueError):
-    """Raised when a query falls outside the supported SPARQL subset."""
+    """Raised when a query falls outside the supported SPARQL subset.
+
+    Attributes
+    ----------
+    line, column:
+        1-based position of the offending token in the query text
+        (``None`` when the error is not tied to one token, e.g. an
+        unexpected end of input with no position information).
+    token:
+        The text of the offending token (``None`` at end of input).
+    reason:
+        The bare explanation, without the position prefix.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        line: Optional[int] = None,
+        column: Optional[int] = None,
+        token: Optional[str] = None,
+    ) -> None:
+        self.reason = reason
+        self.line = line
+        self.column = column
+        self.token = token
+        message = reason
+        if line is not None and column is not None:
+            location = f"at line {line}, column {column}"
+            if token is not None:
+                message = f"{reason} {location}: {token!r}"
+            else:
+                message = f"{reason} {location}"
+        super().__init__(message)
 
 
 _TOKEN = re.compile(
@@ -57,7 +112,7 @@ _TOKEN = re.compile(
   | (?P<number>[+-]?\d+\.\d+|[+-]?\d+)
   | (?P<comparator><=|>=|!=|=|<|>)
   | (?P<logic>\|\||&&)
-  | (?P<keyword>\b(?:SELECT|DISTINCT|WHERE|FILTER|BIND|AS|UNION|PREFIX|BASE|LIMIT|true|false|a)\b)
+  | (?P<keyword>\b(?:SELECT|DISTINCT|WHERE|FILTER|BIND|AS|UNION|OPTIONAL|VALUES|UNDEF|ASK|ORDER|GROUP|HAVING|BY|ASC|DESC|PREFIX|BASE|LIMIT|OFFSET|true|false|a)\b)
   | (?P<pname>[A-Za-z_][\w\-]*:[\w.\-]*|:[\w.\-]+)
   | (?P<name>[A-Za-z_][\w]*)
   | (?P<punct>[{}().;,!*/+\-])
@@ -68,6 +123,9 @@ _TOKEN = re.compile(
 
 _ESCAPES = {"\\n": "\n", "\\r": "\r", "\\t": "\t", '\\"': '"', "\\\\": "\\"}
 
+#: Aggregate function names (SPARQL 1.1 Section 18.5).
+_AGGREGATES = frozenset({"count", "sum", "min", "max", "avg", "sample"})
+
 
 def _unescape(text: str) -> str:
     result = text
@@ -76,24 +134,48 @@ def _unescape(text: str) -> str:
     return result
 
 
-def _tokenize(query: str) -> List[Tuple[str, str]]:
+def _tokenize(query: str) -> Tuple[List[Tuple[str, str]], List[Tuple[int, int]]]:
+    """Split ``query`` into ``(kind, text)`` tokens plus 1-based positions."""
     tokens: List[Tuple[str, str]] = []
+    positions: List[Tuple[int, int]] = []
     position = 0
+    line = 1
+    line_start = 0
     while position < len(query):
         match = _TOKEN.match(query, position)
         if not match:
-            snippet = query[position : position + 40]
-            raise SparqlParseError(f"unexpected input at offset {position}: {snippet!r}")
+            snippet = query[position : position + 40].split("\n")[0]
+            raise SparqlParseError(
+                "unexpected input",
+                line=line,
+                column=position - line_start + 1,
+                token=snippet,
+            )
         kind = match.lastgroup or ""
         if kind not in ("ws", "comment"):
             tokens.append((kind, match.group()))
+            positions.append((line, position - line_start + 1))
+        newlines = match.group().count("\n")
+        if newlines:
+            line += newlines
+            line_start = position + match.group().rindex("\n") + 1
         position = match.end()
-    return tokens
+    return tokens, positions
 
 
-class _Parser:
+class SparqlParser:
+    """Parses one query string into its AST (:class:`SelectQuery` / :class:`AskQuery`).
+
+    The parser is single-use: construct it with the query text, then call
+    :meth:`parse` once.  Prefix declarations extend the well-known prefixes
+    of :data:`repro.rdf.namespaces.WELL_KNOWN_PREFIXES`.
+
+    >>> SparqlParser("SELECT ?x WHERE { ?x a <http://x.org/C> }").parse().projected_names()
+    ['x']
+    """
+
     def __init__(self, query: str) -> None:
-        self._tokens = _tokenize(query)
+        self._tokens, self._positions = _tokenize(query)
         self._index = 0
         self._prefixes = dict(WELL_KNOWN_PREFIXES)
 
@@ -107,10 +189,23 @@ class _Parser:
             return self._tokens[index]
         return None
 
+    def _error(self, reason: str, index: Optional[int] = None) -> SparqlParseError:
+        """A parse error located at the token at ``index`` (default: current)."""
+        where = self._index if index is None else index
+        if where >= len(self._tokens):
+            if self._positions:
+                line, column = self._positions[-1]
+                return SparqlParseError(
+                    f"{reason} (unexpected end of query)", line=line, column=column
+                )
+            return SparqlParseError(f"{reason} (unexpected end of query)")
+        line, column = self._positions[where]
+        return SparqlParseError(reason, line=line, column=column, token=self._tokens[where][1])
+
     def _next(self) -> Tuple[str, str]:
         token = self._peek()
         if token is None:
-            raise SparqlParseError("unexpected end of query")
+            raise self._error("unexpected end of query")
         self._index += 1
         return token
 
@@ -123,8 +218,7 @@ class _Parser:
 
     def _expect_keyword(self, keyword: str) -> None:
         if not self._accept_keyword(keyword):
-            token = self._peek()
-            raise SparqlParseError(f"expected {keyword!r}, got {token!r}")
+            raise self._error(f"expected {keyword!r}")
 
     def _accept_punct(self, char: str) -> bool:
         token = self._peek()
@@ -135,60 +229,192 @@ class _Parser:
 
     def _expect_punct(self, char: str) -> None:
         if not self._accept_punct(char):
-            token = self._peek()
-            raise SparqlParseError(f"expected {char!r}, got {token!r}")
+            raise self._error(f"expected {char!r}")
 
     # -------------------------------------------------------------- #
     # prologue and query form
     # -------------------------------------------------------------- #
 
-    def parse(self) -> SelectQuery:
+    def parse(self) -> Query:
+        """Parse the query and return its AST.
+
+        Returns a :class:`SelectQuery` for ``SELECT`` and an
+        :class:`AskQuery` for ``ASK``; raises :class:`SparqlParseError`
+        (with line/column information) on any other form or on trailing
+        input after the query.
+        """
         self._parse_prologue()
-        self._expect_keyword("SELECT")
+        if self._accept_keyword("ASK"):
+            parsed: Query = self._parse_ask_body()
+        else:
+            self._expect_keyword("SELECT")
+            parsed = self._parse_select_body()
+        if self._peek() is not None:
+            raise self._error("trailing tokens after query")
+        return parsed
+
+    def _parse_ask_body(self) -> AskQuery:
+        self._accept_keyword("WHERE")
+        return AskQuery(where=self._parse_group())
+
+    def _parse_select_body(self) -> SelectQuery:
         distinct = bool(self._accept_keyword("DISTINCT"))
         projection = self._parse_projection()
         self._accept_keyword("WHERE")
         where = self._parse_group()
-        limit = self._parse_limit()
-        if self._peek() is not None:
-            raise SparqlParseError(f"trailing tokens after query: {self._peek()!r}")
-        return SelectQuery(projection=projection, where=where, distinct=distinct, limit=limit)
+        group_by = self._parse_group_by()
+        order_by = self._parse_order_by()
+        limit, offset = self._parse_limit_offset()
+        query = SelectQuery(
+            projection=projection,
+            where=where,
+            distinct=distinct,
+            limit=limit,
+            offset=offset,
+            order_by=order_by,
+            group_by=group_by,
+        )
+        self._check_grouped_projection(query)
+        return query
+
+    def _check_grouped_projection(self, query: SelectQuery) -> None:
+        """SPARQL 19.8: a grouped query may only project grouped variables.
+
+        Every plain projected variable must appear in GROUP BY (``SELECT *``
+        is never valid in a grouped query) — anything else would silently
+        return unbound columns.
+        """
+        if not query.aggregated:
+            return
+        if query.projection is None:
+            raise SparqlParseError(
+                "SELECT * cannot be combined with GROUP BY/aggregates; "
+                "project grouped variables or aggregate expressions explicitly"
+            )
+        grouped = {
+            condition.name for condition in query.group_by if isinstance(condition, Variable)
+        }
+        for item in query.projection:
+            if isinstance(item, Variable) and item.name not in grouped:
+                raise SparqlParseError(
+                    f"variable ?{item.name} is projected but not in GROUP BY; "
+                    "in an aggregated query every plain projected variable "
+                    "must be a grouping variable"
+                )
 
     def _parse_prologue(self) -> None:
         while self._accept_keyword("PREFIX"):
             kind, value = self._next()
             if kind != "pname" or not value.endswith(":"):
-                raise SparqlParseError(f"expected prefix name, got {value!r}")
+                raise self._error("expected prefix name", self._index - 1)
             prefix = value[:-1]
             kind, iri = self._next()
             if kind != "iri":
-                raise SparqlParseError(f"expected IRI after prefix {prefix!r}, got {iri!r}")
+                raise self._error(f"expected IRI after prefix {prefix!r}", self._index - 1)
             self._prefixes[prefix] = iri[1:-1]
 
-    def _parse_projection(self) -> Optional[List[Variable]]:
+    def _parse_projection(self) -> Optional[List[ProjectionItem]]:
         token = self._peek()
         if token and token[0] == "punct" and token[1] == "*":
             self._index += 1
             return None
-        variables: List[Variable] = []
+        items: List[ProjectionItem] = []
         while True:
             token = self._peek()
             if token and token[0] == "var":
                 self._index += 1
-                variables.append(Variable(token[1][1:]))
+                items.append(Variable(token[1][1:]))
+            elif token == ("punct", "("):
+                self._index += 1
+                expression = self._parse_expression()
+                self._expect_keyword("AS")
+                kind, value = self._next()
+                if kind != "var":
+                    raise self._error("expected variable after AS", self._index - 1)
+                self._expect_punct(")")
+                items.append(SelectExpression(expression=expression, variable=Variable(value[1:])))
             else:
                 break
-        if not variables:
-            raise SparqlParseError("SELECT clause must project '*' or at least one variable")
-        return variables
+        if not items:
+            raise self._error("SELECT clause must project '*', variables or (expr AS ?var)")
+        return items
 
-    def _parse_limit(self) -> Optional[int]:
-        if self._accept_keyword("LIMIT"):
-            kind, value = self._next()
-            if kind != "number":
-                raise SparqlParseError(f"expected integer after LIMIT, got {value!r}")
-            return int(value)
-        return None
+    # -------------------------------------------------------------- #
+    # solution modifiers
+    # -------------------------------------------------------------- #
+
+    def _parse_group_by(self) -> List[Expression]:
+        if not self._accept_keyword("GROUP"):
+            return []
+        self._expect_keyword("BY")
+        conditions: List[Expression] = []
+        while True:
+            token = self._peek()
+            if token and token[0] == "var":
+                self._index += 1
+                conditions.append(Variable(token[1][1:]))
+            elif token == ("punct", "("):
+                self._index += 1
+                conditions.append(self._parse_expression())
+                self._expect_punct(")")
+            else:
+                break
+        if not conditions:
+            raise self._error("GROUP BY needs at least one grouping condition")
+        return conditions
+
+    def _parse_order_by(self) -> List[OrderCondition]:
+        if not self._accept_keyword("ORDER"):
+            return []
+        self._expect_keyword("BY")
+        conditions: List[OrderCondition] = []
+        while True:
+            direction = self._accept_keyword("ASC", "DESC")
+            if direction is not None:
+                self._expect_punct("(")
+                expression = self._parse_expression()
+                self._expect_punct(")")
+                conditions.append(
+                    OrderCondition(expression=expression, descending=direction == "DESC")
+                )
+                continue
+            token = self._peek()
+            if token and token[0] == "var":
+                self._index += 1
+                conditions.append(OrderCondition(expression=Variable(token[1][1:])))
+                continue
+            if token == ("punct", "("):
+                self._index += 1
+                expression = self._parse_expression()
+                self._expect_punct(")")
+                conditions.append(OrderCondition(expression=expression))
+                continue
+            break
+        if not conditions:
+            raise self._error("ORDER BY needs at least one sort condition")
+        return conditions
+
+    def _parse_limit_offset(self) -> Tuple[Optional[int], Optional[int]]:
+        limit: Optional[int] = None
+        offset: Optional[int] = None
+        while True:
+            if self._accept_keyword("LIMIT"):
+                if limit is not None:
+                    raise self._error("duplicate LIMIT clause", self._index - 1)
+                limit = self._parse_nonnegative_integer("LIMIT")
+                continue
+            if self._accept_keyword("OFFSET"):
+                if offset is not None:
+                    raise self._error("duplicate OFFSET clause", self._index - 1)
+                offset = self._parse_nonnegative_integer("OFFSET")
+                continue
+            return limit, offset
+
+    def _parse_nonnegative_integer(self, clause: str) -> int:
+        kind, value = self._next()
+        if kind != "number" or "." in value or value.startswith("-"):
+            raise self._error(f"expected a non-negative integer after {clause}", self._index - 1)
+        return int(value)
 
     # -------------------------------------------------------------- #
     # group graph pattern
@@ -200,7 +426,7 @@ class _Parser:
         while True:
             token = self._peek()
             if token is None:
-                raise SparqlParseError("unterminated group graph pattern")
+                raise self._error("unterminated group graph pattern")
             if token == ("punct", "}"):
                 self._index += 1
                 return group
@@ -212,6 +438,16 @@ class _Parser:
             if token[0] == "keyword" and token[1].upper() == "BIND":
                 self._index += 1
                 group.binds.append(self._parse_bind())
+                self._accept_punct(".")
+                continue
+            if token[0] == "keyword" and token[1].upper() == "OPTIONAL":
+                self._index += 1
+                group.optionals.append(self._parse_group())
+                self._accept_punct(".")
+                continue
+            if token[0] == "keyword" and token[1].upper() == "VALUES":
+                self._index += 1
+                group.values.append(self._parse_values())
                 self._accept_punct(".")
                 continue
             if token == ("punct", "{"):
@@ -230,6 +466,12 @@ class _Parser:
         self._expect_punct("(")
         expression = self._parse_expression()
         self._expect_punct(")")
+        if contains_aggregate(expression):
+            # SPARQL 1.1 only allows aggregates in the SELECT clause (and
+            # HAVING, which this subset omits); in a FILTER the error would
+            # otherwise be swallowed by the errors-as-false rule and return
+            # an inexplicably empty result.
+            raise self._error("aggregates are not allowed in FILTER expressions")
         return Filter(expression=expression)
 
     def _parse_bind(self) -> Bind:
@@ -238,9 +480,63 @@ class _Parser:
         self._expect_keyword("AS")
         kind, value = self._next()
         if kind != "var":
-            raise SparqlParseError(f"expected variable after AS, got {value!r}")
+            raise self._error("expected variable after AS", self._index - 1)
         self._expect_punct(")")
+        if contains_aggregate(expression):
+            raise self._error("aggregates are not allowed in BIND expressions")
         return Bind(expression=expression, variable=Variable(value[1:]))
+
+    def _parse_values(self) -> InlineData:
+        """``VALUES ?x { ... }`` or ``VALUES (?x ?y) { (..) (..) }``."""
+        variables: List[Variable] = []
+        single_variable = False
+        token = self._peek()
+        if token and token[0] == "var":
+            self._index += 1
+            variables.append(Variable(token[1][1:]))
+            single_variable = True
+        else:
+            self._expect_punct("(")
+            while True:
+                token = self._peek()
+                if token and token[0] == "var":
+                    self._index += 1
+                    variables.append(Variable(token[1][1:]))
+                    continue
+                break
+            self._expect_punct(")")
+        rows: List[Tuple[Optional[PatternTerm], ...]] = []
+        self._expect_punct("{")
+        while True:
+            token = self._peek()
+            if token is None:
+                raise self._error("unterminated VALUES block")
+            if token == ("punct", "}"):
+                self._index += 1
+                break
+            if single_variable:
+                rows.append((self._parse_data_term(),))
+                continue
+            self._expect_punct("(")
+            row: List[Optional[PatternTerm]] = []
+            while not self._accept_punct(")"):
+                row.append(self._parse_data_term())
+            if len(row) != len(variables):
+                raise self._error(
+                    f"VALUES row has {len(row)} terms for {len(variables)} variables",
+                    self._index - 1,
+                )
+            rows.append(tuple(row))
+        return InlineData(variables=variables, rows=rows)
+
+    def _parse_data_term(self) -> Optional[PatternTerm]:
+        """One VALUES data entry: a constant term or ``UNDEF`` (→ ``None``)."""
+        if self._accept_keyword("UNDEF"):
+            return None
+        term = self._parse_pattern_term()
+        if isinstance(term, Variable):
+            raise self._error("variables are not allowed in VALUES data rows", self._index - 1)
+        return term
 
     # -------------------------------------------------------------- #
     # triples
@@ -287,12 +583,12 @@ class _Parser:
                 return RDF.type
             if upper in ("TRUE", "FALSE"):
                 return Literal(value.lower(), datatype=XSD_BOOLEAN)
-        raise SparqlParseError(f"unexpected token {value!r} in triple pattern")
+        raise self._error("unexpected token in triple pattern", self._index - 1)
 
     def _resolve_pname(self, pname: str) -> URI:
         prefix, _, local = pname.partition(":")
         if prefix not in self._prefixes:
-            raise SparqlParseError(f"unknown prefix {prefix!r} in {pname!r}")
+            raise self._error(f"unknown prefix {prefix!r}", self._index - 1)
         return URI(self._prefixes[prefix] + local)
 
     def _parse_literal(self, raw: str) -> Literal:
@@ -378,10 +674,22 @@ class _Parser:
             return Negation(operand=self._parse_unary())
         return self._parse_primary()
 
+    def _parse_aggregate(self, name: str) -> Aggregate:
+        """Body of an aggregate call, after ``name`` and ``(`` are consumed."""
+        distinct = bool(self._accept_keyword("DISTINCT"))
+        if self._accept_punct("*"):
+            if name != "count":
+                raise self._error(f"'*' is only valid inside COUNT, not {name.upper()}")
+            self._expect_punct(")")
+            return Aggregate(name=name, expression=None, distinct=distinct)
+        expression = self._parse_expression()
+        self._expect_punct(")")
+        return Aggregate(name=name, expression=expression, distinct=distinct)
+
     def _parse_primary(self) -> Expression:
         token = self._peek()
         if token is None:
-            raise SparqlParseError("unexpected end of expression")
+            raise self._error("unexpected end of expression")
         kind, value = token
         if kind == "punct" and value == "(":
             self._index += 1
@@ -405,10 +713,13 @@ class _Parser:
             self._index += 1
             return Literal(value.lower(), datatype=XSD_BOOLEAN)
         if kind in ("name", "keyword", "pname"):
-            # Function call: name '(' args ')'
+            # Function or aggregate call: name '(' args ')'
             next_token = self._peek(1)
             if next_token == ("punct", "("):
                 self._index += 2
+                lowered = value.lower()
+                if lowered in _AGGREGATES:
+                    return self._parse_aggregate(lowered)
                 arguments: List[Expression] = []
                 if not self._accept_punct(")"):
                     while True:
@@ -417,13 +728,25 @@ class _Parser:
                             continue
                         self._expect_punct(")")
                         break
-                return FunctionCall(name=value.lower(), arguments=tuple(arguments))
+                return FunctionCall(name=lowered, arguments=tuple(arguments))
             if kind == "pname":
                 self._index += 1
                 return self._resolve_pname(value)
-        raise SparqlParseError(f"unexpected token {value!r} in expression")
+        raise self._error("unexpected token in expression")
 
 
-def parse_query(query: str) -> SelectQuery:
-    """Parse a SPARQL SELECT query (supported subset) into its AST."""
-    return _Parser(query).parse()
+#: Backwards-compatible alias (the class was private before the 1.1 expansion).
+_Parser = SparqlParser
+
+
+def parse_query(query: str) -> Query:
+    """Parse a SPARQL query (supported subset) into its AST.
+
+    Returns a :class:`~repro.sparql.ast.SelectQuery` or an
+    :class:`~repro.sparql.ast.AskQuery`; raises :class:`SparqlParseError`
+    with line/column information when the text is outside the subset.
+
+    >>> parse_query("SELECT ?s WHERE { ?s a <http://x.org/C> } LIMIT 3").limit
+    3
+    """
+    return SparqlParser(query).parse()

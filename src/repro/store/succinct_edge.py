@@ -28,8 +28,8 @@ from repro.ontology.schema import OntologySchema
 from repro.rdf.graph import Graph
 from repro.rdf.namespaces import RDF_TYPE
 from repro.rdf.terms import Literal, Term, Triple, URI
-from repro.sparql.ast import SelectQuery
-from repro.sparql.bindings import ResultSet
+from repro.sparql.ast import Query as QueryAst
+from repro.sparql.bindings import AskResult, ResultSet
 from repro.store.datatype_store import DatatypeTripleStore
 from repro.store.rdftype_store import RDFTypeStore
 from repro.store.triple_store import ObjectTripleStore
@@ -240,15 +240,27 @@ class SuccinctEdge:
 
     def query(
         self,
-        query: Union[str, SelectQuery],
+        query: Union[str, "QueryAst"],
         reasoning: bool = True,
-    ) -> ResultSet:
-        """Run a SPARQL SELECT query.
+    ) -> Union[ResultSet, AskResult]:
+        """Run a SPARQL query (SELECT or ASK, supported subset).
+
+        The WHERE clause may use basic graph patterns, ``FILTER``, ``BIND``,
+        ``UNION``, ``OPTIONAL`` and ``VALUES``; SELECT queries additionally
+        support ``DISTINCT``, ``GROUP BY`` with the ``COUNT`` / ``SUM`` /
+        ``MIN`` / ``MAX`` / ``AVG`` / ``SAMPLE`` aggregates,
+        ``(expr AS ?var)`` projections, ``ORDER BY``, ``OFFSET`` and
+        ``LIMIT`` (see ``docs/sparql_support.md``).  Evaluation is a
+        streaming operator pipeline: ``LIMIT`` and ``ASK`` terminate early
+        instead of materializing full answer sets.
 
         With ``reasoning`` (the default, and the paper's native mode) the
         engine uses LiteMat identifier intervals to answer concept and
         property hierarchy inferences at query time; without it only explicit
         triples are matched.
+
+        Returns a :class:`~repro.sparql.bindings.ResultSet` for SELECT and a
+        boolean-valued :class:`~repro.sparql.bindings.AskResult` for ASK.
         """
         from repro.query.engine import QueryEngine  # deferred: avoids an import cycle
 

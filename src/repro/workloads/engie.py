@@ -208,6 +208,72 @@ def _measure_value(rng: random.Random, kind: str, unit: URI, anomaly_rate: float
     return round(rng.uniform(0.2, 0.5), 3)
 
 
+_MONITORING_PREFIXES = (
+    "PREFIX sosa: <http://www.w3.org/ns/sosa/>\n"
+    "PREFIX qudt: <http://qudt.org/schema/qudt/>\n"
+)
+
+
+def station_pressure_profile_query() -> str:
+    """Per-station pressure statistics (GROUP BY + COUNT/AVG/MIN/MAX).
+
+    Uses LiteMat reasoning over ``qudt:PressureUnit`` so both the
+    ``PressureOrStressUnit``-annotated bar readings and the
+    ``Pressure``-annotated hectopascal readings contribute.
+    """
+    return _MONITORING_PREFIXES + (
+        "SELECT ?x (COUNT(?v) AS ?n) (AVG(?v) AS ?mean) (MIN(?v) AS ?low) (MAX(?v) AS ?peak)\n"
+        "WHERE {\n"
+        "  ?x a sosa:Platform ; sosa:hosts ?s .\n"
+        "  ?s sosa:observes ?o . ?o sosa:hasResult ?y .\n"
+        "  ?y qudt:numericValue ?v ; qudt:unit ?u .\n"
+        "  ?u a qudt:PressureUnit .\n"
+        "} GROUP BY ?x ORDER BY ?x"
+    )
+
+
+def top_pressure_readings_query(k: int = 10) -> str:
+    """The ``k`` highest pressure readings (ORDER BY DESC + LIMIT top-k)."""
+    return _MONITORING_PREFIXES + (
+        "SELECT ?s ?ts ?v WHERE {\n"
+        "  ?s sosa:observes ?o . ?o sosa:hasResult ?y ; sosa:resultTime ?ts .\n"
+        "  ?y qudt:numericValue ?v ; qudt:unit ?u .\n"
+        "  ?u a qudt:PressureUnit .\n"
+        f"}} ORDER BY DESC(?v) ?ts LIMIT {k}"
+    )
+
+
+def sensor_inventory_query() -> str:
+    """Sensors per platform with their chemistry readings left-outer joined.
+
+    Pressure sensors have no chemistry results, so the OPTIONAL group stays
+    unbound for them — the inventory still lists every sensor.
+    """
+    return _MONITORING_PREFIXES + (
+        "SELECT ?x ?s ?v WHERE {\n"
+        "  ?x a sosa:Platform ; sosa:hosts ?s .\n"
+        "  OPTIONAL {\n"
+        "    ?s sosa:observes ?o . ?o sosa:hasResult ?y .\n"
+        "    ?y qudt:numericValue ?v ; qudt:unit <http://qudt.org/vocab/unit/MilliGM_PER_L> .\n"
+        "  }\n"
+        "}"
+    )
+
+
+def has_pressure_anomaly_query(low: float = 3.0, high: float = 4.5) -> str:
+    """ASK whether any bar-denominated pressure reading is outside the range.
+
+    Streaming evaluation stops at the first offending observation instead of
+    materializing the full answer set.
+    """
+    return _MONITORING_PREFIXES + (
+        "ASK {\n"
+        "  ?y qudt:numericValue ?v ; qudt:unit <http://qudt.org/vocab/unit/BAR> .\n"
+        f"  FILTER(?v < {low} || ?v > {high})\n"
+        "}"
+    )
+
+
 def anomaly_detection_query() -> str:
     """The motivating example's anomaly-detection SPARQL query (Section 2)."""
     return """

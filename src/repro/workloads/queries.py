@@ -11,7 +11,9 @@ Groups
 ``S11-S15`` — single ``(?s, P, ?o)`` triple pattern (Figure 12);
 ``M1-M5``   — multi-pattern BGPs without inference (Figure 13);
 ``R1-R6``   — BGPs requiring concept and/or property hierarchy reasoning
-              (Figure 14).
+              (Figure 14);
+``A1-A6``   — analytics additions beyond the paper (OPTIONAL, ORDER BY +
+              LIMIT top-k, GROUP BY aggregates, VALUES, ASK).
 """
 
 from __future__ import annotations
@@ -19,7 +21,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.rdf.namespaces import LUBM
 from repro.workloads.lubm import LubmDataset
 
 _PREFIXES = (
@@ -299,11 +300,78 @@ class QueryCatalog:
         ]
 
     # ------------------------------------------------------------------ #
+    # analytics queries (beyond the paper: SPARQL 1.1 operator coverage)
+    # ------------------------------------------------------------------ #
+
+    def analytics_queries(self) -> List[BenchmarkQuery]:
+        """A1-A6: monitoring-style analytics exercising the 1.1 operators.
+
+        These go beyond the paper's BGP+FILTER workload: OPTIONAL left-outer
+        joins, ORDER BY with top-k LIMIT, GROUP BY aggregation, VALUES and
+        ASK.  They run against the same generated LUBM dataset, so landmark
+        cardinalities stay checkable.
+        """
+        dataset = self.dataset
+        course_17 = dataset.landmark_uri("course_takers_17")
+        return [
+            BenchmarkQuery(
+                identifier="A1",
+                sparql=_PREFIXES
+                + "SELECT ?x ?d ?h WHERE { ?x lubm:worksFor ?d . "
+                "OPTIONAL { ?x lubm:headOf ?h } }",
+                group="analytics",
+                description="Workers with their department, department headship optional.",
+            ),
+            BenchmarkQuery(
+                identifier="A2",
+                sparql=_PREFIXES
+                + "SELECT ?x ?n WHERE { ?x lubm:worksFor ?d . ?x lubm:name ?n } "
+                "ORDER BY ?n ?x LIMIT 10",
+                group="analytics",
+                expected_cardinality=10,
+                description="First ten workers by name (top-k ORDER BY + LIMIT).",
+            ),
+            BenchmarkQuery(
+                identifier="A3",
+                sparql=_PREFIXES
+                + "SELECT ?d (COUNT(?x) AS ?members) WHERE { ?x lubm:memberOf ?d } "
+                "GROUP BY ?d ORDER BY DESC(?members) ?d LIMIT 5",
+                group="analytics",
+                expected_cardinality=5,
+                description="The five largest departments by member count.",
+            ),
+            BenchmarkQuery(
+                identifier="A4",
+                sparql=_PREFIXES
+                + "SELECT ?x ?c WHERE { ?x lubm:takesCourse ?c . "
+                f"VALUES ?c {{ <{course_17}> }} }}",
+                group="analytics",
+                expected_cardinality=17,
+                description="Course takers restricted through a VALUES block.",
+            ),
+            BenchmarkQuery(
+                identifier="A5",
+                sparql=_PREFIXES + "ASK { ?x lubm:headOf ?d }",
+                group="analytics",
+                description="Whether any department head exists (ASK).",
+            ),
+            BenchmarkQuery(
+                identifier="A6",
+                sparql=_PREFIXES
+                + "SELECT (COUNT(DISTINCT ?d) AS ?departments) (COUNT(*) AS ?memberships) "
+                "WHERE { ?x lubm:memberOf ?d }",
+                group="analytics",
+                expected_cardinality=1,
+                description="Distinct-department and total membership counts.",
+            ),
+        ]
+
+    # ------------------------------------------------------------------ #
     # convenience accessors
     # ------------------------------------------------------------------ #
 
     def all_queries(self) -> List[BenchmarkQuery]:
-        """All 26 queries in the paper's order."""
+        """All 26 queries in the paper's order (analytics excluded)."""
         return (
             self.table1_queries()
             + self.table2_queries()
@@ -312,10 +380,14 @@ class QueryCatalog:
             + self.reasoning_queries()
         )
 
+    def extended_queries(self) -> List[BenchmarkQuery]:
+        """The paper's 26 queries plus the A1-A6 analytics additions."""
+        return self.all_queries() + self.analytics_queries()
+
     def by_identifier(self) -> Dict[str, BenchmarkQuery]:
-        """Mapping query identifier -> query."""
-        return {query.identifier: query for query in self.all_queries()}
+        """Mapping query identifier -> query (paper and analytics groups)."""
+        return {query.identifier: query for query in self.extended_queries()}
 
     def group(self, name: str) -> List[BenchmarkQuery]:
-        """All queries of one group (``sp?o``/``?spo``/``?sp?o``/``bgp``/``reasoning``)."""
-        return [query for query in self.all_queries() if query.group == name]
+        """All queries of one group (``sp?o``/``?spo``/``?sp?o``/``bgp``/``reasoning``/``analytics``)."""
+        return [query for query in self.extended_queries() if query.group == name]

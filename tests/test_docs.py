@@ -1,0 +1,41 @@
+"""Documentation must stay executable: doctests over docs/ and the README.
+
+The CI docs job runs the same checks (`python -m doctest docs/*.md` plus the
+quickstart smoke test); running them in tier-1 too means documentation rot
+is caught before a PR is even pushed.
+"""
+
+from __future__ import annotations
+
+import doctest
+import pathlib
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DOC_FILES = sorted((REPO_ROOT / "docs").glob("*.md"))
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+def test_docs_code_blocks_execute(path: pathlib.Path):
+    results = doctest.testfile(str(path), module_relative=False)
+    assert results.attempted > 0, f"{path.name} has no doctest examples"
+    assert results.failed == 0
+
+
+def test_docs_exist_and_are_linked_from_readme():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert DOC_FILES, "docs/ tree is empty"
+    for name in ("architecture.md", "sparql_support.md"):
+        assert (REPO_ROOT / "docs" / name).is_file()
+        assert name in readme, f"README does not link docs/{name}"
+
+
+def test_quickstart_example_runs(capsys):
+    # The CI docs job executes examples/quickstart.py as a subprocess; here a
+    # direct import keeps it in the tier-1 suite without process overhead.
+    import runpy
+
+    runpy.run_path(str(REPO_ROOT / "examples" / "quickstart.py"), run_name="__main__")
+    captured = capsys.readouterr()
+    assert "ASK" in captured.out

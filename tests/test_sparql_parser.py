@@ -6,7 +6,15 @@ import pytest
 
 from repro.rdf.namespaces import LUBM, RDF
 from repro.rdf.terms import Literal, URI
-from repro.sparql.ast import Arithmetic, BooleanExpression, Comparison, FunctionCall, Variable
+from repro.sparql.ast import (
+    Aggregate,
+    Arithmetic,
+    AskQuery,
+    BooleanExpression,
+    Comparison,
+    FunctionCall,
+    Variable,
+)
 from repro.sparql.parser import SparqlParseError, parse_query
 
 
@@ -158,6 +166,163 @@ class TestUnions:
         )
         assert len(query.triple_patterns) == 1
         assert len(query.where.unions) == 1
+
+
+class TestSparql11Forms:
+    def test_optional_group(self):
+        query = parse_query(
+            "SELECT ?x ?n WHERE { ?x <http://p> ?y . OPTIONAL { ?x <http://n> ?n } }"
+        )
+        assert len(query.where.optionals) == 1
+        assert len(query.where.optionals[0].bgp.patterns) == 1
+
+    def test_nested_optional_with_filter(self):
+        query = parse_query(
+            "SELECT ?x WHERE { ?x <http://p> ?v . OPTIONAL { ?x <http://q> ?w . FILTER(?w > 3) } }"
+        )
+        assert len(query.where.optionals[0].filters) == 1
+
+    def test_order_by_directions(self):
+        query = parse_query(
+            "SELECT ?x WHERE { ?x <http://p> ?v } ORDER BY DESC(?v) ?x ASC(?v)"
+        )
+        directions = [condition.descending for condition in query.order_by]
+        assert directions == [True, False, False]
+
+    def test_limit_offset_any_order(self):
+        query = parse_query("SELECT ?x WHERE { ?x <http://p> ?v } OFFSET 4 LIMIT 2")
+        assert (query.limit, query.offset) == (2, 4)
+
+    def test_group_by_with_aggregate_projection(self):
+        query = parse_query(
+            "SELECT ?d (COUNT(?x) AS ?n) WHERE { ?x <http://p> ?d } GROUP BY ?d"
+        )
+        assert query.group_by == [Variable("d")]
+        assert query.aggregated
+        item = query.select_expressions()[0]
+        assert isinstance(item.expression, Aggregate)
+        assert item.expression.name == "count"
+        assert query.projected_names() == ["d", "n"]
+
+    def test_count_star_and_distinct(self):
+        query = parse_query("SELECT (COUNT(*) AS ?n) (SUM(DISTINCT ?v) AS ?s) WHERE { ?x <http://p> ?v }")
+        star, summed = [item.expression for item in query.select_expressions()]
+        assert star.expression is None and not star.distinct
+        assert summed.distinct
+
+    def test_values_single_variable(self):
+        query = parse_query(
+            "SELECT ?x WHERE { ?x <http://p> ?v . VALUES ?v { 1 2 } }"
+        )
+        block = query.where.values[0]
+        assert block.variable_names() == ["v"]
+        assert len(block.rows) == 2
+
+    def test_values_multi_variable_with_undef(self):
+        query = parse_query(
+            "SELECT * WHERE { ?x <http://p> ?y . VALUES (?x ?y) { (<http://a> UNDEF) } }"
+        )
+        block = query.where.values[0]
+        assert block.rows == [(URI("http://a"), None)]
+
+    def test_ask_form(self):
+        query = parse_query("ASK { ?x <http://p> ?y }")
+        assert isinstance(query, AskQuery)
+        assert len(query.where.bgp.patterns) == 1
+
+    def test_ask_without_where_keyword_and_with_it(self):
+        assert isinstance(parse_query("ASK WHERE { ?x <http://p> ?y }"), AskQuery)
+
+
+class TestParseErrors:
+    """SparqlParseError must carry the line/column and the offending token."""
+
+    def test_error_reports_line_and_column(self):
+        with pytest.raises(SparqlParseError) as info:
+            parse_query("SELECT ?x WHERE {\n  ?x <http://p>\n}")
+        error = info.value
+        assert error.line == 3
+        assert error.column == 1
+        assert error.token == "}"
+        assert "line 3, column 1" in str(error)
+
+    def test_unknown_prefix_is_located(self):
+        with pytest.raises(SparqlParseError) as info:
+            parse_query("SELECT ?x WHERE {\n?x zzz:p ?y }")
+        assert info.value.line == 2
+        assert info.value.token == "zzz:p"
+
+    def test_tokenizer_error_is_located(self):
+        with pytest.raises(SparqlParseError) as info:
+            parse_query("SELECT ?x WHERE { ?x <http://p> @@ }")
+        assert info.value.line == 1
+        assert info.value.token is not None
+
+    def test_unexpected_end_of_query(self):
+        with pytest.raises(SparqlParseError) as info:
+            parse_query("SELECT ?x WHERE { ?x <http://p> ?y ")
+        assert "unterminated" in str(info.value) or "end of query" in str(info.value)
+
+    def test_bad_limit_argument(self):
+        with pytest.raises(SparqlParseError) as info:
+            parse_query("SELECT ?x WHERE { ?x <http://p> ?y } LIMIT -3")
+        assert "non-negative integer" in str(info.value)
+
+    def test_duplicate_limit_rejected(self):
+        with pytest.raises(SparqlParseError) as info:
+            parse_query("SELECT ?x WHERE { ?x <http://p> ?y } LIMIT 1 LIMIT 2")
+        assert "duplicate LIMIT" in str(info.value)
+
+    def test_star_only_in_count(self):
+        with pytest.raises(SparqlParseError) as info:
+            parse_query("SELECT (SUM(*) AS ?s) WHERE { ?x <http://p> ?y }")
+        assert "COUNT" in str(info.value)
+
+    def test_values_row_arity_mismatch(self):
+        with pytest.raises(SparqlParseError) as info:
+            parse_query(
+                "SELECT * WHERE { ?x <http://p> ?y . VALUES (?x ?y) { (<http://a>) } }"
+            )
+        assert "VALUES row" in str(info.value)
+
+    def test_variable_in_values_row_rejected(self):
+        with pytest.raises(SparqlParseError):
+            parse_query("SELECT * WHERE { ?x <http://p> ?y . VALUES ?y { ?z } }")
+
+    def test_group_by_without_condition(self):
+        with pytest.raises(SparqlParseError) as info:
+            parse_query("SELECT ?x WHERE { ?x <http://p> ?y } GROUP BY")
+        assert "GROUP BY" in str(info.value)
+
+    def test_order_by_without_condition(self):
+        with pytest.raises(SparqlParseError) as info:
+            parse_query("SELECT ?x WHERE { ?x <http://p> ?y } ORDER BY")
+        assert "ORDER BY" in str(info.value)
+
+    def test_trailing_tokens_are_located(self):
+        with pytest.raises(SparqlParseError) as info:
+            parse_query("SELECT ?x WHERE { ?x <http://p> ?y } nonsense")
+        assert info.value.token == "nonsense"
+
+    def test_aggregate_in_filter_rejected(self):
+        with pytest.raises(SparqlParseError) as info:
+            parse_query("SELECT ?x WHERE { ?x <http://p> ?y . FILTER(COUNT(?x) > 0) }")
+        assert "FILTER" in str(info.value)
+
+    def test_aggregate_in_bind_rejected(self):
+        with pytest.raises(SparqlParseError):
+            parse_query("SELECT ?x WHERE { ?x <http://p> ?y . BIND(SUM(?y) AS ?s) }")
+
+    def test_ungrouped_projected_variable_rejected(self):
+        with pytest.raises(SparqlParseError) as info:
+            parse_query(
+                "SELECT ?x (COUNT(?x) AS ?n) WHERE { ?x <http://p> ?d } GROUP BY ?d"
+            )
+        assert "GROUP BY" in str(info.value)
+
+    def test_select_star_with_group_by_rejected(self):
+        with pytest.raises(SparqlParseError):
+            parse_query("SELECT * WHERE { ?x <http://p> ?d } GROUP BY ?d")
 
 
 class TestMotivatingExample:
