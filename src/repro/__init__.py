@@ -28,12 +28,13 @@ from repro.rdf import (
 )
 from repro.ontology import LiteMatEncoder, OntologySchema
 from repro.sparql import parse_query
-from repro.store import SuccinctEdge
+from repro.store import CompactionPolicy, SuccinctEdge, UpdatableSuccinctEdge
 
 __version__ = "1.0.0"
 
 __all__ = [
     "BlankNode",
+    "CompactionPolicy",
     "Graph",
     "LiteMatEncoder",
     "Literal",
@@ -43,6 +44,7 @@ __all__ = [
     "RDFS",
     "SuccinctEdge",
     "Triple",
+    "UpdatableSuccinctEdge",
     "URI",
     "parse_query",
     "__version__",

@@ -93,11 +93,19 @@ class _BaseDictionary:
         self._id_to_term[identifier] = term
 
 
-class ConceptDictionary(_BaseDictionary):
-    """Dictionary of ontology concepts, keyed by LiteMat identifiers.
+class _EncodedDictionary(_BaseDictionary):
+    """Shared base of the LiteMat-keyed dictionaries (concepts, properties).
 
-    Besides locate/extract it exposes the LiteMat metadata needed at query
-    time (identifier intervals for subsumption reasoning).
+    The LiteMat identifier space is fixed at encoding time, so terms that
+    arrive *after* construction (live inserts of never-seen IRIs, see
+    ``docs/update_lifecycle.md``) cannot receive hierarchy-aware interval
+    identifiers.  They go into an **overflow table** instead: sequential
+    identifiers starting at ``2 ** total_length`` — strictly above every
+    encoded identifier and outside every LiteMat interval — with a degenerate
+    one-element interval ``[id, id + 1)``.  Interval reasoning stays sound
+    (an overflow term subsumes exactly itself); a full re-encode
+    (``UpdatableSuccinctEdge.rebuild``) folds overflow terms back into the
+    hierarchy.
     """
 
     def __init__(self, encoding: LiteMatEncoding) -> None:
@@ -105,15 +113,99 @@ class ConceptDictionary(_BaseDictionary):
         self._encoding = encoding
         for term in encoding.terms():
             self._register(term, encoding.encode(term))
+        self._overflow: Dict[URI, int] = {}
+        self._merged: Dict[URI, int] = {}
+        self._next_overflow_id = 1 << encoding.total_length
+        self._merged_overflow_count = 0
 
     @property
     def encoding(self) -> LiteMatEncoding:
         """The underlying LiteMat encoding."""
         return self._encoding
 
-    def interval(self, concept: URI) -> Tuple[int, int]:
-        """Identifier interval covering ``concept`` and all its sub-concepts."""
-        return self._encoding.interval(concept)
+    # overflow table ------------------------------------------------------ #
+
+    def add_overflow(self, term: URI) -> int:
+        """Identifier of ``term``, allocating an overflow identifier if new.
+
+        Encoded terms return their LiteMat identifier; never-seen terms are
+        appended to the overflow table.
+        """
+        existing = self.try_locate(term)
+        if existing is not None:
+            return existing
+        identifier = self._next_overflow_id
+        self._next_overflow_id += 1
+        self._register(term, identifier)
+        self._overflow[term] = identifier
+        return identifier
+
+    def is_overflow(self, term: URI) -> bool:
+        """Whether ``term`` lives in the overflow table (no LiteMat interval)."""
+        return term in self._overflow
+
+    @property
+    def overflow_count(self) -> int:
+        """Number of terms currently in the overflow table."""
+        return len(self._overflow)
+
+    @property
+    def merged_overflow_count(self) -> int:
+        """Overflow terms adopted as permanent entries by past compactions."""
+        return self._merged_overflow_count
+
+    def merge_overflow(self) -> int:
+        """Adopt the overflow terms as permanent entries (compaction hook).
+
+        Identifiers are stable across the merge — only the bookkeeping moves:
+        merged terms stop counting towards :attr:`overflow_count` while
+        keeping their degenerate ``[id, id + 1)`` interval.  Returns the
+        number of terms merged.
+        """
+        merged = len(self._overflow)
+        self._merged_overflow_count += merged
+        self._merged.update(self._overflow)
+        self._overflow = {}
+        return merged
+
+    def overflow_entries(self) -> Dict[URI, int]:
+        """Every non-LiteMat entry (pending *and* merged), term -> identifier.
+
+        This is what persistence must save besides the encoding — the
+        triples may reference these identifiers.
+        """
+        entries = dict(self._merged)
+        entries.update(self._overflow)
+        return entries
+
+    def restore_overflow(self, term: URI, identifier: int) -> None:
+        """Re-register a persisted overflow term under its original identifier."""
+        self._register(term, identifier)
+        self._merged[term] = identifier
+        self._merged_overflow_count += 1
+        if identifier >= self._next_overflow_id:
+            self._next_overflow_id = identifier + 1
+
+    def interval(self, term: URI) -> Tuple[int, int]:
+        """Identifier interval ``[lower, upper)`` of ``term`` and its descendants.
+
+        Overflow terms (and terms merged from the overflow table) have no
+        LiteMat prefix, so their interval degenerates to the term itself.
+        """
+        identifier = self._overflow.get(term)
+        if identifier is None:
+            identifier = self._merged.get(term)
+        if identifier is not None:
+            return identifier, identifier + 1
+        return self._encoding.interval(term)
+
+
+class ConceptDictionary(_EncodedDictionary):
+    """Dictionary of ontology concepts, keyed by LiteMat identifiers.
+
+    Besides locate/extract it exposes the LiteMat metadata needed at query
+    time (identifier intervals for subsumption reasoning).
+    """
 
     def hierarchical_occurrences(self, concept: URI) -> int:
         """Occurrences of ``concept`` plus all of its sub-concepts.
@@ -129,23 +221,8 @@ class ConceptDictionary(_BaseDictionary):
         )
 
 
-class PropertyDictionary(_BaseDictionary):
+class PropertyDictionary(_EncodedDictionary):
     """Dictionary of properties, keyed by LiteMat identifiers."""
-
-    def __init__(self, encoding: LiteMatEncoding) -> None:
-        super().__init__()
-        self._encoding = encoding
-        for term in encoding.terms():
-            self._register(term, encoding.encode(term))
-
-    @property
-    def encoding(self) -> LiteMatEncoding:
-        """The underlying LiteMat encoding."""
-        return self._encoding
-
-    def interval(self, prop: URI) -> Tuple[int, int]:
-        """Identifier interval covering ``prop`` and all its sub-properties."""
-        return self._encoding.interval(prop)
 
     def hierarchical_occurrences(self, prop: URI) -> int:
         """Occurrences of ``prop`` plus all of its sub-properties."""

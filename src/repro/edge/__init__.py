@@ -7,8 +7,10 @@ administration server when anomalies are detected (Sections 2 and 4).
 
 * :mod:`repro.edge.device` — a resource model of the edge device (memory
   budget, relative CPU speed, energy accounting);
-* :mod:`repro.edge.stream` — the graph-instance stream processor running the
-  registered continuous queries on every incoming graph;
+* :mod:`repro.edge.stream` — the graph-instance stream processors: the
+  paper's rebuild-per-instance mode and the live-update mode where readings
+  are ingested as delta inserts into one updatable store
+  (``docs/update_lifecycle.md``);
 * :mod:`repro.edge.alerts` — alert objects, detection rules and the sink that
   stands in for the central administration server.
 """
@@ -16,7 +18,12 @@ administration server when anomalies are detected (Sections 2 and 4).
 from repro.edge.alerts import Alert, AlertSink, AnomalyRule
 from repro.edge.device import DeviceProfile, EdgeDevice, RASPBERRY_PI_3B_PLUS
 from repro.edge.server import AdministrationServer, OntologyBundle, RegisteredDevice
-from repro.edge.stream import GraphStreamProcessor, StreamStatistics
+from repro.edge.stream import (
+    GraphStreamProcessor,
+    LiveStreamProcessor,
+    LiveStreamStatistics,
+    StreamStatistics,
+)
 
 __all__ = [
     "AdministrationServer",
@@ -26,6 +33,8 @@ __all__ = [
     "DeviceProfile",
     "EdgeDevice",
     "GraphStreamProcessor",
+    "LiveStreamProcessor",
+    "LiveStreamStatistics",
     "OntologyBundle",
     "RASPBERRY_PI_3B_PLUS",
     "RegisteredDevice",

@@ -4,6 +4,11 @@ An :class:`AnomalyRule` pairs a continuous SPARQL query with metadata; every
 non-empty answer set produced on a graph instance becomes an :class:`Alert`.
 The :class:`AlertSink` stands in for the administration server that receives
 alerts from the SuccinctEdge instances deployed at the edge (paper Section 4).
+
+Rules are evaluated by the stream processors of :mod:`repro.edge.stream` —
+once per fresh per-instance store in the paper's native mode, or against the
+live base+delta view in the live-update mode (``docs/update_lifecycle.md``),
+where a rule can correlate readings across the whole retained window.
 """
 
 from __future__ import annotations
@@ -94,5 +99,11 @@ class AlertSink:
         return grouped
 
     def estimated_payload_bytes(self) -> int:
-        """Rough size of the alert payloads sent over the network."""
-        return sum(len(alert.describe().encode("utf-8")) for alert in self.alerts)
+        """Rough size of every alert payload this sink has ever collected."""
+        return self.payload_bytes(self.alerts)
+
+    @staticmethod
+    def payload_bytes(alerts: List[Alert]) -> int:
+        """Rough transmission size of exactly ``alerts`` (stream processors
+        use this to charge each instance for its own alerts only)."""
+        return sum(len(alert.describe().encode("utf-8")) for alert in alerts)

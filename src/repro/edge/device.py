@@ -10,6 +10,14 @@ that matter for the deployment scenario:
 * how much energy does query processing cost relative to transmitting the raw
   measures to the cloud? (the motivating example's argument for processing at
   the edge).
+
+The stream processors of :mod:`repro.edge.stream` charge their processing
+and transmission costs against an :class:`EdgeDevice`; in the live-update
+mode (``docs/update_lifecycle.md``) the delta overlay's memory overhead
+counts towards the same RAM budget through
+``UpdatableSuccinctEdge.memory_footprint_in_bytes``.  See
+``docs/architecture.md`` for where the device model sits in the deployment
+loop.
 """
 
 from __future__ import annotations

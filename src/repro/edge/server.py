@@ -6,19 +6,28 @@ stable ontologies with LiteMat and broadcasts the resulting dictionaries to
 every SuccinctEdge instance running at the edge, and (iii) receives the
 alerts those instances raise.  This module simulates that server so the whole
 deployment loop can be exercised end to end.
+
+Devices register in one of two ingestion modes (see
+:mod:`repro.edge.stream` and ``docs/update_lifecycle.md``):
+
+* the paper's rebuild-per-instance mode (:class:`GraphStreamProcessor`), and
+* the live-update mode (``live=True``, :class:`LiveStreamProcessor`), where
+  readings become delta inserts into one long-lived updatable store and old
+  instances are evicted through tombstones.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.edge.alerts import Alert, AlertSink, AnomalyRule
 from repro.edge.device import DeviceProfile, EdgeDevice, RASPBERRY_PI_3B_PLUS
-from repro.edge.stream import GraphStreamProcessor
+from repro.edge.stream import GraphStreamProcessor, LiveStreamProcessor
 from repro.ontology.litemat import LiteMatEncoder, LiteMatEncoding
 from repro.ontology.schema import OntologySchema
 from repro.rdf.graph import Graph
+from repro.store.delta import CompactionPolicy
 
 
 @dataclass(frozen=True)
@@ -60,10 +69,15 @@ class RegisteredDevice:
     """One edge device registered at the server."""
 
     name: str
-    processor: GraphStreamProcessor
+    processor: Union[GraphStreamProcessor, LiveStreamProcessor]
     device: EdgeDevice
     sink: AlertSink
     location: str = ""
+
+    @property
+    def live(self) -> bool:
+        """Whether the device ingests readings into a live updatable store."""
+        return isinstance(self.processor, LiveStreamProcessor)
 
 
 class AdministrationServer:
@@ -89,15 +103,40 @@ class AdministrationServer:
         name: str,
         profile: DeviceProfile = RASPBERRY_PI_3B_PLUS,
         location: str = "",
+        live: bool = False,
+        policy: Optional[CompactionPolicy] = None,
+        retention_instances: Optional[int] = None,
+        background_compaction: bool = False,
     ) -> RegisteredDevice:
-        """Register a new edge device and ship it the rules and the ontology."""
+        """Register a new edge device and ship it the rules and the ontology.
+
+        With ``live=True`` the device runs a
+        :class:`~repro.edge.stream.LiveStreamProcessor`: readings are
+        ingested as delta inserts into one long-lived updatable store
+        (``policy`` sets its compaction thresholds, ``retention_instances``
+        bounds the sliding window, ``background_compaction`` moves triggered
+        compactions onto a worker thread).  Without it the device rebuilds a
+        fresh store per graph instance, the paper's native mode.
+        """
         if name in self.devices:
             raise ValueError(f"device {name!r} is already registered")
         device = EdgeDevice(profile)
         sink = AlertSink(callback=self._receive_alert)
-        processor = GraphStreamProcessor(
-            ontology=self.ontology, rules=list(self.rules), sink=sink, device=device
-        )
+        processor: Union[GraphStreamProcessor, LiveStreamProcessor]
+        if live:
+            processor = LiveStreamProcessor(
+                ontology=self.ontology,
+                rules=list(self.rules),
+                sink=sink,
+                device=device,
+                policy=policy,
+                retention_instances=retention_instances,
+                background_compaction=background_compaction,
+            )
+        else:
+            processor = GraphStreamProcessor(
+                ontology=self.ontology, rules=list(self.rules), sink=sink, device=device
+            )
         registered = RegisteredDevice(
             name=name, processor=processor, device=device, sink=sink, location=location
         )
@@ -125,15 +164,26 @@ class AdministrationServer:
         return grouped
 
     def fleet_statistics(self) -> Dict[str, Dict[str, float]]:
-        """Per-device stream statistics (instances, alerts, mean latency)."""
+        """Per-device stream statistics (instances, alerts, mean latency).
+
+        Live devices additionally report their store's visible triple count,
+        snapshot epochs and compaction count.
+        """
         summary: Dict[str, Dict[str, float]] = {}
         for name, registered in self.devices.items():
             statistics = registered.processor.statistics
-            summary[name] = {
+            entry: Dict[str, float] = {
                 "instances": statistics.instances_processed,
                 "triples": statistics.triples_processed,
                 "alerts": statistics.alerts_raised,
                 "mean_ms": statistics.mean_processing_ms,
                 "energy_joules": registered.device.energy_spent_joules,
             }
+            if isinstance(registered.processor, LiveStreamProcessor):
+                store = registered.processor.store
+                entry["live_triples"] = store.triple_count
+                entry["compaction_epoch"] = store.compaction_epoch
+                entry["data_epoch"] = store.data_epoch
+                entry["compactions"] = registered.processor.statistics.compactions
+            summary[name] = entry
         return summary

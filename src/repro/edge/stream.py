@@ -1,24 +1,42 @@
-"""Graph-instance stream processing.
+"""Graph-instance stream processing: rebuild-per-instance and live-update modes.
 
 The paper's target application is "the processing of a flow of RDF graphs
 (sent from sensors or actuators) which are sharing a common topology...
 continuously queried by a set of SPARQL queries... executed once per graph
-instance" (Section 1).  :class:`GraphStreamProcessor` implements exactly that
-loop: for every incoming graph instance it builds a fresh SuccinctEdge store
-(dictionaries are derived from the stable, pre-encoded ontology), runs every
-registered rule and forwards the non-empty answer sets as alerts.
+instance" (Section 1).  Two processors implement that loop:
+
+* :class:`GraphStreamProcessor` — the paper's native mode: every incoming
+  graph instance gets a *fresh* SuccinctEdge store (dictionaries derived from
+  the stable, pre-encoded ontology), every registered rule runs against it,
+  and non-empty answer sets are forwarded as alerts.  Instances are
+  independent; rules cannot see across them.
+* :class:`LiveStreamProcessor` — the live-update mode (see
+  ``docs/update_lifecycle.md``): one long-lived
+  :class:`~repro.store.updatable.UpdatableSuccinctEdge` ingests every reading
+  as a **delta insert**, so alerts fire against live data spanning the whole
+  retained window, a bounded retention policy evicts old instances through
+  tombstones, and a :class:`~repro.store.delta.CompactionPolicy` folds the
+  delta into a fresh succinct base when it grows too large.
+
+Related: :mod:`repro.edge.device` (resource model),
+:mod:`repro.edge.alerts` (rules and sinks), :mod:`repro.edge.server`
+(central administration), ``docs/architecture.md`` (write-path diagram).
 """
 
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from typing import Deque, Dict, Iterable, List, Optional
 
 from repro.edge.alerts import Alert, AlertSink, AnomalyRule
 from repro.edge.device import EdgeDevice
 from repro.rdf.graph import Graph
+from repro.rdf.terms import Triple
+from repro.store.delta import CompactionPolicy
 from repro.store.succinct_edge import SuccinctEdge
+from repro.store.updatable import UpdatableSuccinctEdge
 
 
 @dataclass
@@ -78,7 +96,10 @@ class GraphStreamProcessor:
         if self.device is not None:
             self.device.charge_processing(elapsed_ms)
             if produced:
-                self.device.charge_transmission(self.sink.estimated_payload_bytes())
+                # Charge only this instance's alerts — the sink accumulates
+                # alerts forever, so charging its running total would grow
+                # quadratically over the stream.
+                self.device.charge_transmission(AlertSink.payload_bytes(produced))
         return produced
 
     def process_stream(self, graphs: Iterable[Graph]) -> StreamStatistics:
@@ -86,3 +107,142 @@ class GraphStreamProcessor:
         for graph in graphs:
             self.process_instance(graph)
         return self.statistics
+
+
+@dataclass
+class LiveStreamStatistics(StreamStatistics):
+    """Stream counters plus live-update accounting."""
+
+    triples_inserted: int = 0
+    triples_evicted: int = 0
+    compactions: int = 0
+
+
+class LiveStreamProcessor:
+    """Runs anomaly rules against one live, continuously-updated store.
+
+    Unlike :class:`GraphStreamProcessor` (fresh store per instance), readings
+    are ingested as delta inserts into a single
+    :class:`~repro.store.updatable.UpdatableSuccinctEdge`, so
+
+    * an inserted reading is queryable immediately — no rebuild between
+      a measurement arriving and an alert firing;
+    * rules see the whole retained window, enabling cross-instance queries
+      (trends, aggregates over recent history);
+    * with ``retention_instances`` set, instances older than the window are
+      evicted through tombstone deletes.  Triples shared with retained
+      instances (the common topology of the paper's graph streams) are
+      reference-counted and survive eviction;
+    * after every instance the store's
+      :class:`~repro.store.delta.CompactionPolicy` is consulted; when it
+      triggers, the delta is folded into a fresh succinct base —
+      synchronously, or on a worker thread with ``background_compaction``.
+
+    Parameters
+    ----------
+    ontology:
+        The stable, pre-encoded ontology (broadcast by the administration
+        server in the paper's deployment).
+    rules:
+        Continuous queries evaluated after every ingested instance.
+    sink / device:
+        As for :class:`GraphStreamProcessor`.
+    policy:
+        Compaction thresholds (defaults to
+        :class:`~repro.store.delta.CompactionPolicy`'s defaults).
+    retention_instances:
+        Size of the sliding window, in graph instances.  ``None`` retains
+        everything.
+    background_compaction:
+        Run triggered compactions on a worker thread instead of blocking the
+        ingestion loop.
+    """
+
+    def __init__(
+        self,
+        ontology: Graph,
+        rules: Iterable[AnomalyRule],
+        sink: Optional[AlertSink] = None,
+        device: Optional[EdgeDevice] = None,
+        policy: Optional[CompactionPolicy] = None,
+        retention_instances: Optional[int] = None,
+        background_compaction: bool = False,
+    ) -> None:
+        self.ontology = ontology
+        self.rules = list(rules)
+        self.sink = sink if sink is not None else AlertSink()
+        self.device = device
+        self.retention_instances = retention_instances
+        self.background_compaction = background_compaction
+        self.store = UpdatableSuccinctEdge.empty(ontology=ontology, policy=policy)
+        self.statistics = LiveStreamStatistics()
+        self._window: Deque[Graph] = deque()
+        self._reference_counts: Dict[Triple, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # processing
+    # ------------------------------------------------------------------ #
+
+    def process_instance(self, graph: Graph) -> List[Alert]:
+        """Ingest one graph instance into the live store; return its alerts."""
+        started = time.perf_counter()
+        inserted = self.store.insert_graph(graph)
+        evicted = 0
+        if self.retention_instances is not None:
+            # Window bookkeeping only exists to drive eviction; without a
+            # retention bound it would grow without limit on a long-running
+            # device, so it is skipped entirely.
+            for triple in graph:
+                self._reference_counts[triple] = self._reference_counts.get(triple, 0) + 1
+            self._window.append(graph)
+            evicted = self._evict_expired()
+
+        produced: List[Alert] = []
+        instance_id = self.statistics.instances_processed
+        for rule in self.rules:
+            results = self.store.query(rule.query, reasoning=rule.requires_reasoning)
+            produced.extend(self.sink.emit_result_set(rule, instance_id, results))
+        if self.store.maybe_compact(background=self.background_compaction):
+            self.statistics.compactions += 1
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+
+        self.statistics.instances_processed += 1
+        self.statistics.triples_processed += len(graph)
+        self.statistics.triples_inserted += inserted
+        self.statistics.triples_evicted += evicted
+        self.statistics.alerts_raised += len(produced)
+        self.statistics.total_processing_ms += elapsed_ms
+        self.statistics.per_instance_ms.append(elapsed_ms)
+        if self.device is not None:
+            self.device.charge_processing(elapsed_ms)
+            if produced:
+                # As in GraphStreamProcessor: charge this instance's alerts,
+                # not the sink's ever-growing running total.
+                self.device.charge_transmission(AlertSink.payload_bytes(produced))
+        return produced
+
+    def process_stream(self, graphs: Iterable[Graph]) -> LiveStreamStatistics:
+        """Ingest every graph of ``graphs``; return the accumulated statistics."""
+        for graph in graphs:
+            self.process_instance(graph)
+        return self.statistics
+
+    def _evict_expired(self) -> int:
+        """Delete triples of instances that slid out of the retention window.
+
+        A triple is deleted only when its reference count drops to zero —
+        the common topology shared by every instance stays visible for as
+        long as any retained instance mentions it.
+        """
+        evicted = 0
+        while len(self._window) > self.retention_instances:
+            expired = self._window.popleft()
+            for triple in expired:
+                remaining = self._reference_counts[triple] - 1
+                if remaining:
+                    self._reference_counts[triple] = remaining
+                else:
+                    del self._reference_counts[triple]
+                    if self.store.delete(triple):
+                        evicted += 1
+        return evicted

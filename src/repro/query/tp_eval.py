@@ -232,6 +232,9 @@ class TriplePatternEvaluator:
         With reasoning it is every *stored* property whose identifier falls in
         the predicate's LiteMat interval — obtained with one wavelet-tree
         symbol-range probe per layout, the paper's interval optimization.
+        ``properties_in_interval`` is a store-level method so that the same
+        pattern evaluation works over both a pure succinct base and the
+        base+delta overlay view (``repro.store.delta``).
         """
         store = self.store
         property_id = store.properties.try_locate(predicate)
@@ -240,15 +243,8 @@ class TriplePatternEvaluator:
         if predicate not in store.properties:
             return []
         low, high = store.properties.interval(predicate)
-        present: List[int] = []
-        seen = set()
-        for layout in (store.object_store, store.datatype_store):
-            for _position, symbol in layout.wt_p.range_search_symbols(
-                0, len(layout.wt_p), low, high
-            ):
-                if symbol not in seen:
-                    seen.add(symbol)
-                    present.append(symbol)
+        present = set(store.object_store.properties_in_interval(low, high))
+        present.update(store.datatype_store.properties_in_interval(low, high))
         return sorted(present)
 
     def _evaluate_property(

@@ -11,22 +11,34 @@ The store is split exactly along the paper's architecture (Figure 4):
 * :class:`~repro.store.builder.StoreBuilder` — dictionary creation (LiteMat),
   triple partitioning and SDS construction;
 * :class:`~repro.store.succinct_edge.SuccinctEdge` — the user-facing facade
-  (load a graph, run SPARQL queries with or without reasoning).
+  (load a graph, run SPARQL queries with or without reasoning);
+* :mod:`~repro.store.delta` /
+  :class:`~repro.store.updatable.UpdatableSuccinctEdge` — the write path:
+  a mutable delta overlay (sorted inserts + tombstones) merged into every
+  read, folded into a fresh succinct base by compaction
+  (``docs/update_lifecycle.md``).
 """
 
 from repro.store.builder import StoreBuilder
 from repro.store.datatype_store import DatatypeTripleStore
+from repro.store.delta import MANUAL_COMPACTION, CompactionPolicy, DeltaOverlay
 from repro.store.persistence import load_store, save_store, serialized_size_in_bytes
 from repro.store.rdftype_store import RDFTypeStore
 from repro.store.succinct_edge import SuccinctEdge
 from repro.store.triple_store import ObjectTripleStore
+from repro.store.updatable import CompactionReport, UpdatableSuccinctEdge
 
 __all__ = [
+    "CompactionPolicy",
+    "CompactionReport",
     "DatatypeTripleStore",
+    "DeltaOverlay",
+    "MANUAL_COMPACTION",
     "ObjectTripleStore",
     "RDFTypeStore",
     "StoreBuilder",
     "SuccinctEdge",
+    "UpdatableSuccinctEdge",
     "load_store",
     "save_store",
     "serialized_size_in_bytes",

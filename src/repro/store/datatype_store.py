@@ -109,6 +109,17 @@ class DatatypeTripleStore:
         """Whether the store holds at least one triple with ``property_id``."""
         return self.wt_p.count(property_id) > 0
 
+    def properties_in_interval(self, low: int, high: int) -> List[int]:
+        """Stored property identifiers in ``[low, high)``, ascending.
+
+        One wavelet-tree symbol-range probe over the property layer (see
+        :meth:`ObjectTripleStore.properties_in_interval`).
+        """
+        return [
+            symbol
+            for _position, symbol in self.wt_p.range_search_symbols(0, len(self.wt_p), low, high)
+        ]
+
     # ------------------------------------------------------------------ #
     # navigation primitives
     # ------------------------------------------------------------------ #

@@ -31,7 +31,9 @@ from repro.ontology.schema import OntologySchema
 from repro.rdf.terms import BlankNode, Literal, Term, URI
 
 _MAGIC = b"SEDG"
-_VERSION = 2
+# Version 3 added the dictionary overflow tables (live-inserted terms whose
+# identifiers live above the LiteMat space, see docs/update_lifecycle.md).
+_VERSION = 3
 
 _TERM_URI = 0
 _TERM_BNODE = 1
@@ -228,6 +230,16 @@ def dump_store(store) -> bytes:
     _write_litemat(buffer, store.concepts.encoding)
     _write_litemat(buffer, store.properties.encoding)
 
+    # Overflow tables: terms inserted live after encoding time carry
+    # identifiers above the LiteMat space; the persisted triples reference
+    # them, so they are saved next to the encodings.
+    for dictionary in (store.concepts, store.properties):
+        entries = dictionary.overflow_entries()
+        _write_varint(buffer, len(entries))
+        for term, identifier in sorted(entries.items(), key=lambda item: item[1]):
+            _write_term(buffer, term)
+            _write_varint(buffer, identifier)
+
     # Instance dictionary: identifiers are dense and start at 1, but the
     # occurrence counters matter for the optimizer, so both are persisted.
     instance_ids = sorted(store.instances.identifiers())
@@ -297,6 +309,13 @@ def load_store_from_bytes(payload: bytes):
     schema = _read_schema(buffer)
     concepts = ConceptDictionary(_read_litemat(buffer))
     properties = PropertyDictionary(_read_litemat(buffer))
+
+    for dictionary in (concepts, properties):
+        overflow_count = _read_varint(buffer)
+        for _ in range(overflow_count):
+            term = _read_term(buffer)
+            identifier = _read_varint(buffer)
+            dictionary.restore_overflow(term, identifier)  # type: ignore[arg-type]
 
     instances = InstanceDictionary()
     instance_count = _read_varint(buffer)

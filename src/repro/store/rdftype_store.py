@@ -94,6 +94,18 @@ class RDFTypeStore:
         """Concepts explicitly attached to ``subject_id``, ascending."""
         return [key[1] for key, _ in self._so.range_items((subject_id, -1), (subject_id + 1, -1))]
 
+    def pairs_in_interval(self, concept_low: int, concept_high: int) -> Iterator[EncodedTypeTriple]:
+        """All ``(subject_id, concept_id)`` pairs whose concept falls in ``[low, high)``.
+
+        Unlike :meth:`subjects_of_interval` this yields every explicit pair
+        (no dedup), in OS order — the primitive the delta overlay needs to
+        apply per-pair tombstones before deduplicating.
+        """
+        for (concept_id, subject_id), _ in self._os.range_items(
+            (concept_low, -1), (concept_high, -1)
+        ):
+            yield subject_id, concept_id
+
     def count_concept(self, concept_id: int) -> int:
         """Number of explicit ``rdf:type`` triples for ``concept_id``."""
         return sum(1 for _ in self._os.range_items((concept_id, -1), (concept_id + 1, -1)))

@@ -72,6 +72,56 @@ class SuccinctEdge:
         return StoreBuilder(ontology=ontology).build(data)
 
     # ------------------------------------------------------------------ #
+    # live updates (delta overlay, see docs/update_lifecycle.md)
+    # ------------------------------------------------------------------ #
+
+    #: Snapshot-epoch accounting.  An immutable store never moves past epoch
+    #: ``(0, 0)``; :class:`~repro.store.updatable.UpdatableSuccinctEdge`
+    #: increments ``data_epoch`` per applied write and ``compaction_epoch``
+    #: per compaction.
+    data_epoch: int = 0
+    compaction_epoch: int = 0
+
+    @property
+    def snapshot_epoch(self) -> Tuple[int, int]:
+        """``(compaction_epoch, data_epoch)`` — lexicographically monotonic."""
+        return self.compaction_epoch, self.data_epoch
+
+    def updatable(self, policy=None, ontology: Optional[Graph] = None) -> "SuccinctEdge":
+        """A live view of this store: same data, plus insert/delete/compact.
+
+        Returns an :class:`~repro.store.updatable.UpdatableSuccinctEdge`
+        overlaying this (still immutable) store with an in-memory delta; the
+        dictionaries and statistics are shared, not copied.  Pass the
+        ``ontology`` graph this store was built from so that a later
+        ``rebuild()`` can re-encode with the full hierarchy.
+        """
+        from repro.store.updatable import UpdatableSuccinctEdge  # deferred: avoids an import cycle
+
+        return UpdatableSuccinctEdge(self, policy=policy, ontology=ontology)
+
+    def insert(self, triple: Triple) -> bool:
+        """Immutable stores reject writes; use :meth:`updatable` for a live view."""
+        raise TypeError(
+            "this SuccinctEdge is immutable; call .updatable() (or build with "
+            "UpdatableSuccinctEdge.from_graph) to get a store with a write path"
+        )
+
+    def delete(self, triple: Triple) -> bool:
+        """Immutable stores reject writes; use :meth:`updatable` for a live view."""
+        raise TypeError(
+            "this SuccinctEdge is immutable; call .updatable() (or build with "
+            "UpdatableSuccinctEdge.from_graph) to get a store with a write path"
+        )
+
+    def compact(self):
+        """Immutable stores have no delta to compact; see :meth:`updatable`."""
+        raise TypeError(
+            "this SuccinctEdge is immutable and has no delta to compact; "
+            "compaction applies to UpdatableSuccinctEdge stores"
+        )
+
+    # ------------------------------------------------------------------ #
     # basic accessors
     # ------------------------------------------------------------------ #
 

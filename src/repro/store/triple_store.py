@@ -109,6 +109,18 @@ class ObjectTripleStore:
         """Whether the store holds at least one triple with ``property_id``."""
         return self.wt_p.count(property_id) > 0
 
+    def properties_in_interval(self, low: int, high: int) -> List[int]:
+        """Stored property identifiers in ``[low, high)``, ascending.
+
+        One wavelet-tree symbol-range probe over the property layer — the
+        reasoning access path of Section 5.2 (a LiteMat interval is answered
+        by probing only the *stored* properties it covers).
+        """
+        return [
+            symbol
+            for _position, symbol in self.wt_p.range_search_symbols(0, len(self.wt_p), low, high)
+        ]
+
     # ------------------------------------------------------------------ #
     # navigation primitives (paper Algorithms 2-4)
     # ------------------------------------------------------------------ #

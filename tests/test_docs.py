@@ -26,9 +26,25 @@ def test_docs_code_blocks_execute(path: pathlib.Path):
 def test_docs_exist_and_are_linked_from_readme():
     readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
     assert DOC_FILES, "docs/ tree is empty"
-    for name in ("architecture.md", "sparql_support.md"):
+    for name in ("architecture.md", "sparql_support.md", "update_lifecycle.md"):
         assert (REPO_ROOT / "docs" / name).is_file()
         assert name in readme, f"README does not link docs/{name}"
+
+
+def test_live_updates_example_runs(capsys):
+    # The CI docs job executes examples/live_updates.py as a subprocess; the
+    # direct import keeps the live-update loop in the tier-1 suite too.
+    import runpy
+    import sys
+
+    argv = sys.argv
+    sys.argv = ["live_updates.py", "3"]
+    try:
+        runpy.run_path(str(REPO_ROOT / "examples" / "live_updates.py"), run_name="__main__")
+    finally:
+        sys.argv = argv
+    captured = capsys.readouterr()
+    assert "Explicit compaction" in captured.out
 
 
 def test_quickstart_example_runs(capsys):

@@ -85,3 +85,103 @@ class TestAlertAggregation:
         assert statistics["building-A"]["triples"] == len(graph)
         assert statistics["building-A"]["mean_ms"] > 0
         assert statistics["building-A"]["energy_joules"] > 0
+
+
+class TestLiveDevices:
+    """Live-update mode: readings become delta inserts into one store."""
+
+    def _live_server(self, pressure_rule, **kwargs):
+        from repro.store.delta import MANUAL_COMPACTION
+
+        server = AdministrationServer(engie_ontology(), rules=[pressure_rule])
+        registered = server.register_device(
+            "pi-live", live=True, policy=kwargs.pop("policy", MANUAL_COMPACTION), **kwargs
+        )
+        return server, registered
+
+    def test_live_device_ingests_as_delta_inserts(self, pressure_rule):
+        server, registered = self._live_server(pressure_rule)
+        graph = water_distribution_graph(observations_per_sensor=3, stations=1, anomaly_rate=1.0, seed=9)
+        alerts = server.ingest("pi-live", graph)
+        store = registered.processor.store
+        assert registered.live
+        assert alerts, "anomalies must fire against the live store without a rebuild"
+        assert store.compaction_epoch == 0  # no rebuild happened
+        assert store.triple_count == len(graph)
+        assert store.delta.insert_count == len(graph)
+
+    def test_live_rules_see_across_instances(self, pressure_rule):
+        server, registered = self._live_server(pressure_rule)
+        graphs = [
+            water_distribution_graph(observations_per_sensor=3, stations=1, anomaly_rate=0.0, seed=seed)
+            for seed in (20, 21)
+        ]
+        for graph in graphs:
+            server.ingest("pi-live", graph)
+        store = registered.processor.store
+        # The live store accumulates the union of both instances (shared
+        # topology deduplicates; per-instance reading values pile up), so a
+        # query spans the whole window — impossible in rebuild-per-instance
+        # mode where each instance gets a fresh store.
+        union = {triple for graph in graphs for triple in graph}
+        assert store.triple_count == len(union)
+        assert store.triple_count > max(len(graph) for graph in graphs)
+        count_query = (
+            "PREFIX qudt: <http://qudt.org/schema/qudt/> "
+            "SELECT (COUNT(?v) AS ?n) WHERE { ?y qudt:numericValue ?v }"
+        )
+        count = int(str(next(iter(store.query(count_query)))["n"]))
+        per_instance = [
+            sum(1 for t in graph if str(t.predicate).endswith("numericValue")) for graph in graphs
+        ]
+        assert count > max(per_instance)  # readings from both instances are visible
+
+    def test_retention_evicts_old_instances_but_keeps_shared_topology(self, pressure_rule):
+        server, registered = self._live_server(pressure_rule, retention_instances=2)
+        graphs = [
+            water_distribution_graph(observations_per_sensor=3, stations=1, anomaly_rate=0.0, seed=seed)
+            for seed in (30, 31, 32)
+        ]
+        for graph in graphs:
+            server.ingest("pi-live", graph)
+        store = registered.processor.store
+        statistics = registered.processor.statistics
+        assert statistics.triples_evicted > 0
+        # Triples unique to the first instance are gone...
+        retained = {triple for graph in graphs[1:] for triple in graph}
+        for triple in graphs[0]:
+            visible = triple in store.export_graph()
+            assert visible == (triple in retained)
+        # ...and everything from the retained window is still visible.
+        exported = store.export_graph()
+        assert all(triple in exported for triple in retained)
+
+    def test_policy_compaction_counts_in_fleet_statistics(self, pressure_rule):
+        from repro.store.delta import CompactionPolicy
+
+        server = AdministrationServer(engie_ontology(), rules=[pressure_rule])
+        registered = server.register_device(
+            "pi-live",
+            live=True,
+            policy=CompactionPolicy(max_delta_operations=10, max_delta_ratio=None),
+        )
+        graph = water_distribution_graph(observations_per_sensor=3, stations=1, anomaly_rate=0.0, seed=40)
+        server.ingest("pi-live", graph)
+        store = registered.processor.store
+        assert store.compaction_epoch >= 1
+        assert store.delta_operation_count == 0
+        statistics = server.fleet_statistics()["pi-live"]
+        assert statistics["compactions"] >= 1
+        assert statistics["live_triples"] == store.triple_count
+        assert statistics["compaction_epoch"] == store.compaction_epoch
+
+    def test_mixed_fleet_statistics(self, pressure_rule):
+        server = AdministrationServer(engie_ontology(), rules=[pressure_rule])
+        server.register_device("classic")
+        server.register_device("live", live=True)
+        graph = water_distribution_graph(observations_per_sensor=2, stations=1, anomaly_rate=0.0, seed=50)
+        server.ingest("classic", graph)
+        server.ingest("live", graph)
+        statistics = server.fleet_statistics()
+        assert "live_triples" not in statistics["classic"]
+        assert statistics["live"]["live_triples"] == len(graph)

@@ -1,0 +1,194 @@
+"""Differential tests: base + delta must equal a from-scratch rebuild.
+
+The acceptance bar of the live-update subsystem: for every one of the
+paper's 26 evaluation queries (S1-S15, M1-M5, R1-R6) plus the A1-A6
+analytics, query results over an updatable store (immutable base + delta
+overlay) are identical to results over a store rebuilt from scratch on the
+merged data — through inserts, deletes, re-inserts and compaction.
+
+Phases (each a fixture layered on the previous one, tests in file order):
+
+1. *insert-only* — a LUBM dataset split ~80/20 into base and live triples;
+   results must be **byte-identical** (same rows, same order) to a rebuild
+   over base-then-live data, because the overlay preserves index order and
+   identifier assignment matches the builder's first-seen order.
+2. *deletes* — a deterministic slice of base and delta triples deleted;
+   results are compared as multisets (identifier assignment of a rebuild
+   shifts when first-seen triples disappear, so row order of unordered
+   SELECTs is not comparable — see docs/update_lifecycle.md).
+3. *re-inserts* — the deleted triples return; byte-identical equality with
+   the full rebuild must hold again (tombstone round-trip restores the
+   exact original state).
+4. *compaction* — `compact()` must change nothing, byte for byte.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sparql.bindings import AskResult
+from repro.store.succinct_edge import SuccinctEdge
+from repro.store.updatable import UpdatableSuccinctEdge
+from repro.rdf.graph import Graph
+
+#: Every query of the paper's evaluation plus the analytics additions.
+ALL_QUERY_IDS = (
+    [f"S{i}" for i in range(1, 16)]
+    + [f"M{i}" for i in range(1, 6)]
+    + [f"R{i}" for i in range(1, 7)]
+    + [f"A{i}" for i in range(1, 7)]
+)
+
+
+def split_dataset(graph: Graph):
+    """Deterministic ~80/20 split into (base graph, live triple list)."""
+    base = Graph()
+    live = []
+    for index, triple in enumerate(graph):
+        if index % 5 == 4:
+            live.append(triple)
+        else:
+            base.add(triple)
+    return base, live
+
+
+def assert_identical(updatable, reference, sparql):
+    """Byte-identical comparison: same variables, same rows, same order."""
+    left = updatable.query(sparql)
+    right = reference.query(sparql)
+    if isinstance(left, AskResult):
+        assert isinstance(right, AskResult)
+        assert left.boolean == right.boolean
+        return
+    assert left.variables == right.variables
+    assert left.to_tuples() == right.to_tuples()
+
+
+def assert_equivalent(updatable, reference, sparql):
+    """Order-insensitive comparison (multiset of rows)."""
+    left = updatable.query(sparql)
+    right = reference.query(sparql)
+    if isinstance(left, AskResult):
+        assert left.boolean == right.boolean
+        return
+    assert left.variables == right.variables
+    key = lambda row: tuple(repr(value) for value in row)  # noqa: E731
+    assert sorted(left.to_tuples(), key=key) == sorted(right.to_tuples(), key=key)
+
+
+# --------------------------------------------------------------------------- #
+# phase fixtures (module-scoped, layered; tests run in file order)
+# --------------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def dataset(small_lubm):
+    base, live = split_dataset(small_lubm.graph)
+    assert len(live) > 100, "split produced too few live triples to be meaningful"
+    return small_lubm, base, live
+
+
+@pytest.fixture(scope="module")
+def insert_phase(dataset):
+    """(updatable store after live inserts, rebuild over base-then-live data)."""
+    lubm, base, live = dataset
+    updatable = UpdatableSuccinctEdge.from_graph(base, ontology=lubm.ontology)
+    inserted = sum(1 for triple in live if updatable.insert(triple))
+    assert inserted == len(live)
+
+    merged = Graph()
+    for triple in base:
+        merged.add(triple)
+    for triple in live:
+        merged.add(triple)
+    reference = SuccinctEdge.from_graph(merged, ontology=lubm.ontology)
+    return updatable, reference, merged
+
+
+@pytest.fixture(scope="module")
+def delete_phase(dataset, insert_phase):
+    """Delete every 7th merged triple; rebuild the reference without them."""
+    lubm, _base, _live = dataset
+    updatable, _reference, merged = insert_phase
+    deleted = [triple for index, triple in enumerate(merged) if index % 7 == 3]
+    for triple in deleted:
+        assert updatable.delete(triple)
+
+    remaining = Graph()
+    gone = set(deleted)
+    for triple in merged:
+        if triple not in gone:
+            remaining.add(triple)
+    reference = SuccinctEdge.from_graph(remaining, ontology=lubm.ontology)
+    return updatable, reference, deleted
+
+
+@pytest.fixture(scope="module")
+def reinsert_phase(insert_phase, delete_phase):
+    """Re-insert the deleted triples: exact original state must return."""
+    updatable, _reference, deleted = delete_phase
+    for triple in deleted:
+        assert updatable.insert(triple)
+    _updatable, full_reference, _merged = insert_phase
+    return updatable, full_reference
+
+
+@pytest.fixture(scope="module")
+def compact_phase(reinsert_phase):
+    """Compact the overlay; nothing may change."""
+    updatable, full_reference = reinsert_phase
+    report = updatable.compact()
+    assert report.operations_folded > 0
+    assert updatable.delta_operation_count == 0
+    return updatable, full_reference
+
+
+# --------------------------------------------------------------------------- #
+# the differential matrix
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("identifier", ALL_QUERY_IDS)
+def test_insert_only_results_byte_identical(insert_phase, small_lubm_catalog, identifier):
+    updatable, reference, _merged = insert_phase
+    assert_identical(updatable, reference, small_lubm_catalog.by_identifier()[identifier].sparql)
+
+
+def test_inserts_visible_without_rebuild(insert_phase, dataset):
+    updatable, _reference, _merged = insert_phase
+    _lubm, base, live = dataset
+    assert updatable.triple_count == updatable.base_triple_count + updatable.delta.insert_count
+    assert updatable.base_triple_count < updatable.triple_count
+    assert updatable.compaction_epoch == 0  # nothing was rebuilt
+
+
+@pytest.mark.parametrize("identifier", ALL_QUERY_IDS)
+def test_deletes_results_equivalent(delete_phase, small_lubm_catalog, identifier):
+    updatable, reference, _deleted = delete_phase
+    assert_equivalent(updatable, reference, small_lubm_catalog.by_identifier()[identifier].sparql)
+
+
+@pytest.mark.parametrize("identifier", ALL_QUERY_IDS)
+def test_reinserts_restore_byte_identical_results(reinsert_phase, small_lubm_catalog, identifier):
+    updatable, full_reference = reinsert_phase
+    assert_identical(updatable, full_reference, small_lubm_catalog.by_identifier()[identifier].sparql)
+
+
+@pytest.mark.parametrize("identifier", ALL_QUERY_IDS)
+def test_compaction_changes_nothing(compact_phase, small_lubm_catalog, identifier):
+    updatable, full_reference = compact_phase
+    assert_identical(updatable, full_reference, small_lubm_catalog.by_identifier()[identifier].sparql)
+
+
+def test_compaction_restored_pure_succinct_reads(compact_phase):
+    updatable, _reference = compact_phase
+    assert updatable.delta_operation_count == 0
+    assert updatable.base_triple_count == updatable.triple_count
+    assert updatable.compaction_epoch == 1
+
+
+def test_match_enumeration_equals_rebuild(compact_phase):
+    updatable, reference = compact_phase
+    left = sorted(tuple(map(str, triple)) for triple in updatable.match())
+    right = sorted(tuple(map(str, triple)) for triple in reference.match())
+    assert left == right
