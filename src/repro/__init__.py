@@ -28,7 +28,7 @@ from repro.rdf import (
 )
 from repro.ontology import LiteMatEncoder, OntologySchema
 from repro.sparql import parse_query
-from repro.store import CompactionPolicy, SuccinctEdge, UpdatableSuccinctEdge
+from repro.store import CompactionPolicy, ShardedStore, SuccinctEdge, UpdatableSuccinctEdge
 
 __version__ = "1.0.0"
 
@@ -42,6 +42,7 @@ __all__ = [
     "OntologySchema",
     "RDF",
     "RDFS",
+    "ShardedStore",
     "SuccinctEdge",
     "Triple",
     "UpdatableSuccinctEdge",

@@ -56,6 +56,82 @@ class DeviceProfile:
     network_energy_joule_per_kb: float = 0.05
 
 
+@dataclass(frozen=True)
+class NetworkProfile:
+    """A simulated network link between the edge device and its clients.
+
+    Used by the serving layer (:mod:`repro.serve`) to model response
+    transmission over the constrained uplinks of the paper's deployment:
+    while a real worker blocks in ``socket.send`` towards a slow client the
+    GIL is released, which is exactly what a worker pool overlaps — the
+    simulation reproduces that with a sleep of :meth:`transmission_ms`.
+
+    Attributes
+    ----------
+    name:
+        Human-readable link name.
+    rtt_ms:
+        Round-trip latency charged once per response.
+    bandwidth_kbps:
+        Link bandwidth in kilobits per second.
+    """
+
+    name: str
+    rtt_ms: float
+    bandwidth_kbps: float
+
+    def transmission_ms(self, payload_bytes: int) -> float:
+        """Milliseconds to deliver ``payload_bytes`` over this link."""
+        if self.bandwidth_kbps <= 0:
+            return self.rtt_ms
+        return self.rtt_ms + (payload_bytes * 8.0) / self.bandwidth_kbps
+
+
+#: A constrained building-automation backhaul (shared IoT uplink:
+#: tens of ms RTT, ~0.5 Mbit/s — between NB-IoT and LTE-M class links).
+EDGE_UPLINK = NetworkProfile(name="edge-uplink", rtt_ms=40.0, bandwidth_kbps=500.0)
+
+#: An LTE-class uplink (a few ms slower than LAN, ~2 Mbit/s).
+LTE_UPLINK = NetworkProfile(name="lte-uplink", rtt_ms=25.0, bandwidth_kbps=2000.0)
+
+#: Co-located clients (same LAN); transmission time is negligible.
+LOCAL_LAN = NetworkProfile(name="local-lan", rtt_ms=0.0, bandwidth_kbps=0.0)
+
+
+class SimulatedNetwork:
+    """Charges transmission time (a GIL-releasing sleep) and device energy.
+
+    ``transmit`` is called by the HTTP handler once per response with the
+    payload size; with a :class:`EdgeDevice` attached, the transmission
+    energy is charged to the device exactly like the stream processors do.
+    """
+
+    def __init__(self, profile: NetworkProfile, device: "EdgeDevice" = None) -> None:
+        self.profile = profile
+        self.device = device
+        self.transmissions = 0
+        self.bytes_transmitted = 0
+
+    def transmit(self, payload_bytes: int) -> float:
+        """Simulate sending ``payload_bytes``; returns the milliseconds spent."""
+        import time
+
+        milliseconds = self.profile.transmission_ms(payload_bytes)
+        if milliseconds > 0:
+            time.sleep(milliseconds / 1000.0)
+        if self.device is not None:
+            self.device.charge_transmission(payload_bytes)
+        self.transmissions += 1
+        self.bytes_transmitted += payload_bytes
+        return milliseconds
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatedNetwork({self.profile.name}, "
+            f"{self.transmissions} transmissions, {self.bytes_transmitted} bytes)"
+        )
+
+
 #: The paper's experimental platform.
 RASPBERRY_PI_3B_PLUS = DeviceProfile(
     name="Raspberry Pi 3B+",

@@ -14,6 +14,12 @@ Devices register in one of two ingestion modes (see
 * the live-update mode (``live=True``, :class:`LiveStreamProcessor`), where
   readings become delta inserts into one long-lived updatable store and old
   instances are evicted through tombstones.
+
+Live devices can additionally be *served*: :meth:`AdministrationServer.query_service`
+builds a :class:`~repro.serve.service.QueryService` over the device's live
+store (admission control, result cache keyed on the store's snapshot epoch,
+timeouts), and :meth:`AdministrationServer.start_query_server` exposes it as
+SPARQL over HTTP — the front door of ``docs/operations.md``.
 """
 
 from __future__ import annotations
@@ -89,6 +95,8 @@ class AdministrationServer:
         self.rules: List[AnomalyRule] = list(rules or [])
         self.devices: Dict[str, RegisteredDevice] = {}
         self.received_alerts: List[Alert] = []
+        #: HTTP query servers started via :meth:`start_query_server`.
+        self.query_servers: Dict[str, object] = {}
 
     # ------------------------------------------------------------------ #
     # administration
@@ -145,6 +153,71 @@ class AdministrationServer:
 
     def _receive_alert(self, alert: Alert) -> None:
         self.received_alerts.append(alert)
+
+    # ------------------------------------------------------------------ #
+    # serving (SPARQL front door over a live device's store)
+    # ------------------------------------------------------------------ #
+
+    def query_service(self, device_name: str, **service_options):
+        """A :class:`~repro.serve.service.QueryService` over a live device.
+
+        Queries route through admission control, the per-epoch result cache
+        and cooperative timeouts; concurrent ingestion (and background
+        compaction) invalidates cached results through the store's snapshot
+        epochs.  Only live devices carry a long-lived store to serve;
+        rebuild-per-instance devices raise.  ``service_options`` are passed
+        to the service constructor (``worker_slots``, ``cache_capacity``,
+        ``default_timeout_s``, ``parallel``...).
+        """
+        from repro.serve.service import QueryService  # deferred: keeps edge importable alone
+
+        if device_name not in self.devices:
+            raise KeyError(f"unknown device {device_name!r}")
+        registered = self.devices[device_name]
+        if not registered.live:
+            raise ValueError(
+                f"device {device_name!r} rebuilds a fresh store per instance; "
+                "register it with live=True to serve queries over a long-lived store"
+            )
+        return QueryService(registered.processor.store, **service_options)
+
+    def start_query_server(
+        self,
+        device_name: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        network=None,
+        **service_options,
+    ):
+        """Start (and track) an HTTP query server over a live device's store.
+
+        Returns the started :class:`~repro.serve.server.QueryServer`; its
+        concrete address is ``server.url``.  Starting again for the same
+        device is a restart: the previous server is stopped (and its service
+        closed) before the replacement comes up, so no port, serve thread or
+        engine pool leaks.  :meth:`shutdown_query_servers` stops every
+        server started this way.
+        """
+        from repro.serve.server import QueryServer  # deferred: keeps edge importable alone
+
+        previous = self.query_servers.pop(device_name, None)
+        if previous is not None:
+            previous.stop()
+            previous.service.close()
+        service = self.query_service(device_name, **service_options)
+        server = QueryServer(service, host=host, port=port, network=network).start()
+        self.query_servers[device_name] = server
+        return server
+
+    def shutdown_query_servers(self) -> int:
+        """Stop every tracked query server; returns how many were stopped."""
+        stopped = 0
+        for server in self.query_servers.values():
+            server.stop()
+            server.service.close()
+            stopped += 1
+        self.query_servers.clear()
+        return stopped
 
     # ------------------------------------------------------------------ #
     # operation

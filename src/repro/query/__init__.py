@@ -19,6 +19,7 @@
 from repro.query.engine import QueryEngine
 from repro.query.materializing import MaterializingQueryEngine
 from repro.query.optimizer import JoinOrderOptimizer
+from repro.query.parallel import ParallelExecutor, ParallelQueryEngine
 from repro.query.plan import (
     AccessPath,
     ModifierOp,
@@ -36,6 +37,8 @@ __all__ = [
     "MaterializingQueryEngine",
     "ModifierOp",
     "ModifierStep",
+    "ParallelExecutor",
+    "ParallelQueryEngine",
     "PhysicalPlan",
     "PipelinePlan",
     "PlanStep",

@@ -1,0 +1,385 @@
+"""Parallel query execution: thread-pool fan-out over shards and batches.
+
+:class:`ParallelExecutor` is a drop-in replacement for
+:class:`~repro.query.tp_eval.TriplePatternEvaluator` (same ``evaluate`` /
+``evaluate_many`` / ``estimate_cardinality`` surface, so the streaming
+operators of :mod:`repro.query.operators` consume it unchanged) that fans
+work across a bounded thread pool:
+
+* **scatter-gather for BGP leaves** — a leaf pattern with an unbound subject
+  against a :class:`~repro.store.sharding.ShardedStore` is split into one
+  task per ``(candidate property × layout × shard)``; the gathered lists are
+  emitted in property-major, shard-minor order, which reproduces the
+  monolithic evaluation order byte for byte;
+* **shard pruning** — a bound subject resolves to exactly one shard through
+  the store's subject-interval partitioner, so no fan-out happens (the
+  sharded store views route the single probe);
+* **batched bind joins** — ``evaluate_many`` groups upstream bindings into
+  fixed-size batches evaluated concurrently with a bounded in-flight window,
+  yielding extensions strictly in upstream order (the operator pipeline's
+  emission order, and with it ``LIMIT``/``ASK`` early termination up to one
+  window of read-ahead, is preserved).
+
+Honest scaling note: CPython's GIL serialises the pure-Python kernels, so on
+a single process the fan-out does not reduce wall-clock latency — the win is
+architectural (per-shard work units that a free-threaded build, subprocess
+workers, or native kernels can execute concurrently) and the pattern is the
+same scatter-gather a distributed deployment would use.  The serving layer
+(:mod:`repro.serve`) gets its concurrency from overlapping whole requests
+instead; see ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Iterator, List, Optional
+
+from repro.query.engine import QueryEngine
+from repro.query.tp_eval import TriplePatternEvaluator
+from repro.rdf.namespaces import RDF_TYPE
+from repro.rdf.terms import Literal, URI
+from repro.sparql.ast import TriplePattern
+from repro.sparql.bindings import Binding
+from repro.store.succinct_edge import SuccinctEdge
+
+#: Default number of upstream bindings grouped into one bind-join task.
+DEFAULT_BATCH_SIZE = 64
+
+
+class ParallelExecutor:
+    """Thread-pool evaluator with the TriplePatternEvaluator interface.
+
+    Parameters
+    ----------
+    store:
+        The store to evaluate against; a
+        :class:`~repro.store.sharding.ShardedStore` additionally enables
+        per-shard leaf scatter-gather.
+    reasoning:
+        Passed through to the wrapped evaluator.
+    inner:
+        An existing :class:`TriplePatternEvaluator` to wrap (one is created
+        when omitted).
+    max_workers:
+        Thread-pool size; defaults to the shard count (at least 2).
+    batch_size:
+        Upstream bindings per bind-join task.
+    """
+
+    def __init__(
+        self,
+        store: SuccinctEdge,
+        reasoning: bool = True,
+        inner: Optional[TriplePatternEvaluator] = None,
+        max_workers: Optional[int] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        self.store = store
+        self.reasoning = reasoning
+        self.inner = (
+            inner
+            if inner is not None
+            else TriplePatternEvaluator(store, reasoning=reasoning)
+        )
+        shard_list = getattr(store, "shards", None)
+        self.shards: List[SuccinctEdge] = list(shard_list) if shard_list else [store]
+        self.max_workers = max_workers if max_workers else max(2, len(self.shards))
+        self.batch_size = max(1, batch_size)
+        #: In-flight bind-join batches beyond the one being consumed.
+        self.window = self.max_workers + 1
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # pool lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        pool = self._pool
+        if pool is None:
+            with self._pool_lock:
+                pool = self._pool
+                if pool is None:
+                    pool = ThreadPoolExecutor(
+                        max_workers=self.max_workers,
+                        thread_name_prefix="succinctedge-query",
+                    )
+                    self._pool = pool
+        return pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; a later call re-creates it)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # TriplePatternEvaluator interface
+    # ------------------------------------------------------------------ #
+
+    def estimate_cardinality(self, pattern: TriplePattern) -> int:
+        """Delegated to the wrapped evaluator (sharded views sum exactly)."""
+        return self.inner.estimate_cardinality(pattern)
+
+    def evaluate(self, pattern: TriplePattern, binding: Binding) -> Iterator[Binding]:
+        """One pattern evaluation; leaf patterns scatter across shards."""
+        scattered = self._try_scatter(pattern, binding)
+        if scattered is not None:
+            return scattered
+        return self.inner.evaluate(pattern, binding)
+
+    def evaluate_all(self, pattern: TriplePattern) -> List[Binding]:
+        """Evaluate with no initial binding (convenience, mirrors tp_eval)."""
+        return list(self.evaluate(pattern, Binding()))
+
+    def evaluate_many(
+        self, pattern: TriplePattern, bindings: Iterable[Binding]
+    ) -> Iterator[Binding]:
+        """Batched, ordered bind-propagation join across the thread pool.
+
+        Upstream bindings are pulled at most ``window × batch_size`` ahead
+        of the consumer; results stream strictly in upstream order, so the
+        emission is byte-identical to the sequential evaluator's.
+        """
+        pool = self._ensure_pool()
+        inner_evaluate = self.inner.evaluate
+
+        def expand(chunk: List[Binding]) -> List[Binding]:
+            results: List[Binding] = []
+            for one in chunk:
+                results.extend(inner_evaluate(pattern, one))
+            return results
+
+        pending = []  # ordered in-flight futures
+        chunk: List[Binding] = []
+        for binding in bindings:
+            scattered = self._try_scatter(pattern, binding)
+            if scattered is not None:
+                # Keep emission order: drain everything queued before the
+                # scatterable binding, then fan it out across shards.
+                if chunk:
+                    pending.append(pool.submit(expand, chunk))
+                    chunk = []
+                while pending:
+                    yield from pending.pop(0).result()
+                yield from scattered
+                continue
+            chunk.append(binding)
+            if len(chunk) >= self.batch_size:
+                pending.append(pool.submit(expand, chunk))
+                chunk = []
+                while len(pending) > self.window:
+                    yield from pending.pop(0).result()
+        if chunk:
+            pending.append(pool.submit(expand, chunk))
+        while pending:
+            yield from pending.pop(0).result()
+
+    # ------------------------------------------------------------------ #
+    # leaf scatter-gather
+    # ------------------------------------------------------------------ #
+
+    def _try_scatter(
+        self, pattern: TriplePattern, binding: Binding
+    ) -> Optional[Iterator[Binding]]:
+        """A lazy scatter-gather stream, or ``None`` when fan-out cannot help.
+
+        Fan-out applies only with 2+ shards, a constant predicate and an
+        unbound subject; a bound subject is instead *pruned* to its single
+        owning shard by the sharded store views (no fan-out needed), and an
+        unbound predicate falls back to the sequential evaluator.
+        """
+        if len(self.shards) < 2:
+            return None
+        resolve = TriplePatternEvaluator._resolve
+        subject_term, subject_var = resolve(pattern.subject, binding)
+        if subject_term is not None:
+            return None  # pruning case: the owning shard answers alone
+        predicate_term, _ = resolve(pattern.predicate, binding)
+        if predicate_term is None or not isinstance(predicate_term, URI):
+            return None
+        object_slot = resolve(pattern.object, binding)
+        if predicate_term == RDF_TYPE:
+            object_term, _ = object_slot
+            if object_term is None or not isinstance(object_term, URI):
+                return None
+            return self._scatter_rdf_type(subject_var, object_term, binding)
+        return self._scatter_property(predicate_term, subject_var, object_slot, binding)
+
+    def _scatter_rdf_type(
+        self, subject_var: str, object_term: URI, binding: Binding
+    ) -> Iterator[Binding]:
+        """``?s rdf:type C``: one subjects-of-interval task per shard."""
+        store = self.store
+        concept_id = store.concepts.try_locate(object_term)
+        if concept_id is None:
+            return
+        pool = self._ensure_pool()
+        if self.reasoning:
+            low, high = store.concepts.interval(object_term)
+            futures = [
+                pool.submit(shard.type_store.subjects_of_interval, low, high)
+                for shard in self.shards
+            ]
+        else:
+            futures = [
+                pool.submit(shard.type_store.subjects_of, concept_id)
+                for shard in self.shards
+            ]
+        extract = store.instances.extract
+        extend = binding.extended
+        # Shard order == ascending subject-interval order: the gathered
+        # concatenation reproduces the monolithic emission order.
+        for future in futures:
+            for subject_id in future.result():
+                yield extend(subject_var, extract(subject_id))
+
+    def _scatter_property(
+        self,
+        predicate_term: URI,
+        subject_var: str,
+        object_slot,
+        binding: Binding,
+    ) -> Iterator[Binding]:
+        """Constant-predicate leaf: tasks per (property × layout × shard).
+
+        Emission mirrors
+        :meth:`~repro.query.tp_eval.TriplePatternEvaluator._evaluate_property`
+        — property-major (ascending candidate identifiers, the LiteMat
+        interval order), object layout before datatype layout, shards in
+        ascending subject-interval order within each.
+        """
+        object_term, object_var = object_slot
+        store = self.store
+        property_ids = self.inner._candidate_property_ids(predicate_term)
+        if not property_ids:
+            return
+        pool = self._ensure_pool()
+        extract = store.instances.extract
+        extend = binding.extended
+
+        if object_term is not None:
+            # (?s, p, o): Algorithm 4 fanned per shard.
+            object_id: Optional[int] = None
+            if not isinstance(object_term, Literal):
+                object_id = store.instances.try_locate(object_term)
+                if object_id is None:
+                    return
+            futures = []
+            for property_id in property_ids:
+                for shard in self.shards:
+                    if isinstance(object_term, Literal):
+                        futures.append(
+                            pool.submit(
+                                shard.datatype_store.subjects_for, property_id, object_term
+                            )
+                        )
+                    else:
+                        futures.append(
+                            pool.submit(
+                                shard.object_store.subjects_for, property_id, object_id
+                            )
+                        )
+            for future in futures:
+                for found_subject in future.result():
+                    yield extend(subject_var, extract(found_subject))
+            return
+
+        # (?s, p, ?o): two batched property-run scans per shard.  Properties
+        # are scheduled one ahead of consumption (not all up front): a
+        # consumer that stops early — the LIMIT-paginated scans of the
+        # serving mix — never pays for the property runs it never pulls,
+        # while the per-shard tasks of the current and next property still
+        # run concurrently.
+        diagonal = subject_var == object_var
+        base = binding.as_dict()
+        adopt = Binding._adopt
+
+        def schedule(property_id: int):
+            return (
+                [
+                    pool.submit(
+                        lambda s=shard, p=property_id: list(s.object_store.pairs_for_property(p))
+                    )
+                    for shard in self.shards
+                ],
+                [
+                    pool.submit(
+                        lambda s=shard, p=property_id: list(s.datatype_store.pairs_for_property(p))
+                    )
+                    for shard in self.shards
+                ],
+            )
+
+        window = []  # at most 2 scheduled properties: current + next
+        index = 0
+        while index < len(property_ids) or window:
+            while index < len(property_ids) and len(window) < 2:
+                window.append(schedule(property_ids[index]))
+                index += 1
+            object_futures, datatype_futures = window.pop(0)
+            for future in object_futures:
+                for found_subject, found_object in future.result():
+                    if diagonal:
+                        if found_subject == found_object:
+                            yield extend(subject_var, extract(found_subject))
+                        continue
+                    values = dict(base)
+                    values[subject_var] = extract(found_subject)
+                    values[object_var] = extract(found_object)
+                    yield adopt(values)
+            for future in datatype_futures:
+                for found_subject, literal in future.result():
+                    if diagonal:
+                        continue  # a subject URI never equals a literal
+                    values = dict(base)
+                    values[subject_var] = extract(found_subject)
+                    values[object_var] = literal
+                    yield adopt(values)
+
+
+class ParallelQueryEngine(QueryEngine):
+    """A :class:`QueryEngine` whose evaluator fans out across a thread pool.
+
+    Byte-identical results to the sequential engine by construction (same
+    plans, same emission order); the differential suite verifies it on the
+    full paper workload.  ``close()`` releases the worker pool.
+    """
+
+    def __init__(
+        self,
+        store: SuccinctEdge,
+        reasoning: bool = True,
+        join_strategy: str = "auto",
+        max_workers: Optional[int] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        super().__init__(store, reasoning=reasoning, join_strategy=join_strategy)
+        # The optimizer keeps its runtime estimator (bound to the sequential
+        # evaluator, which the parallel one delegates to) — plans, and with
+        # them result order, cannot diverge from the sequential engine.
+        self.evaluator = ParallelExecutor(
+            store,
+            reasoning=reasoning,
+            inner=self.evaluator,
+            max_workers=max_workers,
+            batch_size=batch_size,
+        )
+
+    def close(self) -> None:
+        """Release the evaluator's worker pool."""
+        self.evaluator.close()
+
+    def __enter__(self) -> "ParallelQueryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,116 @@
+"""Admission and latency metrics for the query service.
+
+Counters cover the admission outcomes (completed / cache hits / rejected /
+timed out / errored) plus a bounded latency reservoir from which p50/p99 are
+computed.  Everything is guarded by one lock; :meth:`ServingMetrics.snapshot`
+returns a consistent plain-dict view for the ``/metrics`` endpoint, the
+benchmark and the tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, List
+
+
+class ServingMetrics:
+    """Thread-safe serving counters with latency percentiles."""
+
+    def __init__(self, reservoir_size: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._latencies_ms: Deque[float] = deque(maxlen=reservoir_size)
+        self.received = 0
+        self.completed = 0
+        self.cache_hits = 0
+        self.rejected = 0
+        self.timeouts = 0
+        self.errors = 0
+        self.in_flight = 0
+        self.peak_in_flight = 0
+
+    # admission lifecycle ------------------------------------------------ #
+
+    def record_admission(self) -> None:
+        """One request entered execution (after passing admission control)."""
+        with self._lock:
+            self.received += 1
+            self.in_flight += 1
+            if self.in_flight > self.peak_in_flight:
+                self.peak_in_flight = self.in_flight
+
+    def record_completion(self, elapsed_ms: float, cached: bool) -> None:
+        """One request finished successfully."""
+        with self._lock:
+            self.completed += 1
+            self.in_flight -= 1
+            if cached:
+                self.cache_hits += 1
+            self._latencies_ms.append(elapsed_ms)
+
+    def record_rejection(self) -> None:
+        """One request was turned away by admission control."""
+        with self._lock:
+            self.received += 1
+            self.rejected += 1
+
+    def record_timeout(self) -> None:
+        """One admitted request exceeded its deadline."""
+        with self._lock:
+            self.timeouts += 1
+            self.in_flight -= 1
+
+    def record_queue_timeout(self) -> None:
+        """One request's deadline expired while waiting for a worker slot."""
+        with self._lock:
+            self.received += 1
+            self.timeouts += 1
+
+    def record_error(self) -> None:
+        """One admitted request failed (parse error, internal error)."""
+        with self._lock:
+            self.errors += 1
+            self.in_flight -= 1
+
+    # reporting ----------------------------------------------------------- #
+
+    @staticmethod
+    def _quantile(ordered: List[float], fraction: float) -> float:
+        """The single quantile formula both accessors share (0.0 when empty)."""
+        if not ordered:
+            return 0.0
+        index = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+        return ordered[index]
+
+    def percentile(self, fraction: float) -> float:
+        """Latency percentile (``fraction`` in [0, 1]) over the reservoir."""
+        with self._lock:
+            ordered: List[float] = sorted(self._latencies_ms)
+        return self._quantile(ordered, fraction)
+
+    def snapshot(self) -> Dict[str, float]:
+        """A consistent plain-dict view of every counter plus p50/p99."""
+        with self._lock:
+            ordered = sorted(self._latencies_ms)
+            counters = {
+                "received": self.received,
+                "completed": self.completed,
+                "cache_hits": self.cache_hits,
+                "rejected": self.rejected,
+                "timeouts": self.timeouts,
+                "errors": self.errors,
+                "in_flight": self.in_flight,
+                "peak_in_flight": self.peak_in_flight,
+            }
+        counters["latency_p50_ms"] = self._quantile(ordered, 0.50)
+        counters["latency_p99_ms"] = self._quantile(ordered, 0.99)
+        counters["latency_mean_ms"] = sum(ordered) / len(ordered) if ordered else 0.0
+        return counters
+
+    def __repr__(self) -> str:
+        snap = self.snapshot()
+        return (
+            f"ServingMetrics({snap['completed']} completed, "
+            f"{snap['cache_hits']} cache hits, {snap['rejected']} rejected, "
+            f"p50={snap['latency_p50_ms']:.2f}ms)"
+        )

@@ -1,0 +1,297 @@
+"""QueryService: the transport-independent core of the query server.
+
+One :class:`QueryService` wraps one store (monolithic, updatable or sharded)
+and gives every transport — the HTTP server of :mod:`repro.serve.server`,
+the edge :class:`~repro.edge.server.AdministrationServer`, tests, the
+benchmark — the same execution path:
+
+admission control → cache lookup → streaming execution under a deadline →
+cache fill → metrics.
+
+* **Admission**: ``worker_slots`` bounds how many queries execute
+  concurrently; ``max_pending`` bounds how many more may wait for a slot.
+  Requests beyond both are rejected immediately (:class:`QueryRejected`),
+  which is what keeps tail latency bounded under overload.
+* **Timeouts** are cooperative and cover the whole stay in the service:
+  the deadline clock starts before the wait for a worker slot (a request
+  cannot sit behind a deep queue and still run afterwards), and during
+  execution the streaming pipeline is consumed row by row with the deadline
+  checked between rows, so a timed-out query stops probing the SDS layouts
+  instead of running to completion.  A single blocking operator step (e.g.
+  one large aggregation input) is not interrupted mid-step.
+* **Caching**: results are materialized once and cached under
+  ``(query, reasoning, snapshot_epoch)``.  Any write bumps the store's
+  ``data_epoch`` (on sharded stores: any shard's), so later lookups miss;
+  see :mod:`repro.serve.cache`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from repro.query.engine import QueryEngine
+from repro.serve.cache import ResultCache
+from repro.serve.metrics import ServingMetrics
+from repro.sparql.ast import AskQuery, SelectQuery
+from repro.sparql.bindings import AskResult, ResultSet
+from repro.sparql.parser import parse_query
+from repro.store.succinct_edge import SuccinctEdge
+
+#: How many rows are pulled between two deadline checks.
+_DEADLINE_CHECK_EVERY = 64
+
+
+class QueryRejected(RuntimeError):
+    """Raised when admission control turns a request away (overload)."""
+
+
+class QueryTimeout(RuntimeError):
+    """Raised when an admitted query exceeds its deadline."""
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """One served query: the result plus serving metadata."""
+
+    result: Union[ResultSet, AskResult]
+    cached: bool
+    elapsed_ms: float
+    epoch: Tuple[int, int]
+
+    @property
+    def rows(self) -> int:
+        """Row count (1/0 for ASK), used by transports for accounting."""
+        if isinstance(self.result, AskResult):
+            return 1 if self.result.boolean else 0
+        return len(self.result)
+
+
+class QueryService:
+    """Concurrent query execution over one store, with cache and admission.
+
+    Parameters
+    ----------
+    store:
+        The store to serve.  Writes may happen concurrently (updatable or
+        sharded-updatable stores); the cache keys on the snapshot epoch.
+    reasoning:
+        Default reasoning mode for queries that do not override it.
+    parallel:
+        Use :class:`~repro.query.parallel.ParallelQueryEngine` (per-shard
+        scatter-gather) instead of the sequential engine.
+    worker_slots:
+        Maximum queries executing concurrently (the bounded worker pool).
+    max_pending:
+        Maximum queries waiting for a slot before rejections start.
+    cache_capacity:
+        LRU entries kept; ``0`` disables caching.
+    default_timeout_s:
+        Deadline applied when a call does not pass its own.
+    """
+
+    def __init__(
+        self,
+        store: SuccinctEdge,
+        reasoning: bool = True,
+        parallel: bool = False,
+        worker_slots: int = 4,
+        max_pending: int = 64,
+        cache_capacity: int = 256,
+        default_timeout_s: Optional[float] = None,
+    ) -> None:
+        if worker_slots < 1:
+            raise ValueError("worker_slots must be positive")
+        self.store = store
+        self.reasoning = reasoning
+        self.parallel = parallel
+        self.worker_slots = worker_slots
+        self.max_pending = max_pending
+        self.default_timeout_s = default_timeout_s
+        self.cache: Optional[ResultCache] = (
+            ResultCache(cache_capacity) if cache_capacity else None
+        )
+        self.metrics = ServingMetrics()
+        self._slots = threading.Semaphore(worker_slots)
+        self._pending = 0
+        self._pending_lock = threading.Lock()
+        self._engines = {}
+        self._engine_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # engines (one per reasoning mode, plans cached across requests)
+    # ------------------------------------------------------------------ #
+
+    def _engine(self, reasoning: bool) -> QueryEngine:
+        engine = self._engines.get(reasoning)
+        if engine is None:
+            with self._engine_lock:
+                engine = self._engines.get(reasoning)
+                if engine is None:
+                    if self.parallel:
+                        from repro.query.parallel import ParallelQueryEngine
+
+                        engine = ParallelQueryEngine(self.store, reasoning=reasoning)
+                    else:
+                        engine = QueryEngine(self.store, reasoning=reasoning)
+                    self._engines[reasoning] = engine
+        return engine
+
+    def close(self) -> None:
+        """Release engine resources (parallel engines hold a thread pool)."""
+        with self._engine_lock:
+            engines, self._engines = dict(self._engines), {}
+        for engine in engines.values():
+            close = getattr(engine, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def execute(
+        self,
+        query: str,
+        reasoning: Optional[bool] = None,
+        timeout_s: Optional[float] = None,
+        deliver=None,
+    ) -> QueryOutcome:
+        """Serve one SPARQL query through admission, cache and deadline.
+
+        ``deliver``, when given, is called with the outcome *while the worker
+        slot is still held*: response serialization and transmission are part
+        of the worker's unit of work, exactly as in a pre-threaded server
+        whose worker writes the response socket itself.  (This is what makes
+        ``worker_slots`` the true concurrency bound — and what a worker pool
+        overlaps when clients sit behind a slow link.)
+
+        Raises :class:`QueryRejected` under overload, :class:`QueryTimeout`
+        past the deadline, and propagates
+        :class:`~repro.sparql.parser.SparqlParseError` for invalid queries.
+        """
+        use_reasoning = self.reasoning if reasoning is None else reasoning
+        timeout = self.default_timeout_s if timeout_s is None else timeout_s
+        # The deadline clock covers the whole stay in the service — queue
+        # wait included — so a timed-out request cannot sit behind a deep
+        # queue and still run its full query afterwards.
+        started = time.perf_counter()
+
+        with self._pending_lock:
+            if self._pending >= self.max_pending + self.worker_slots:
+                self.metrics.record_rejection()
+                raise QueryRejected(
+                    f"server saturated: {self.worker_slots} workers busy and "
+                    f"{self.max_pending} requests already queued"
+                )
+            self._pending += 1
+        try:
+            if timeout is None:
+                self._slots.acquire()
+            elif not self._slots.acquire(timeout=timeout):
+                self.metrics.record_queue_timeout()
+                raise QueryTimeout(
+                    f"no worker slot freed within the {timeout:.3f}s deadline"
+                )
+            try:
+                outcome = self._execute_admitted(query, use_reasoning, started, timeout)
+                if deliver is not None:
+                    deliver(outcome)
+                return outcome
+            finally:
+                self._slots.release()
+        finally:
+            with self._pending_lock:
+                self._pending -= 1
+
+    def _execute_admitted(
+        self, query: str, reasoning: bool, started: float, timeout: Optional[float]
+    ) -> QueryOutcome:
+        self.metrics.record_admission()
+        # The epoch is sampled at admission; one more write arriving during
+        # execution keys the *next* request differently, so entries at the
+        # current epoch are never stale.
+        epoch = self.store.snapshot_epoch
+        key = (query, reasoning, epoch)
+        if self.cache is not None:
+            hit, value = self.cache.get(key)
+            if hit:
+                elapsed_ms = (time.perf_counter() - started) * 1000.0
+                self.metrics.record_completion(elapsed_ms, cached=True)
+                return QueryOutcome(
+                    result=value, cached=True, elapsed_ms=elapsed_ms, epoch=epoch
+                )
+        try:
+            result = self._run(query, reasoning, started, timeout)
+        except QueryTimeout:
+            self.metrics.record_timeout()
+            raise
+        except Exception:
+            self.metrics.record_error()
+            raise
+        if self.cache is not None:
+            self.cache.put(key, result)
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        self.metrics.record_completion(elapsed_ms, cached=False)
+        return QueryOutcome(result=result, cached=False, elapsed_ms=elapsed_ms, epoch=epoch)
+
+    def _run(
+        self, query: str, reasoning: bool, started: float, timeout: Optional[float]
+    ) -> Union[ResultSet, AskResult]:
+        engine = self._engine(reasoning)
+        parsed = parse_query(query)
+        if isinstance(parsed, AskQuery):
+            # ASK stops at the first solution; a deadline check after the
+            # fact covers the (rare) long empty probe.
+            result: Union[ResultSet, AskResult] = engine.ask(parsed)
+            self._check_deadline(started, timeout)
+            return result
+        assert isinstance(parsed, SelectQuery)
+        names = parsed.projected_names()
+        rows = []
+        for row in engine.stream(parsed):
+            rows.append(row)
+            if len(rows) % _DEADLINE_CHECK_EVERY == 0:
+                self._check_deadline(started, timeout)
+        self._check_deadline(started, timeout)
+        return ResultSet(names, rows)
+
+    def _check_deadline(self, started: float, timeout: Optional[float]) -> None:
+        if timeout is not None and (time.perf_counter() - started) > timeout:
+            raise QueryTimeout(f"query exceeded its {timeout:.3f}s deadline")
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> dict:
+        """Serving metrics, cache counters and store epochs in one snapshot."""
+        info = {
+            "metrics": self.metrics.snapshot(),
+            "cache": self.cache.info() if self.cache is not None else None,
+            "store": {
+                "triples": self.store.triple_count,
+                "compaction_epoch": self.store.compaction_epoch,
+                "data_epoch": self.store.data_epoch,
+                "shards": getattr(self.store, "shard_count", 1),
+            },
+            "worker_slots": self.worker_slots,
+            "max_pending": self.max_pending,
+            "parallel": self.parallel,
+        }
+        return info
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryService({self.worker_slots} workers, "
+            f"cache={'off' if self.cache is None else self.cache.capacity}, "
+            f"store={self.store!r})"
+        )

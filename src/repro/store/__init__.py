@@ -24,6 +24,7 @@ from repro.store.datatype_store import DatatypeTripleStore
 from repro.store.delta import MANUAL_COMPACTION, CompactionPolicy, DeltaOverlay
 from repro.store.persistence import load_store, save_store, serialized_size_in_bytes
 from repro.store.rdftype_store import RDFTypeStore
+from repro.store.sharding import ShardedStore, SubjectPartitioner
 from repro.store.succinct_edge import SuccinctEdge
 from repro.store.triple_store import ObjectTripleStore
 from repro.store.updatable import CompactionReport, UpdatableSuccinctEdge
@@ -36,7 +37,9 @@ __all__ = [
     "MANUAL_COMPACTION",
     "ObjectTripleStore",
     "RDFTypeStore",
+    "ShardedStore",
     "StoreBuilder",
+    "SubjectPartitioner",
     "SuccinctEdge",
     "UpdatableSuccinctEdge",
     "load_store",

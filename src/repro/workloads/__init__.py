@@ -17,11 +17,14 @@ from repro.workloads.engie import (
 )
 from repro.workloads.lubm import LubmDataset, generate_lubm, lubm_ontology, lubm_subsets
 from repro.workloads.queries import BenchmarkQuery, QueryCatalog
+from repro.workloads.serving import ServingOp, ServingWorkload
 
 __all__ = [
     "BenchmarkQuery",
     "LubmDataset",
     "QueryCatalog",
+    "ServingOp",
+    "ServingWorkload",
     "engie_ontology",
     "generate_lubm",
     "lubm_ontology",

@@ -1,0 +1,178 @@
+"""Serving workloads: interactive query mixes and mixed read/write streams.
+
+The paper's evaluation measures one query at a time; the serving scenario
+(``docs/operations.md``) instead needs *traffic*: many clients issuing a
+skewed mix of mostly-cheap interactive queries, with a trickle of writes
+arriving concurrently.  This module derives that traffic deterministically
+from a generated LUBM dataset so that the server tests, the throughput
+benchmark and ``examples/serving.py`` all replay the same workload.
+
+* :meth:`ServingWorkload.interactive_mix` — the weighted query mix: point
+  lookups (S1-S10) dominate, scans/joins (S11-S15, M1, R5) and analytics
+  (A2/A3/A5) appear with realistic lower weights;
+* :meth:`ServingWorkload.sample_queries` — a deterministic weighted sample
+  with repetition (repetition is what exercises the result cache);
+* :meth:`ServingWorkload.write_stream` — synthetic measurement triples in a
+  dedicated namespace (never-seen subjects, the live-insert path);
+* :meth:`ServingWorkload.mixed_ops` — the interleaved read/write operation
+  stream used by the example and the concurrency tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple, Union
+
+from repro.rdf.terms import Literal, Triple, URI
+from repro.workloads.lubm import LubmDataset
+from repro.workloads.queries import BenchmarkQuery, QueryCatalog
+
+#: Namespace of the synthetic live readings injected by the write stream.
+SERVING_NS = "http://serving.succinct-edge.example/"
+
+
+@dataclass(frozen=True)
+class ServingOp:
+    """One operation of a mixed workload: a query, an insert or a delete."""
+
+    kind: str  #: ``"query"`` | ``"insert"`` | ``"delete"``
+    query: Union[BenchmarkQuery, None] = None
+    triple: Union[Triple, None] = None
+
+
+class ServingWorkload:
+    """Deterministic serving traffic derived from one LUBM dataset."""
+
+    #: ``(query identifier, weight)`` — point lookups dominate interactive
+    #: traffic; scans, joins and analytics are the heavy tail.
+    MIX_WEIGHTS: List[Tuple[str, int]] = [
+        ("S1", 12),
+        ("S2", 10),
+        ("S6", 10),
+        ("S7", 10),
+        ("S8", 6),
+        ("S11", 3),
+        ("S14", 3),
+        ("M1", 2),
+        ("R5", 1),
+        ("A2", 2),
+        ("A3", 1),
+        ("A5", 4),
+    ]
+
+    def __init__(self, dataset: LubmDataset) -> None:
+        self.dataset = dataset
+        self.catalog = QueryCatalog(dataset)
+        self._by_id = self.catalog.by_identifier()
+
+    # ------------------------------------------------------------------ #
+    # read side
+    # ------------------------------------------------------------------ #
+
+    #: Interactive clients page through large answer sets instead of
+    #: downloading them whole; scans without an explicit LIMIT get this one.
+    PAGE_SIZE = 200
+
+    @staticmethod
+    def _paginated(query: BenchmarkQuery, page_size: int) -> BenchmarkQuery:
+        """The serving variant of ``query``: paged unless already bounded.
+
+        ASK queries and queries that carry their own ``LIMIT`` pass through;
+        everything else gets ``LIMIT page_size`` appended — which the
+        streaming engine turns into early termination, exactly what a
+        paginating client triggers.
+        """
+        text = query.sparql
+        if "ASK" in text or "LIMIT" in text or page_size <= 0:
+            return query
+        return BenchmarkQuery(
+            identifier=query.identifier,
+            sparql=text + f" LIMIT {page_size}",
+            group=query.group,
+            requires_reasoning=query.requires_reasoning,
+            description=f"{query.description} (first page of {page_size})",
+        )
+
+    def interactive_mix(
+        self, page_size: int = PAGE_SIZE
+    ) -> List[Tuple[BenchmarkQuery, int]]:
+        """The weighted query mix as ``(query, weight)`` pairs (paginated)."""
+        return [
+            (self._paginated(self._by_id[identifier], page_size), weight)
+            for identifier, weight in self.MIX_WEIGHTS
+        ]
+
+    def sample_queries(
+        self, count: int, seed: int = 97, page_size: int = PAGE_SIZE
+    ) -> List[BenchmarkQuery]:
+        """A deterministic weighted sample (with repetition) of the mix."""
+        rng = random.Random(seed)
+        mix = self.interactive_mix(page_size)
+        queries = [query for query, _weight in mix]
+        weights = [weight for _query, weight in mix]
+        return rng.choices(queries, weights=weights, k=count)
+
+    # ------------------------------------------------------------------ #
+    # write side
+    # ------------------------------------------------------------------ #
+
+    def write_stream(self, count: int, seed: int = 13) -> List[Triple]:
+        """``count`` synthetic measurement triples (never-seen subjects).
+
+        Each reading attaches a numeric value to a fresh reading IRI via a
+        fresh-per-run datatype property, plus a link to a known department —
+        exercising the overflow-dictionary insert path end to end.
+        """
+        rng = random.Random(seed)
+        value_property = URI(SERVING_NS + "value")
+        about_property = URI(SERVING_NS + "about")
+        # landmark_uri already returns a URI term; re-wrapping it would
+        # create a distinct term that never matches the stored department.
+        department = self.dataset.landmark_uri("dept_workers_135")
+        triples: List[Triple] = []
+        for index in range(count):
+            reading = URI(f"{SERVING_NS}reading/{seed}/{index}")
+            if index % 2 == 0:
+                triples.append(Triple(reading, value_property, Literal(rng.randint(0, 999))))
+            else:
+                triples.append(Triple(reading, about_property, department))
+        return triples
+
+    # ------------------------------------------------------------------ #
+    # the interleaved stream
+    # ------------------------------------------------------------------ #
+
+    def mixed_ops(
+        self,
+        count: int,
+        write_ratio: float = 0.1,
+        delete_ratio: float = 0.25,
+        seed: int = 29,
+    ) -> Iterator[ServingOp]:
+        """``count`` interleaved operations: queries with a write trickle.
+
+        ``write_ratio`` of the operations are writes; of those,
+        ``delete_ratio`` delete a previously inserted reading (so the stream
+        exercises tombstones too).  Deterministic for a given ``seed``.
+        """
+        rng = random.Random(seed)
+        queries = self.sample_queries(count, seed=seed + 1)
+        # Sized to the worst case (every decision a write) so the delivered
+        # write ratio never silently degrades when the binomial draw runs
+        # above its mean.
+        writes = self.write_stream(count, seed=seed + 2)
+        inserted: List[Triple] = []
+        write_cursor = 0
+        for index in range(count):
+            if rng.random() < write_ratio and write_cursor < len(writes):
+                if inserted and rng.random() < delete_ratio:
+                    victim = inserted.pop(rng.randrange(len(inserted)))
+                    yield ServingOp(kind="delete", triple=victim)
+                else:
+                    triple = writes[write_cursor]
+                    write_cursor += 1
+                    inserted.append(triple)
+                    yield ServingOp(kind="insert", triple=triple)
+            else:
+                yield ServingOp(kind="query", query=queries[index])

@@ -26,9 +26,50 @@ def test_docs_code_blocks_execute(path: pathlib.Path):
 def test_docs_exist_and_are_linked_from_readme():
     readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
     assert DOC_FILES, "docs/ tree is empty"
-    for name in ("architecture.md", "sparql_support.md", "update_lifecycle.md"):
+    for name in (
+        "architecture.md",
+        "sparql_support.md",
+        "update_lifecycle.md",
+        "operations.md",
+        "performance.md",
+    ):
         assert (REPO_ROOT / "docs" / name).is_file()
         assert name in readme, f"README does not link docs/{name}"
+
+
+def test_new_docs_pages_are_linked_from_architecture_map():
+    architecture = (REPO_ROOT / "docs" / "architecture.md").read_text(encoding="utf-8")
+    for name in ("operations.md", "performance.md"):
+        assert name in architecture, f"docs/architecture.md does not link {name}"
+
+
+def test_readme_python_snippets_execute():
+    """Every ```python block in the README must run, in order, as written.
+
+    The blocks share one namespace (the Serving snippet builds on the
+    Quickstart's ``data`` graph), so README drift — stale imports, renamed
+    APIs, a Serving section that stopped matching the code — fails tier-1.
+    """
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    blocks = []
+    inside = False
+    current: list = []
+    for line in readme.splitlines():
+        if line.strip() == "```python":
+            inside = True
+            current = []
+        elif line.strip() == "```" and inside:
+            inside = False
+            blocks.append("\n".join(current))
+        elif inside:
+            current.append(line)
+    assert len(blocks) >= 4, "README lost its runnable snippets"
+    namespace: dict = {}
+    for index, block in enumerate(blocks):
+        try:
+            exec(compile(block, f"README.md#block{index}", "exec"), namespace)  # noqa: S102
+        except Exception as error:  # pragma: no cover - the assert is the report
+            raise AssertionError(f"README python block {index} failed: {error!r}\n{block}")
 
 
 def test_live_updates_example_runs(capsys):
@@ -45,6 +86,23 @@ def test_live_updates_example_runs(capsys):
         sys.argv = argv
     captured = capsys.readouterr()
     assert "Explicit compaction" in captured.out
+
+
+def test_serving_example_runs(capsys):
+    # The CI docs job executes examples/serving.py as a subprocess (the
+    # server smoke test); the direct import keeps the serve loop in tier-1.
+    import runpy
+    import sys
+
+    argv = sys.argv
+    sys.argv = ["serving.py", "40"]
+    try:
+        runpy.run_path(str(REPO_ROOT / "examples" / "serving.py"), run_name="__main__")
+    finally:
+        sys.argv = argv
+    captured = capsys.readouterr()
+    assert "Cache hit rate" in captured.out
+    assert "Latency p50/p99" in captured.out
 
 
 def test_quickstart_example_runs(capsys):
