@@ -1,0 +1,95 @@
+"""Plan quality: cost-based vs heuristic planner, measured in SDS kernel calls.
+
+The PR-5 acceptance experiment: every paper query (S1-S15, M1-M5, R1-R6)
+plus the A1-A6 analytics additions runs under both planners against the same
+store.  Plans are warmed first (the serving layer caches them), then one
+execution per planner is measured with the kernel-call counters of
+:mod:`repro.sds.kernels`.  Results must be multiset-identical — a join
+reorder may permute rows of an unordered SELECT but never change them — and
+the cost-based planner must *strictly* reduce kernel calls on at least three
+queries.
+
+Results land in ``benchmarks/results/plan_quality.txt``.
+"""
+
+from __future__ import annotations
+
+from repro.query.engine import QueryEngine
+from repro.sds.kernels import total_kernel_calls
+from repro.sparql.bindings import AskResult
+from repro.store.succinct_edge import SuccinctEdge
+from repro.bench.harness import bench_scale, record_table
+
+
+def _normalized(result):
+    if isinstance(result, AskResult):
+        return ("ask", result.boolean)
+    return sorted(str(row) for row in result.to_tuples())
+
+
+def _measured_run(engine: QueryEngine, sparql: str):
+    before = total_kernel_calls()
+    result = engine.execute(sparql)
+    _rows = _normalized(result)  # materializes the lazy result inside the window
+    return _rows, total_kernel_calls() - before
+
+
+def test_cost_based_plans_reduce_kernel_calls(context, results_dir):
+    store_instance = SuccinctEdge.from_graph(
+        context.full_graph, ontology=context.lubm.ontology
+    )
+    cost_engine = QueryEngine(store_instance, reasoning=True, planner="cost")
+    heuristic_engine = QueryEngine(store_instance, reasoning=True, planner="heuristic")
+
+    lines = [
+        f"PR 5 plan quality: SDS kernel calls per query, cost-based vs heuristic "
+        f"planner (LUBM {bench_scale()} scale, reasoning on, warm plans)",
+        "",
+        f"{'query':>6} {'heuristic':>12} {'cost-based':>12} {'delta':>9}  winner",
+        "-" * 60,
+    ]
+    wins = 0
+    losses = 0
+    mismatches = []
+    totals = [0, 0]
+    for query in context.catalog.extended_queries():
+        # Warm both plan caches so planning probes are not measured.
+        cost_engine.execute(query.sparql)
+        heuristic_engine.execute(query.sparql)
+        heuristic_rows, heuristic_calls = _measured_run(heuristic_engine, query.sparql)
+        cost_rows, cost_calls = _measured_run(cost_engine, query.sparql)
+        if cost_rows != heuristic_rows:
+            mismatches.append(query.identifier)
+        totals[0] += heuristic_calls
+        totals[1] += cost_calls
+        if cost_calls < heuristic_calls:
+            wins += 1
+            winner = "cost"
+        elif cost_calls > heuristic_calls:
+            losses += 1
+            winner = "heuristic"
+        else:
+            winner = "tie"
+        delta = (
+            f"{(cost_calls - heuristic_calls) / heuristic_calls * 100.0:+.1f}%"
+            if heuristic_calls
+            else "n/a"
+        )
+        lines.append(
+            f"{query.identifier:>6} {heuristic_calls:>12} {cost_calls:>12} {delta:>9}  {winner}"
+        )
+    lines.append("-" * 60)
+    lines.append(
+        f"{'total':>6} {totals[0]:>12} {totals[1]:>12} "
+        f"{(totals[1] - totals[0]) / totals[0] * 100.0:+8.1f}%"
+    )
+    lines.append("")
+    lines.append(
+        f"strict wins (cost < heuristic): {wins} · losses: {losses} · "
+        f"result mismatches: {len(mismatches)}"
+    )
+    record_table(results_dir, "plan_quality", "\n".join(lines))
+
+    assert not mismatches, f"planners disagree on results: {mismatches}"
+    assert wins >= 3, f"cost-based planner won only {wins} queries"
+    assert totals[1] <= totals[0], "cost-based planner must not lose in aggregate"

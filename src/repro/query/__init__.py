@@ -1,10 +1,13 @@
 """Query optimization and processing (paper Section 5).
 
 * :mod:`repro.query.query_graph` — the query graph (TP nodes, SS/SO join edges);
-* :mod:`repro.query.optimizer` — Algorithm 1: heuristic + statistics join
-  ordering, plus the solution-modifier pipeline planner;
-* :mod:`repro.query.plan` — the left-deep physical plan and the modifier
-  pipeline description;
+* :mod:`repro.query.cardinality` — join-aware cardinality estimation
+  (per-property distinct counts, characteristic sets, chained selectivities);
+* :mod:`repro.query.optimizer` — the cost-based DP planner (kernel-call cost
+  model) and the paper's Algorithm 1 heuristic planner, plus the
+  solution-modifier pipeline planner;
+* :mod:`repro.query.plan` — the unified plan IR: costed left-deep steps,
+  group operators (OPTIONAL/VALUES/FILTER placement), modifier pipeline;
 * :mod:`repro.query.tp_eval` — triple-pattern evaluation as SDS operations
   (Algorithms 3 and 4) with LiteMat interval reasoning;
 * :mod:`repro.query.operators` — the streaming (generator-based) physical
@@ -16,12 +19,19 @@
   paper's contribution (iv).
 """
 
+from repro.query.cardinality import CardinalityEstimator
 from repro.query.engine import QueryEngine
 from repro.query.materializing import MaterializingQueryEngine
-from repro.query.optimizer import JoinOrderOptimizer
+from repro.query.optimizer import (
+    CostBasedJoinOrderOptimizer,
+    CostModel,
+    HeuristicJoinOrderOptimizer,
+    JoinOrderOptimizer,
+)
 from repro.query.parallel import ParallelExecutor, ParallelQueryEngine
 from repro.query.plan import (
     AccessPath,
+    GroupPlan,
     ModifierOp,
     ModifierStep,
     PhysicalPlan,
@@ -32,6 +42,11 @@ from repro.query.query_graph import JoinEdge, QueryGraph, QueryNode
 
 __all__ = [
     "AccessPath",
+    "CardinalityEstimator",
+    "CostBasedJoinOrderOptimizer",
+    "CostModel",
+    "GroupPlan",
+    "HeuristicJoinOrderOptimizer",
     "JoinEdge",
     "JoinOrderOptimizer",
     "MaterializingQueryEngine",

@@ -1,28 +1,44 @@
 """Streaming SPARQL SELECT/ASK execution over a SuccinctEdge store.
 
-The engine compiles a parsed query into a *pull-based pipeline* of generator
-operators (:mod:`repro.query.operators`): triple-pattern scans and
+The engine is a thin **interpreter of the plan IR** (:mod:`repro.query.plan`):
+a parsed query is compiled — through the cost-based planner by default — into
+a :class:`~repro.query.plan.GroupPlan` (BGP join steps plus OPTIONAL / UNION
+/ VALUES / BIND / FILTER placement) and a modifier pipeline whose steps carry
+typed payloads, and execution walks exactly those steps.  ``explain()``
+renders the same IR, so the printed plan *is* the executed plan.
+
+Operators come from :mod:`repro.query.operators`: triple-pattern scans and
 bind-propagation joins stream bindings one at a time on top of the batched
-SDS kernels, and the solution modifiers (aggregation, ORDER BY with a top-k
-short circuit, projection, DISTINCT, the lazy OFFSET/LIMIT slice) are chained
-behind them exactly as planned by
-:meth:`~repro.query.optimizer.JoinOrderOptimizer.plan_modifiers`.  Because
-consumers pull, a ``LIMIT 10`` stops every upstream operator after ten rows
-— the remaining triple-pattern probes (and their SDS kernel calls) never
-execute — and ``ASK`` stops after the first solution.
+SDS kernels.  Because consumers pull, a ``LIMIT 10`` stops every upstream
+operator after ten rows — the remaining triple-pattern probes (and their SDS
+kernel calls) never execute — and ``ASK`` stops after the first solution.
+
+Compiled plans are cached per BGP and invalidated on the statistics version
+(every delta write bumps it), so live updates re-plan with fresh
+cardinalities instead of replaying stale orders.
 
 The previous list-materializing evaluation survives as
 :class:`~repro.query.materializing.MaterializingQueryEngine`; the
-differential tests check that the two return byte-identical results.
+differential tests check that the two return byte-identical results.  Both
+engines accept ``planner="heuristic"`` to run the paper's Algorithm 1
+instead of the cost-based planner (the plan-quality benchmark compares
+them).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Set, Tuple, Union as TypingUnion
+from typing import Iterator, List, Optional, Set, Union as TypingUnion
 
+from repro.caching import LruCache
 from repro.query import operators as ops
-from repro.query.optimizer import JoinOrderOptimizer
-from repro.query.plan import JoinMethod, ModifierOp, PhysicalPlan, PipelinePlan
+from repro.query.optimizer import CostModel, create_optimizer
+from repro.query.plan import (
+    GroupPlan,
+    JoinMethod,
+    ModifierOp,
+    PhysicalPlan,
+    PipelinePlan,
+)
 from repro.query.tp_eval import TriplePatternEvaluator
 from repro.sparql.algebra import group_solutions
 from repro.sparql.ast import (
@@ -35,6 +51,9 @@ from repro.sparql.ast import (
 from repro.sparql.bindings import AskResult, Binding, ResultSet
 from repro.sparql.parser import parse_query
 from repro.store.succinct_edge import SuccinctEdge
+
+#: Bound on the per-engine compiled-BGP plan cache.
+_PLAN_CACHE_CAPACITY = 256
 
 
 class QueryEngine:
@@ -54,6 +73,12 @@ class QueryEngine:
         bind propagation everywhere; ``"merge"`` forces sort-merge joins where
         a single shared variable exists.  The ablation benchmark compares the
         strategies.
+    planner:
+        ``"cost"`` (default) uses the DP cost-based planner;
+        ``"heuristic"`` the paper's Algorithm 1.
+    cost_model:
+        Optional :class:`~repro.query.optimizer.CostModel` override for the
+        cost-based planner (e.g. one calibrated on this store).
     """
 
     def __init__(
@@ -61,32 +86,66 @@ class QueryEngine:
         store: SuccinctEdge,
         reasoning: bool = True,
         join_strategy: str = "auto",
+        planner: str = "cost",
+        cost_model: Optional[CostModel] = None,
     ) -> None:
         if join_strategy not in ("auto", "bind", "merge"):
             raise ValueError(f"unknown join strategy {join_strategy!r}")
         self.store = store
         self.reasoning = reasoning
         self.join_strategy = join_strategy
+        self.planner = planner
         self.evaluator = TriplePatternEvaluator(store, reasoning=reasoning)
         # Runtime estimates reuse the evaluator's Algorithm-2 counts on the
         # SDS rank/select directories when dictionary statistics draw a blank.
-        self.optimizer = JoinOrderOptimizer(
+        self.optimizer = create_optimizer(
+            planner,
             statistics=store.statistics,
             runtime_estimator=self.evaluator.estimate_cardinality,
+            reasoning=reasoning,
+            cost_model=cost_model,
         )
-        # Plans per BGP (patterns are frozen/hashable).  OPTIONAL groups are
-        # re-evaluated seeded once per upstream row; without the cache every
-        # row would re-run the optimizer and its SDS cardinality probes.
-        self._plan_cache: Dict[Tuple[TriplePattern, ...], PhysicalPlan] = {}
+        # Compiled plans per BGP, keyed on (patterns, statistics version):
+        # OPTIONAL groups are re-evaluated seeded once per upstream row, so
+        # without the cache every row would re-run the planner — and keying
+        # on the statistics version re-plans after every applied write
+        # instead of replaying orders chosen under stale cardinalities.
+        self._plan_cache = LruCache(_PLAN_CACHE_CAPACITY)
+
+    def _statistics_version(self) -> Optional[int]:
+        statistics = self.store.statistics
+        return None if statistics is None else statistics.version
 
     def _plan_bgp(self, patterns: List[TriplePattern]) -> PhysicalPlan:
         """The (cached) physical plan for one BGP."""
-        key = tuple(patterns)
-        plan = self._plan_cache.get(key)
-        if plan is None:
+        key = (tuple(patterns), self._statistics_version())
+        hit, plan = self._plan_cache.get(key)
+        if not hit:
             plan = self.optimizer.optimize(patterns)
-            self._plan_cache[key] = plan
+            self._plan_cache.put(key, plan)
         return plan
+
+    # ------------------------------------------------------------------ #
+    # plan compilation (the parser-to-server IR)
+    # ------------------------------------------------------------------ #
+
+    def compile_group(self, group: GroupGraphPattern) -> GroupPlan:
+        """Compile one WHERE-clause group into its :class:`GroupPlan` IR.
+
+        The same compilation feeds execution and ``explain()`` — there is no
+        second code path that could disagree with the rendering.
+        """
+        return GroupPlan(
+            bgp=self._plan_bgp(list(group.bgp.patterns)),
+            unions=[
+                [self.compile_group(branch) for branch in union.branches]
+                for union in group.unions
+            ],
+            optionals=[self.compile_group(optional) for optional in group.optionals],
+            values=list(group.values),
+            binds=list(group.binds),
+            filters=list(group.filters),
+        )
 
     # ------------------------------------------------------------------ #
     # public API
@@ -125,82 +184,91 @@ class QueryEngine:
         consuming only a prefix (e.g. ``itertools.islice``) evaluates only
         that prefix, which is what the edge server uses to serve paginated
         results without computing full answer sets.
+
+        The modifier pipeline is interpreted step by step from the plan IR:
+        each :class:`~repro.query.plan.ModifierStep` carries its typed
+        payload, so nothing here reaches back into the AST.
         """
         parsed = parse_query(query) if isinstance(query, str) else query
         if not isinstance(parsed, SelectQuery):
             raise TypeError(f"stream() needs a SELECT query, got {type(parsed).__name__}")
         stream: Iterator[Binding] = self._group_stream(parsed.where, Binding())
-        names = parsed.projected_names()
         for step in self.optimizer.plan_modifiers(parsed):
             if step.op == ModifierOp.AGGREGATE:
-                stream = iter(group_solutions(parsed, list(stream)))
+                stream = iter(group_solutions(step.payload, list(stream)))
             elif step.op == ModifierOp.EXTEND:
-                stream = ops.extend_select(stream, parsed.select_expressions())
+                stream = ops.extend_select(stream, list(step.payload))
             elif step.op == ModifierOp.SORT:
-                stream = iter(ops.order(stream, parsed.order_by))
+                stream = iter(ops.order(stream, list(step.payload)))
             elif step.op == ModifierOp.TOP_K:
-                fetch = (parsed.offset or 0) + (parsed.limit or 0)
-                stream = iter(ops.top_k(stream, parsed.order_by, fetch))
+                conditions, fetch = step.payload
+                stream = iter(ops.top_k(stream, list(conditions), fetch))
             elif step.op == ModifierOp.PROJECT:
-                stream = ops.project(stream, names)
+                stream = ops.project(stream, list(step.payload))
             elif step.op == ModifierOp.DISTINCT:
-                stream = ops.distinct(stream, names)
+                stream = ops.distinct(stream, list(step.payload))
             elif step.op == ModifierOp.SLICE:
-                stream = ops.slice_solutions(stream, parsed.offset, parsed.limit)
+                offset, limit = step.payload
+                stream = ops.slice_solutions(stream, offset, limit)
         return stream
 
     def plan(self, query: TypingUnion[str, Query]) -> PhysicalPlan:
         """The physical plan for the query's top-level BGP (EXPLAIN).
 
         Covers the WHERE clause's basic graph pattern only — the join order,
-        access paths and join methods of the paper's Algorithm 1.  Use
-        :meth:`pipeline_plan` for the full pipeline including the
-        solution-modifier operators.
+        access paths and join methods.  Use :meth:`pipeline_plan` for the
+        full IR including nested groups and the solution-modifier pipeline.
         """
         parsed = parse_query(query) if isinstance(query, str) else query
-        return self.optimizer.optimize(list(parsed.where.bgp.patterns))
+        return self._plan_bgp(list(parsed.where.bgp.patterns))
 
     def pipeline_plan(self, query: TypingUnion[str, Query]) -> PipelinePlan:
-        """The full execution plan: BGP steps plus solution-modifier operators."""
+        """The full execution plan: the WHERE-clause IR plus modifier steps."""
         parsed = parse_query(query) if isinstance(query, str) else query
-        where = self.optimizer.optimize(list(parsed.where.bgp.patterns))
+        group = self.compile_group(parsed.where)
         if isinstance(parsed, SelectQuery):
-            return PipelinePlan(where=where, modifiers=self.optimizer.plan_modifiers(parsed))
-        return PipelinePlan(where=where, modifiers=[])
+            modifiers = self.optimizer.plan_modifiers(parsed)
+        else:
+            modifiers = []
+        return PipelinePlan(where=group.bgp, modifiers=modifiers, group=group)
 
     def explain(self, query: TypingUnion[str, Query]) -> str:
         """Multi-line EXPLAIN output for the full pipeline."""
         return self.pipeline_plan(query).explain()
 
     # ------------------------------------------------------------------ #
-    # group evaluation (streaming)
+    # group evaluation (streaming interpretation of the GroupPlan IR)
     # ------------------------------------------------------------------ #
 
     def _group_stream(self, group: GroupGraphPattern, seed: Binding) -> Iterator[Binding]:
-        """The WHERE-clause pipeline for one group graph pattern.
+        """Compile ``group`` (cached per BGP) and interpret its plan."""
+        return self._execute_group(self.compile_group(group), seed)
 
-        Operators are chained in the engine's evaluation order: BGP joins,
-        UNION combination, OPTIONAL left-outer joins, VALUES, BINDs, then
-        FILTERs.  ``seed`` pre-binds variables (used by OPTIONAL evaluation,
-        where the outer solution propagates into the group's patterns).
+    def _execute_group(self, plan: GroupPlan, seed: Binding) -> Iterator[Binding]:
+        """Interpret one :class:`GroupPlan`: the WHERE-clause pipeline.
+
+        Operators are chained exactly in the IR's order: BGP joins, UNION
+        combination, OPTIONAL left-outer joins, VALUES, BINDs, then FILTERs.
+        ``seed`` pre-binds variables (used by OPTIONAL evaluation, where the
+        outer solution propagates into the group's patterns).
 
         This is a generator function, so *nothing* — including UNION branch
         materialization — happens before the first solution is pulled;
         ``ASK``/``LIMIT`` early termination survives pipeline construction.
         """
-        stream = self._bgp_stream(list(group.bgp.patterns), seed)
-        for union in group.unions:
+        stream = self._bgp_stream(plan.bgp, seed)
+        for union in plan.unions:
             branch_solutions: List[Binding] = []
-            for branch in union.branches:
-                branch_solutions.extend(self._group_stream(branch, Binding()))
+            for branch in union:
+                branch_solutions.extend(self._execute_group(branch, Binding()))
             stream = ops.union_combine(stream, branch_solutions)
-        for optional in group.optionals:
-            stream = ops.optional_join(stream, optional, self._group_stream)
-        for block in group.values:
+        for optional in plan.optionals:
+            stream = ops.optional_join(stream, optional, self._execute_group)
+        for block in plan.values:
             stream = ops.values_join(stream, block)
-        for bind in group.binds:
+        for bind in plan.binds:
             stream = ops.extend(stream, bind)
-        for constraint in group.filters:
+        for constraint in plan.filters:
             stream = ops.filter_solutions(stream, constraint.expression)
         yield from stream
 
@@ -208,7 +276,7 @@ class QueryEngine:
     # BGP evaluation (left-deep streaming pipeline)
     # ------------------------------------------------------------------ #
 
-    def _bgp_stream(self, patterns: List[TriplePattern], seed: Binding) -> Iterator[Binding]:
+    def _bgp_stream(self, plan: PhysicalPlan, seed: Binding) -> Iterator[Binding]:
         """Chain the planned BGP steps into a lazy left-deep join pipeline.
 
         Bind-propagation joins stream; a merge join materializes the pipeline
@@ -218,10 +286,9 @@ class QueryEngine:
         generator function, so even that materialization waits for the
         first pull.
         """
-        if not patterns:
+        if not plan.steps:
             yield seed
             return
-        plan = self._plan_bgp(patterns)
         stream: Iterator[Binding] = iter([seed])
         bound: Set[str] = set(seed)
         for position, step in enumerate(plan.steps):

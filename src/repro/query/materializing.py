@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple, Union as TypingUnion
 
 from repro.query.operators import term_join_key
-from repro.query.optimizer import JoinOrderOptimizer
+from repro.query.optimizer import create_optimizer
 from repro.query.plan import JoinMethod, PhysicalPlan
 from repro.query.tp_eval import TriplePatternEvaluator
 from repro.sparql.algebra import apply_solution_modifiers, values_bindings
@@ -46,16 +46,20 @@ class MaterializingQueryEngine:
         store: SuccinctEdge,
         reasoning: bool = True,
         join_strategy: str = "auto",
+        planner: str = "cost",
     ) -> None:
         if join_strategy not in ("auto", "bind", "merge"):
             raise ValueError(f"unknown join strategy {join_strategy!r}")
         self.store = store
         self.reasoning = reasoning
         self.join_strategy = join_strategy
+        self.planner = planner
         self.evaluator = TriplePatternEvaluator(store, reasoning=reasoning)
-        self.optimizer = JoinOrderOptimizer(
+        self.optimizer = create_optimizer(
+            planner,
             statistics=store.statistics,
             runtime_estimator=self.evaluator.estimate_cardinality,
+            reasoning=reasoning,
         )
         # Same per-BGP plan cache as the streaming engine: seeded OPTIONAL
         # evaluation would otherwise re-plan the group once per outer row.

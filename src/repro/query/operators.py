@@ -37,7 +37,10 @@ from repro.sparql.bindings import Binding
 from repro.sparql.expressions import evaluate_bind, evaluate_filter
 
 #: A group evaluator: ``(group, seed_binding) -> stream of solutions``.
-GroupEvaluator = Callable[[GroupGraphPattern, Binding], Iterator[Binding]]
+#: The ``group`` argument is opaque to the operators — the streaming engine
+#: passes compiled :class:`~repro.query.plan.GroupPlan` IR nodes, the
+#: materializing oracle passes raw AST groups.
+GroupEvaluator = Callable[[object, Binding], Iterator[Binding]]
 
 
 # --------------------------------------------------------------------- #
@@ -145,10 +148,14 @@ def union_combine(
 
 def optional_join(
     upstream: Iterable[Binding],
-    group: GroupGraphPattern,
+    group: object,
     evaluate_group: GroupEvaluator,
 ) -> Iterator[Binding]:
     """Left-outer join with an OPTIONAL group (SPARQL ``LeftJoin``).
+
+    ``group`` may be an AST :class:`GroupGraphPattern` or a compiled
+    :class:`~repro.query.plan.GroupPlan` — it is only ever handed back to
+    ``evaluate_group``.
 
     For each upstream solution the optional group is evaluated *seeded* with
     that solution (its bound variables propagate into the group's triple

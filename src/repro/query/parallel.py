@@ -15,10 +15,15 @@ work across a bounded thread pool:
   the store's subject-interval partitioner, so no fan-out happens (the
   sharded store views route the single probe);
 * **batched bind joins** — ``evaluate_many`` groups upstream bindings into
-  fixed-size batches evaluated concurrently with a bounded in-flight window,
-  yielding extensions strictly in upstream order (the operator pipeline's
-  emission order, and with it ``LIMIT``/``ASK`` early termination up to one
-  window of read-ahead, is preserved).
+  batches evaluated concurrently with a bounded in-flight window, yielding
+  extensions strictly in upstream order (the operator pipeline's emission
+  order, and with it ``LIMIT``/``ASK`` early termination up to one window of
+  read-ahead, is preserved).  Batches are **sized from the per-shard
+  cardinality statistics**: high-fan-out patterns get smaller batches so
+  tasks stay balanced and read-ahead stays bounded, and leaf scatters skip
+  shards whose per-shard counts
+  (:meth:`~repro.store.sharding.ShardedStore.shard_property_cardinalities`)
+  say they hold nothing for the probed property.
 
 Honest scaling note: CPython's GIL serialises the pure-Python kernels, so on
 a single process the fan-out does not reduce wall-clock latency — the win is
@@ -35,16 +40,22 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, Iterator, List, Optional
 
+from repro.caching import LruCache
+from repro.query.cardinality import CardinalityEstimator
 from repro.query.engine import QueryEngine
 from repro.query.tp_eval import TriplePatternEvaluator
 from repro.rdf.namespaces import RDF_TYPE
 from repro.rdf.terms import Literal, URI
-from repro.sparql.ast import TriplePattern
+from repro.sparql.ast import TriplePattern, Variable
 from repro.sparql.bindings import Binding
 from repro.store.succinct_edge import SuccinctEdge
 
 #: Default number of upstream bindings grouped into one bind-join task.
 DEFAULT_BATCH_SIZE = 64
+
+#: Rows one bind-join task should produce under the adaptive batch sizing
+#: (per-shard cardinalities tell us the expected per-binding fan-out).
+_TARGET_ROWS_PER_TASK = 256
 
 
 class ParallelExecutor:
@@ -90,6 +101,13 @@ class ParallelExecutor:
         self.window = self.max_workers + 1
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
+        # Per-shard cardinality plumbing: the estimator sizes bind-join
+        # batches from the expected per-binding fan-out, and the count cache
+        # (keyed on the store epoch) lets leaf scatters skip shards that
+        # hold no triples for the probed property.
+        statistics = getattr(store, "statistics", None)
+        self._cardinality = CardinalityEstimator(statistics, reasoning=reasoning)
+        self._shard_count_cache = LruCache(512)
 
     # ------------------------------------------------------------------ #
     # pool lifecycle
@@ -151,6 +169,7 @@ class ParallelExecutor:
         """
         pool = self._ensure_pool()
         inner_evaluate = self.inner.evaluate
+        batch_size = self._sized_batch(pattern)
 
         def expand(chunk: List[Binding]) -> List[Binding]:
             results: List[Binding] = []
@@ -173,7 +192,7 @@ class ParallelExecutor:
                 yield from scattered
                 continue
             chunk.append(binding)
-            if len(chunk) >= self.batch_size:
+            if len(chunk) >= batch_size:
                 pending.append(pool.submit(expand, chunk))
                 chunk = []
                 while len(pending) > self.window:
@@ -182,6 +201,82 @@ class ParallelExecutor:
             pending.append(pool.submit(expand, chunk))
         while pending:
             yield from pending.pop(0).result()
+
+    def _sized_batch(self, pattern: TriplePattern) -> int:
+        """Batch size for one bind join, targeting a fixed rows-per-task.
+
+        Sizes batches so one task produces about
+        :data:`_TARGET_ROWS_PER_TASK` rows — high-fan-out patterns get
+        smaller batches so tasks stay balanced across the pool and
+        read-ahead stays bounded — never exceeding the configured batch
+        size and never dropping below 8.  Falls back to the static size
+        when the statistics cannot estimate the pattern.
+        """
+        if self._cardinality.statistics is None:
+            return self.batch_size
+        if isinstance(pattern.predicate, Variable):
+            return self.batch_size
+        estimate = self._cardinality.estimate_pattern(pattern)
+        if estimate.rows <= 0:
+            return self.batch_size
+        # The upstream bindings may fix either *variable* slot (subject for
+        # SS joins, object for SO/OO), so size against the worst-case
+        # fan-out — rows per distinct value of the smaller-distinct variable
+        # side.  Constant slots carry no distinct statistic (the estimate
+        # already divided their selectivity out), so they never shrink the
+        # batch: a (?s a C) type check keeps the full batch, as it should.
+        candidates = []
+        if isinstance(pattern.subject, Variable):
+            candidates.append(max(1.0, estimate.subject_distinct))
+        if isinstance(pattern.object, Variable):
+            candidates.append(max(1.0, estimate.object_distinct))
+        if not candidates:
+            return self.batch_size
+        fanout = estimate.rows / min(candidates)
+        if fanout <= 0:
+            return self.batch_size
+        proposed = int(_TARGET_ROWS_PER_TASK / fanout)
+        if proposed >= self.batch_size:
+            return self.batch_size
+        return max(8, proposed)
+
+    # ------------------------------------------------------------------ #
+    # per-shard cardinalities (scatter pruning)
+    # ------------------------------------------------------------------ #
+
+    def _cached_counts(self, key, compute) -> Optional[List[int]]:
+        hit, counts = self._shard_count_cache.get(key)
+        if not hit:
+            counts = compute()
+            self._shard_count_cache.put(key, counts)
+        return counts
+
+    def _property_shard_counts(self, property_id: int) -> Optional[List[int]]:
+        """Per-shard triple counts for a property (``None`` off sharded stores)."""
+        counts_fn = getattr(self.store, "shard_property_cardinalities", None)
+        if counts_fn is None:
+            return None
+        key = ("p", property_id, getattr(self.store, "snapshot_epoch", None))
+        return self._cached_counts(key, lambda: counts_fn(property_id))
+
+    def _concept_shard_counts(self, low: int, high: int) -> Optional[List[int]]:
+        """Per-shard ``rdf:type`` counts for a concept interval."""
+        counts_fn = getattr(self.store, "shard_concept_cardinalities", None)
+        if counts_fn is None:
+            return None
+        key = ("t", low, high, getattr(self.store, "snapshot_epoch", None))
+        return self._cached_counts(key, lambda: counts_fn(low, high))
+
+    def _shards_holding(self, counts: Optional[List[int]]) -> List[SuccinctEdge]:
+        """The shards with a non-zero count, in shard order.
+
+        Skipping empty shards cannot change the emission (they contribute
+        nothing) but saves one task — and one thread-pool round trip — per
+        (property × layout × empty shard).
+        """
+        if counts is None or len(counts) != len(self.shards):
+            return self.shards
+        return [shard for shard, count in zip(self.shards, counts) if count]
 
     # ------------------------------------------------------------------ #
     # leaf scatter-gather
@@ -225,14 +320,18 @@ class ParallelExecutor:
         pool = self._ensure_pool()
         if self.reasoning:
             low, high = store.concepts.interval(object_term)
+            shards = self._shards_holding(self._concept_shard_counts(low, high))
             futures = [
                 pool.submit(shard.type_store.subjects_of_interval, low, high)
-                for shard in self.shards
+                for shard in shards
             ]
         else:
+            shards = self._shards_holding(
+                self._concept_shard_counts(concept_id, concept_id + 1)
+            )
             futures = [
                 pool.submit(shard.type_store.subjects_of, concept_id)
-                for shard in self.shards
+                for shard in shards
             ]
         extract = store.instances.extract
         extend = binding.extended
@@ -275,7 +374,8 @@ class ParallelExecutor:
                     return
             futures = []
             for property_id in property_ids:
-                for shard in self.shards:
+                shards = self._shards_holding(self._property_shard_counts(property_id))
+                for shard in shards:
                     if isinstance(object_term, Literal):
                         futures.append(
                             pool.submit(
@@ -304,18 +404,19 @@ class ParallelExecutor:
         adopt = Binding._adopt
 
         def schedule(property_id: int):
+            shards = self._shards_holding(self._property_shard_counts(property_id))
             return (
                 [
                     pool.submit(
                         lambda s=shard, p=property_id: list(s.object_store.pairs_for_property(p))
                     )
-                    for shard in self.shards
+                    for shard in shards
                 ],
                 [
                     pool.submit(
                         lambda s=shard, p=property_id: list(s.datatype_store.pairs_for_property(p))
                     )
-                    for shard in self.shards
+                    for shard in shards
                 ],
             )
 
@@ -361,8 +462,11 @@ class ParallelQueryEngine(QueryEngine):
         join_strategy: str = "auto",
         max_workers: Optional[int] = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        planner: str = "cost",
     ) -> None:
-        super().__init__(store, reasoning=reasoning, join_strategy=join_strategy)
+        super().__init__(
+            store, reasoning=reasoning, join_strategy=join_strategy, planner=planner
+        )
         # The optimizer keeps its runtime estimator (bound to the sequential
         # evaluator, which the parallel one delegates to) — plans, and with
         # them result order, cannot diverge from the sequential engine.

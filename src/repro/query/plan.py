@@ -1,25 +1,35 @@
-"""Physical plan description.
+"""The unified plan IR: costed join steps, group operators, modifiers.
 
 The optimizer produces a left-deep sequence of plan steps; each step records
 the access path the executor will use (which storage layout and which of the
-paper's algorithms) and the join type linking it to the already-computed
-prefix.  The plan is purely descriptive — the executor interprets it — but it
-doubles as an ``EXPLAIN`` output for debugging and for the optimizer tests.
+paper's algorithms), the join type linking it to the already-computed
+prefix, and — since the cost-based planning rework — the estimated
+cardinality, cumulative row count and cumulative cost in SDS-kernel-call
+units.  Cross products are flagged explicitly (``CARTESIAN`` in the
+rendering) so the hazard is visible in every EXPLAIN.
 
-Since the streaming-pipeline rework the plan has a second half: the
-*solution-modifier pipeline* (:class:`ModifierStep` / :class:`PipelinePlan`)
-describing the operators applied after the WHERE clause — aggregation,
-ordering (with the top-k short circuit for ``ORDER BY ... LIMIT k``),
-projection, DISTINCT and the lazy OFFSET/LIMIT slice.  The streaming engine
-executes exactly the steps listed here, so ``EXPLAIN`` output and execution
-cannot disagree.
+The IR has three layers, and the engines interpret it directly (one code
+path from parser to server — ``explain()`` output and execution cannot
+disagree):
+
+* :class:`PhysicalPlan` — the BGP join order (a left-deep tree);
+* :class:`GroupPlan` — one WHERE-clause group: its BGP plan plus the
+  placement of UNION branches, OPTIONAL subgroups (each a nested
+  :class:`GroupPlan`), VALUES blocks, BINDs and FILTERs, in evaluation
+  order;
+* :class:`PipelinePlan` — the full query: the root group plus the
+  *solution-modifier pipeline* (:class:`ModifierStep`) — aggregation,
+  ordering (with the top-k short circuit for ``ORDER BY ... LIMIT k``),
+  projection, DISTINCT and the lazy OFFSET/LIMIT slice.  Each modifier step
+  carries the typed payload the executor consumes, so the engine never
+  reaches back into the AST mid-pipeline.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from repro.sparql.ast import TriplePattern, Variable
 
@@ -47,7 +57,16 @@ class JoinMethod(enum.Enum):
 
 @dataclass
 class PlanStep:
-    """One step of the left-deep plan."""
+    """One step of the left-deep plan.
+
+    ``estimated_cardinality`` is the pattern's stand-alone estimate (the
+    statistic Algorithm 1 ranks on); ``estimated_rows`` / ``estimated_cost``
+    are cumulative — the expected intermediate-result size after this join
+    and the total SDS-kernel-call budget spent up to and including it.
+    ``cartesian`` flags a step with no join edge to the prefix: the executor
+    falls back to re-evaluating the pattern per prefix row (an explicit,
+    explicitly-costed cross product).
+    """
 
     pattern_index: int
     pattern: TriplePattern
@@ -55,23 +74,40 @@ class PlanStep:
     join_method: JoinMethod = JoinMethod.NONE
     join_type: str = ""
     estimated_cardinality: Optional[int] = None
+    estimated_rows: Optional[int] = None
+    estimated_cost: Optional[float] = None
+    cartesian: bool = False
 
     def describe(self) -> str:
         """One-line human-readable description."""
         parts = [f"tp{self.pattern_index + 1} [{self.access_path.value}]"]
+        if self.cartesian:
+            parts.append("CARTESIAN")
         if self.join_method != JoinMethod.NONE:
-            parts.append(f"join={self.join_method.value}({self.join_type})")
+            join_label = self.join_type or "×"
+            parts.append(f"join={self.join_method.value}({join_label})")
         if self.estimated_cardinality is not None:
             parts.append(f"card~{self.estimated_cardinality}")
+        if self.estimated_rows is not None:
+            parts.append(f"rows~{self.estimated_rows}")
+        if self.estimated_cost is not None:
+            parts.append(f"cost~{self.estimated_cost:.1f}")
         parts.append(str(self.pattern))
         return " ".join(parts)
 
 
 @dataclass
 class PhysicalPlan:
-    """Ordered sequence of plan steps (a left-deep join tree)."""
+    """Ordered sequence of plan steps (a left-deep join tree).
+
+    ``method`` names the planner that produced the order (``"cost-dp"``,
+    ``"cost-greedy"`` for the above-threshold fallback, ``"heuristic"`` for
+    the paper's Algorithm 1); it is rendered in EXPLAIN output so plan
+    regressions in review show *which* planner changed its mind.
+    """
 
     steps: List[PlanStep] = field(default_factory=list)
+    method: str = ""
 
     def __len__(self) -> int:
         return len(self.steps)
@@ -82,6 +118,13 @@ class PhysicalPlan:
     def order(self) -> List[int]:
         """Pattern indexes in execution order."""
         return [step.pattern_index for step in self.steps]
+
+    @property
+    def estimated_total_cost(self) -> Optional[float]:
+        """Cumulative cost of the final step (``None`` when not costed)."""
+        if not self.steps:
+            return None
+        return self.steps[-1].estimated_cost
 
     def explain(self) -> str:
         """Multi-line EXPLAIN-style description of the plan."""
@@ -102,10 +145,17 @@ class ModifierOp(enum.Enum):
 
 @dataclass
 class ModifierStep:
-    """One solution-modifier operator with its parameters."""
+    """One solution-modifier operator with its parameters.
+
+    ``payload`` carries the typed arguments the executor needs (order
+    conditions, projected names, slice bounds, ...) so the engine interprets
+    the step without consulting the AST; ``detail`` is its human-readable
+    rendering.
+    """
 
     op: ModifierOp
     detail: str = ""
+    payload: Any = None
 
     def describe(self) -> str:
         """One-line human-readable description."""
@@ -113,15 +163,87 @@ class ModifierStep:
 
 
 @dataclass
+class GroupPlan:
+    """The plan of one WHERE-clause group, in evaluation order.
+
+    The BGP join plan runs first; UNION combinations, OPTIONAL left-outer
+    joins (each with its own nested :class:`GroupPlan`), VALUES joins, BINDs
+    and FILTERs are applied in the order listed — exactly the order the
+    streaming engine chains its operators, so the rendering *is* the
+    execution.
+    """
+
+    bgp: PhysicalPlan
+    #: One entry per UNION: the plans of its branches.
+    unions: List[List["GroupPlan"]] = field(default_factory=list)
+    #: One nested plan per OPTIONAL group.
+    optionals: List["GroupPlan"] = field(default_factory=list)
+    #: VALUES blocks (AST references; rendered by their describe strings).
+    values: List[Any] = field(default_factory=list)
+    #: BIND clauses (AST references).
+    binds: List[Any] = field(default_factory=list)
+    #: FILTER constraints (AST references).
+    filters: List[Any] = field(default_factory=list)
+
+    def explain(self, indent: int = 0) -> str:
+        """Indented EXPLAIN rendering of the group and its subgroups."""
+        pad = "  " * indent
+        lines: List[str] = []
+        if self.bgp.steps:
+            lines.extend(pad + line for line in self.bgp.explain().splitlines())
+        for union in self.unions:
+            lines.append(pad + "union:")
+            for branch in union:
+                lines.append(pad + "  branch:")
+                rendered = branch.explain(indent + 2)
+                if rendered:
+                    lines.append(rendered)
+        for optional in self.optionals:
+            lines.append(pad + "optional:")
+            rendered = optional.explain(indent + 1)
+            if rendered:
+                lines.append(rendered)
+        for block in self.values:
+            names = ", ".join(f"?{v.name}" for v in getattr(block, "variables", []))
+            rows = len(getattr(block, "rows", []) or [])
+            lines.append(pad + f"values([{names}] rows={rows})")
+        for bind in self.binds:
+            lines.append(
+                pad + f"bind({bind.expression} AS ?{bind.variable.name})"
+            )
+        for constraint in self.filters:
+            lines.append(pad + f"filter({constraint.expression})")
+        return "\n".join(lines)
+
+
+@dataclass
 class PipelinePlan:
-    """The full query plan: WHERE-clause steps plus the modifier pipeline."""
+    """The full query plan: the root group plus the modifier pipeline.
+
+    ``where`` (the root group's BGP plan) is kept as a direct attribute for
+    API continuity; ``group``, when present, is the complete WHERE-clause IR
+    including OPTIONAL/VALUES/FILTER placement.
+    """
 
     where: "PhysicalPlan"
     modifiers: List[ModifierStep] = field(default_factory=list)
+    group: Optional[GroupPlan] = None
 
     def explain(self) -> str:
-        """Multi-line EXPLAIN output covering both plan halves."""
-        lines = [self.where.explain()] if self.where.steps else []
+        """Multi-line EXPLAIN output covering the whole pipeline."""
+        lines: List[str] = []
+        if self.where.method:
+            header = f"plan [{self.where.method}]"
+            cost = self.where.estimated_total_cost
+            if cost is not None:
+                header += f" est-cost~{cost:.1f}"
+            lines.append(header)
+        if self.group is not None:
+            rendered = self.group.explain()
+            if rendered:
+                lines.append(rendered)
+        elif self.where.steps:
+            lines.append(self.where.explain())
         lines.extend(step.describe() for step in self.modifiers)
         return "\n".join(lines)
 

@@ -7,83 +7,19 @@ invalidation mechanism: every applied write bumps the store's ``data_epoch``
 :class:`~repro.store.sharding.ShardedStore`), so post-write lookups miss and
 the pre-write entries age out through the LRU bound — no explicit
 invalidation pass, no stale reads at the current epoch.
+
+The implementation lives in :mod:`repro.caching` (the same LRU backs the
+engines' compiled-plan cache and the parallel executor's per-shard count
+cache); this module keeps the serving layer's historical import path.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import OrderedDict
-from typing import Hashable, Optional, Tuple
-
-#: Returned by :meth:`ResultCache.get` on a miss (``None`` is a valid value).
-_MISS = object()
+from repro.caching import LruCache
 
 
-class ResultCache:
-    """A bounded, thread-safe LRU mapping of cache keys to results."""
+class ResultCache(LruCache):
+    """The serving layer's result/plan cache (a plain :class:`LruCache`)."""
 
-    def __init__(self, capacity: int = 256) -> None:
-        if capacity < 1:
-            raise ValueError("cache capacity must be positive")
-        self.capacity = capacity
-        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
-        self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
 
-    def get(self, key: Hashable) -> Tuple[bool, Optional[object]]:
-        """``(True, value)`` on a hit, ``(False, None)`` on a miss."""
-        with self._lock:
-            value = self._entries.get(key, _MISS)
-            if value is _MISS:
-                self.misses += 1
-                return False, None
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return True, value
-
-    def put(self, key: Hashable, value: object) -> None:
-        """Insert ``value``, evicting the least recently used entry if full."""
-        with self._lock:
-            if key in self._entries:
-                self._entries.move_to_end(key)
-                self._entries[key] = value
-                return
-            self._entries[key] = value
-            if len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.evictions += 1
-
-    def clear(self) -> None:
-        """Drop every entry (counters are kept)."""
-        with self._lock:
-            self._entries.clear()
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
-
-    @property
-    def hit_rate(self) -> float:
-        """Hits over lookups since construction (0.0 with no lookups)."""
-        lookups = self.hits + self.misses
-        return self.hits / lookups if lookups else 0.0
-
-    def info(self) -> dict:
-        """One consistent snapshot of the counters."""
-        with self._lock:
-            return {
-                "capacity": self.capacity,
-                "entries": len(self._entries),
-                "hits": self.hits,
-                "misses": self.misses,
-                "evictions": self.evictions,
-                "hit_rate": round(self.hit_rate, 4),
-            }
-
-    def __repr__(self) -> str:
-        return (
-            f"ResultCache({len(self)}/{self.capacity} entries, "
-            f"{self.hits} hits, {self.misses} misses)"
-        )
+__all__ = ["ResultCache"]

@@ -13,7 +13,10 @@ Endpoints
     ``query`` parameter (URL-encoded on GET, form- or raw-body on POST),
     optional ``reasoning=0|1`` and ``timeout`` (seconds).  Responds with a
     SPARQL-JSON-style document; serving metadata travels in the
-    ``X-Cache`` / ``X-Epoch`` / ``X-Elapsed-Ms`` headers.
+    ``X-Cache`` / ``X-Epoch`` / ``X-Elapsed-Ms`` headers.  With
+    ``explain=1`` the query is *planned but not executed*: the response is
+    ``{"plan": ..., "planner": ..., "epoch": ...}`` — the exact plan IR the
+    engine would interpret, served from the epoch-keyed plan cache.
 ``GET /healthz``
     Liveness: store triple count and snapshot epoch.
 ``GET /metrics``
@@ -133,6 +136,22 @@ class _SparqlRequestHandler(BaseHTTPRequestHandler):
             except ValueError:
                 self._send_json(400, {"error": "invalid 'timeout' parameter"})
                 return
+        if "explain" in params and params["explain"][0] not in ("0", "false", "no"):
+            try:
+                document = self.service.explain(
+                    queries[0], reasoning=reasoning, timeout_s=timeout_s
+                )
+            except QueryRejected as exc:
+                self._send_json(503, {"error": str(exc)}, headers={"Retry-After": "1"})
+                return
+            except QueryTimeout as exc:
+                self._send_json(504, {"error": str(exc)})
+                return
+            except SparqlParseError as exc:
+                self._send_json(400, {"error": str(exc)})
+                return
+            self._send_json(200, document)
+            return
         prepared = {}
 
         def deliver(outcome: QueryOutcome) -> None:
@@ -319,6 +338,16 @@ class SparqlClient:
         if document["_status"] != 200:
             raise RuntimeError(f"server error {document['_status']}: {document.get('error')}")
         return document["results"]["rows"]
+
+    def explain(self, sparql: str, reasoning: Optional[bool] = None) -> dict:
+        """Plan (but do not run) a query: the ``explain=1`` document."""
+        suffix = "?explain=1"
+        if reasoning is not None:
+            suffix += f"&reasoning={1 if reasoning else 0}"
+        document = self._request("/sparql" + suffix, data=sparql.encode("utf-8"))
+        if document["_status"] != 200:
+            raise RuntimeError(f"server error {document['_status']}: {document.get('error')}")
+        return document
 
     def ask(self, sparql: str, reasoning: Optional[bool] = None) -> bool:
         """The boolean of an ASK query."""

@@ -22,13 +22,26 @@ cache fill → metrics.
 * **Caching**: results are materialized once and cached under
   ``(query, reasoning, snapshot_epoch)``.  Any write bumps the store's
   ``data_epoch`` (on sharded stores: any shard's), so later lookups miss;
-  see :mod:`repro.serve.cache`.
+  see :mod:`repro.serve.cache`.  Two further LRUs serve the planning path:
+  a **parse cache** keyed on the query text alone (ASTs are immutable and
+  epoch-independent, so repeated queries skip the parser even across
+  writes) and the **plan cache**, keyed on ``(query text, reasoning,
+  data_epoch)``, holding the compiled
+  :class:`~repro.query.plan.PipelinePlan` served by
+  :meth:`QueryService.explain` — writes move the epoch (and with it the
+  statistics the planner read), re-keying the entry and forcing a re-plan.
+  Execution itself plans through the engines' own statistics-version-keyed
+  plan caches.  ``explain`` runs under the same admission control as
+  ``execute`` (planning probes the SDS directories, so it is real work the
+  worker pool must bound).  The HTTP transport exposes it as ``explain=1``
+  on ``/sparql``.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
@@ -87,7 +100,11 @@ class QueryService:
     max_pending:
         Maximum queries waiting for a slot before rejections start.
     cache_capacity:
-        LRU entries kept; ``0`` disables caching.
+        LRU entries kept in the *result* cache; ``0`` disables it.
+    plan_cache_capacity:
+        LRU entries kept in the *parse* cache (ASTs, keyed on query text)
+        and the *plan* cache (compiled plans for ``explain``, keyed on
+        query text, reasoning and data epoch); ``0`` disables both.
     default_timeout_s:
         Deadline applied when a call does not pass its own.
     """
@@ -100,6 +117,7 @@ class QueryService:
         worker_slots: int = 4,
         max_pending: int = 64,
         cache_capacity: int = 256,
+        plan_cache_capacity: int = 128,
         default_timeout_s: Optional[float] = None,
     ) -> None:
         if worker_slots < 1:
@@ -112,6 +130,12 @@ class QueryService:
         self.default_timeout_s = default_timeout_s
         self.cache: Optional[ResultCache] = (
             ResultCache(cache_capacity) if cache_capacity else None
+        )
+        self.plan_cache: Optional[ResultCache] = (
+            ResultCache(plan_cache_capacity) if plan_cache_capacity else None
+        )
+        self._parse_cache: Optional[ResultCache] = (
+            ResultCache(plan_cache_capacity) if plan_cache_capacity else None
         )
         self.metrics = ServingMetrics()
         self._slots = threading.Semaphore(worker_slots)
@@ -184,7 +208,19 @@ class QueryService:
         # wait included — so a timed-out request cannot sit behind a deep
         # queue and still run its full query afterwards.
         started = time.perf_counter()
+        with self._admission(timeout):
+            outcome = self._execute_admitted(query, use_reasoning, started, timeout)
+            if deliver is not None:
+                deliver(outcome)
+            return outcome
 
+    @contextmanager
+    def _admission(self, timeout: Optional[float]):
+        """Admission control shared by :meth:`execute` and :meth:`explain`.
+
+        Enforces the pending bound (fast :class:`QueryRejected` under
+        overload) and holds one worker slot for the duration of the body.
+        """
         with self._pending_lock:
             if self._pending >= self.max_pending + self.worker_slots:
                 self.metrics.record_rejection()
@@ -202,10 +238,7 @@ class QueryService:
                     f"no worker slot freed within the {timeout:.3f}s deadline"
                 )
             try:
-                outcome = self._execute_admitted(query, use_reasoning, started, timeout)
-                if deliver is not None:
-                    deliver(outcome)
-                return outcome
+                yield
             finally:
                 self._slots.release()
         finally:
@@ -243,11 +276,67 @@ class QueryService:
         self.metrics.record_completion(elapsed_ms, cached=False)
         return QueryOutcome(result=result, cached=False, elapsed_ms=elapsed_ms, epoch=epoch)
 
+    # ------------------------------------------------------------------ #
+    # parse cache, plan cache + explain
+    # ------------------------------------------------------------------ #
+
+    def _parsed(self, query: str):
+        """The (cached) parsed AST of ``query``.
+
+        Keyed on the text alone — ASTs are immutable and independent of
+        both reasoning mode and data epoch, so parse work survives writes.
+        Parse errors propagate and are never cached.
+        """
+        if self._parse_cache is not None:
+            hit, parsed = self._parse_cache.get(query)
+            if hit:
+                return parsed
+        parsed = parse_query(query)
+        if self._parse_cache is not None:
+            self._parse_cache.put(query, parsed)
+        return parsed
+
+    def explain(
+        self,
+        query: str,
+        reasoning: Optional[bool] = None,
+        timeout_s: Optional[float] = None,
+    ) -> dict:
+        """The execution plan of ``query`` without running it.
+
+        Returns the rendered plan (the exact IR the engine would
+        interpret), the planner that produced the BGP order and the current
+        epoch, served from the epoch-keyed plan cache.  Planning probes the
+        SDS structures, so the call runs under the same admission control
+        as :meth:`execute` — it can raise :class:`QueryRejected` and
+        :class:`QueryTimeout` besides propagating
+        :class:`~repro.sparql.parser.SparqlParseError`.
+        """
+        use_reasoning = self.reasoning if reasoning is None else reasoning
+        timeout = self.default_timeout_s if timeout_s is None else timeout_s
+        key = (query, use_reasoning, self.store.data_epoch)
+        if self.plan_cache is not None:
+            hit, plan = self.plan_cache.get(key)
+            if hit:
+                return self._explain_document(plan)
+        with self._admission(timeout):
+            plan = self._engine(use_reasoning).pipeline_plan(self._parsed(query))
+        if self.plan_cache is not None:
+            self.plan_cache.put(key, plan)
+        return self._explain_document(plan)
+
+    def _explain_document(self, plan) -> dict:
+        return {
+            "plan": plan.explain(),
+            "planner": plan.where.method,
+            "epoch": list(self.store.snapshot_epoch),
+        }
+
     def _run(
         self, query: str, reasoning: bool, started: float, timeout: Optional[float]
     ) -> Union[ResultSet, AskResult]:
         engine = self._engine(reasoning)
-        parsed = parse_query(query)
+        parsed = self._parsed(query)
         if isinstance(parsed, AskQuery):
             # ASK stops at the first solution; a deadline check after the
             # fact covers the (rare) long empty probe.
@@ -277,6 +366,10 @@ class QueryService:
         info = {
             "metrics": self.metrics.snapshot(),
             "cache": self.cache.info() if self.cache is not None else None,
+            "plan_cache": self.plan_cache.info() if self.plan_cache is not None else None,
+            "parse_cache": (
+                self._parse_cache.info() if self._parse_cache is not None else None
+            ),
             "store": {
                 "triples": self.store.triple_count,
                 "compaction_epoch": self.store.compaction_epoch,

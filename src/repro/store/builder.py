@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.dictionary.literal_store import LiteralStore
-from repro.dictionary.statistics import DictionaryStatistics
+from repro.dictionary.statistics import DictionaryStatistics, profile_triples
 from repro.dictionary.term_dictionary import (
     ConceptDictionary,
     InstanceDictionary,
@@ -122,6 +122,15 @@ class StoreBuilder:
         datatype_store = DatatypeTripleStore(datatype_triples, literal_store)
         type_store = RDFTypeStore(type_triples)
         statistics = DictionaryStatistics(concepts, properties, instances)
+        # Join-aware statistics for the cost-based planner: one profiling
+        # pass over the already-encoded triples (distinct subject/object
+        # counts per property, characteristic sets per subject).
+        profiles, characteristic_sets = profile_triples(
+            object_triples, datatype_triples, type_triples
+        )
+        statistics.register_profiles(
+            profiles, characteristic_sets, type_triple_count=len(type_triples)
+        )
 
         return SuccinctEdge(
             schema=schema,

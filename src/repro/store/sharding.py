@@ -463,6 +463,29 @@ class ShardedStore(SuccinctEdge):
         """Index of the shard owning ``subject_id`` (the pruning primitive)."""
         return self.partitioner.shard_of(subject_id)
 
+    def shard_property_cardinalities(self, property_id: int) -> List[int]:
+        """Per-shard triple counts for ``property_id`` (both PSO layouts).
+
+        The cost-based planner and :class:`~repro.query.parallel.ParallelExecutor`
+        use this to prune empty shards from a leaf scatter and to size the
+        scatter batches — each count is two Algorithm-2 probes per shard on
+        the rank/select directories, so the aggregation is cheap.
+        """
+        return [
+            shard.object_store.count_triples_with_property(property_id)
+            + shard.datatype_store.count_triples_with_property(property_id)
+            for shard in self.shards
+        ]
+
+    def shard_concept_cardinalities(
+        self, concept_low: int, concept_high: int
+    ) -> List[int]:
+        """Per-shard ``rdf:type`` triple counts for a concept interval."""
+        return [
+            shard.type_store.count_concept_interval(concept_low, concept_high)
+            for shard in self.shards
+        ]
+
     def shard_summary(self) -> List[dict]:
         """Per-shard accounting (interval, triple counts, epochs)."""
         rows = []

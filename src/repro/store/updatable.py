@@ -11,8 +11,11 @@ streaming pipeline, the optimizer statistics) works unchanged while
   *overflow tables* (identifiers above the LiteMat space, degenerate
   intervals) and are merged into the dictionaries at compaction;
 * deletes record tombstones; deleting a pending insert simply drops it;
-* occurrence statistics are maintained incrementally so that the optimizer
-  plans over base + delta exactly as it would over a from-scratch rebuild;
+* occurrence statistics *and* the cost-based planner's join profiles
+  (per-property triple counts, see :mod:`repro.dictionary.statistics`) are
+  maintained incrementally so that the optimizer plans over base + delta —
+  every applied write also bumps the statistics version, invalidating
+  derived caches (the unbound-pattern mass, epoch-keyed plan caches);
 * :meth:`compact` folds the delta into a fresh succinct base through the
   ``presorted`` construction path — the overlay's merged iterators are
   already in PSO / PS / SO order, so compaction skips the sort pass;
@@ -396,6 +399,7 @@ class UpdatableSuccinctEdge(SuccinctEdge):
             if record_stats:
                 self.concepts.record_occurrence(concept_id)
                 self.instances.record_occurrence(subject_id)
+                self.statistics.note_type_write(+1)
             return True
         property_id = self.properties.add_overflow(predicate)
         subject_id = self.instances.add(subject)
@@ -410,6 +414,7 @@ class UpdatableSuccinctEdge(SuccinctEdge):
             if record_stats:
                 self.properties.record_occurrence(property_id)
                 self.instances.record_occurrence(subject_id)
+                self.statistics.note_property_write(property_id, +1)
             return True
         object_id = self.instances.add(obj)
         delta = self._delta.objects
@@ -423,6 +428,7 @@ class UpdatableSuccinctEdge(SuccinctEdge):
             self.properties.record_occurrence(property_id)
             self.instances.record_occurrence(subject_id)
             self.instances.record_occurrence(object_id)
+            self.statistics.note_property_write(property_id, +1)
         return True
 
     def _apply_delete(self, triple: Triple, record_stats: bool) -> bool:
@@ -448,6 +454,7 @@ class UpdatableSuccinctEdge(SuccinctEdge):
             if record_stats:
                 self.concepts.record_occurrence(concept_id, -1)
                 self.instances.record_occurrence(subject_id, -1)
+                self.statistics.note_type_write(-1)
             return True
         property_id = self.properties.try_locate(predicate)
         subject_id = self.instances.try_locate(subject)
@@ -466,6 +473,7 @@ class UpdatableSuccinctEdge(SuccinctEdge):
             if record_stats:
                 self.properties.record_occurrence(property_id, -1)
                 self.instances.record_occurrence(subject_id, -1)
+                self.statistics.note_property_write(property_id, -1)
             return True
         object_id = self.instances.try_locate(obj)
         if object_id is None:
@@ -483,6 +491,7 @@ class UpdatableSuccinctEdge(SuccinctEdge):
             self.properties.record_occurrence(property_id, -1)
             self.instances.record_occurrence(subject_id, -1)
             self.instances.record_occurrence(object_id, -1)
+            self.statistics.note_property_write(property_id, -1)
         return True
 
     # ------------------------------------------------------------------ #

@@ -32,6 +32,7 @@ def test_docs_exist_and_are_linked_from_readme():
         "update_lifecycle.md",
         "operations.md",
         "performance.md",
+        "query_planning.md",
     ):
         assert (REPO_ROOT / "docs" / name).is_file()
         assert name in readme, f"README does not link docs/{name}"
@@ -39,7 +40,7 @@ def test_docs_exist_and_are_linked_from_readme():
 
 def test_new_docs_pages_are_linked_from_architecture_map():
     architecture = (REPO_ROOT / "docs" / "architecture.md").read_text(encoding="utf-8")
-    for name in ("operations.md", "performance.md"):
+    for name in ("operations.md", "performance.md", "query_planning.md"):
         assert name in architecture, f"docs/architecture.md does not link {name}"
 
 

@@ -122,3 +122,65 @@ def test_estimates_delegate_to_sequential(sharded, small_lubm_store):
         assert executor.estimate_cardinality(pattern) == TriplePatternEvaluator(
             small_lubm_store
         ).estimate_cardinality(pattern)
+
+
+# --------------------------------------------------------------------------- #
+# per-shard cardinalities (PR 5): scatter pruning + batch sizing
+# --------------------------------------------------------------------------- #
+
+
+def test_shard_property_cardinalities_sum_to_monolithic(sharded, small_lubm_store):
+    for property_id in list(small_lubm_store.object_store.properties)[:5]:
+        per_shard = sharded.shard_property_cardinalities(property_id)
+        assert len(per_shard) == sharded.shard_count
+        expected = small_lubm_store.object_store.count_triples_with_property(
+            property_id
+        ) + small_lubm_store.datatype_store.count_triples_with_property(property_id)
+        assert sum(per_shard) == expected
+
+
+def test_shard_concept_cardinalities_sum_to_monolithic(sharded, small_lubm_store):
+    concept_ids = sorted({c for _s, c in small_lubm_store.type_store.iter_triples()})[:3]
+    for concept_id in concept_ids:
+        per_shard = sharded.shard_concept_cardinalities(concept_id, concept_id + 1)
+        assert sum(per_shard) == small_lubm_store.type_store.count_concept(concept_id)
+
+
+def test_scatter_skips_empty_shards(sharded):
+    executor = ParallelExecutor(sharded)
+    try:
+        property_id = next(iter(sharded.object_store.properties))
+        counts = executor._property_shard_counts(property_id)
+        holding = executor._shards_holding(counts)
+        assert len(holding) == len([c for c in counts if c])
+        # A second lookup is served from the epoch-keyed cache.
+        assert executor._property_shard_counts(property_id) is counts
+    finally:
+        executor.close()
+
+
+def test_adaptive_batch_sizing(sharded):
+    executor = ParallelExecutor(sharded, batch_size=64)
+    try:
+        # A bound-object probe has sub-row fan-out: keep the static batch.
+        selective = _pattern("?s <http://swat.cse.lehigh.edu/onto/univ-bench.owl#headOf> ?o")
+        assert executor._sized_batch(selective) == 64
+        # An unbound-predicate pattern cannot be estimated: static batch too.
+        unknown = _pattern("?s ?p ?o")
+        assert executor._sized_batch(unknown) == 64
+    finally:
+        executor.close()
+
+
+def test_adaptive_batch_shrinks_for_high_fanout(small_lubm_store):
+    executor = ParallelExecutor(small_lubm_store)
+    try:
+        pattern = _pattern("?s <http://swat.cse.lehigh.edu/onto/univ-bench.owl#name> ?o")
+        estimate = executor._cardinality.estimate_pattern(pattern)
+        sized = executor._sized_batch(pattern)
+        fanout = estimate.rows / max(1.0, estimate.subject_distinct)
+        if fanout > 4:  # only high-fan-out patterns shrink
+            assert sized < executor.batch_size
+        assert sized >= 8
+    finally:
+        executor.close()

@@ -1,0 +1,89 @@
+"""Plan-snapshot regression suite: pinned ``explain()`` output per query.
+
+Pins the full pipeline plan (cost-based planner, reasoning on) of all 26
+paper queries plus the A1-A6 analytics additions against a checked-in
+snapshot, so any PR that changes a plan — intentionally or not — shows the
+diff in review instead of silently shifting kernel-call counts.
+
+Regenerate after an intentional planner change with::
+
+    REPRO_UPDATE_PLAN_SNAPSHOTS=1 python -m pytest tests/test_plan_snapshots.py -q
+
+The snapshot is deterministic: the LUBM generator is seeded, plans are pure
+functions of (query, statistics), and cost renderings are rounded.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.query.engine import QueryEngine
+
+SNAPSHOT_PATH = pathlib.Path(__file__).parent / "plan_snapshots" / "paper_queries_explain.txt"
+_UPDATE = os.environ.get("REPRO_UPDATE_PLAN_SNAPSHOTS", "") not in ("", "0")
+
+
+def render_snapshot(store, catalog) -> str:
+    engine = QueryEngine(store, reasoning=True, planner="cost")
+    sections = []
+    for query in catalog.extended_queries():
+        sections.append(f"### {query.identifier}\n{engine.explain(query.sparql)}\n")
+    return "\n".join(sections)
+
+
+def parse_snapshot(text: str) -> dict:
+    sections = {}
+    current = None
+    lines: list = []
+    for line in text.splitlines():
+        if line.startswith("### "):
+            if current is not None:
+                sections[current] = "\n".join(lines).strip()
+            current = line[4:].strip()
+            lines = []
+        else:
+            lines.append(line)
+    if current is not None:
+        sections[current] = "\n".join(lines).strip()
+    return sections
+
+
+@pytest.fixture(scope="module")
+def rendered(small_lubm_store, small_lubm_catalog) -> str:
+    return render_snapshot(small_lubm_store, small_lubm_catalog)
+
+
+def test_snapshot_file_exists_or_is_written(rendered):
+    if _UPDATE or not SNAPSHOT_PATH.exists():
+        SNAPSHOT_PATH.parent.mkdir(parents=True, exist_ok=True)
+        SNAPSHOT_PATH.write_text(rendered)
+    assert SNAPSHOT_PATH.exists()
+
+
+def test_every_query_plan_matches_snapshot(rendered, small_lubm_catalog):
+    if not SNAPSHOT_PATH.exists():  # first run just wrote it
+        pytest.skip("snapshot file was just created")
+    expected = parse_snapshot(SNAPSHOT_PATH.read_text())
+    actual = parse_snapshot(rendered)
+    identifiers = [q.identifier for q in small_lubm_catalog.extended_queries()]
+    assert set(expected) == set(actual), "snapshot query set drifted — regenerate"
+    for identifier in identifiers:
+        assert actual[identifier] == expected[identifier], (
+            f"plan for {identifier} changed:\n"
+            f"--- pinned ---\n{expected[identifier]}\n"
+            f"--- current ---\n{actual[identifier]}\n"
+            "If intentional, regenerate with REPRO_UPDATE_PLAN_SNAPSHOTS=1."
+        )
+
+
+def test_snapshots_cover_all_32_queries():
+    expected = parse_snapshot(SNAPSHOT_PATH.read_text())
+    assert len(expected) == 32  # S1-S15, M1-M5, R1-R6, A1-A6
+
+
+def test_plans_name_their_planner():
+    text = SNAPSHOT_PATH.read_text()
+    assert "plan [cost-dp]" in text

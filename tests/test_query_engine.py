@@ -179,7 +179,16 @@ class TestPlanIntrospection:
             "SELECT ?x WHERE { ?x a <http://example.org/Person> . ?x <http://example.org/name> ?n }"
         )
         assert len(plan) == 2
-        assert plan.steps[0].pattern.is_rdf_type
+        assert plan.method == "cost-dp"
+        assert sorted(plan.order()) == [0, 1]
+        # The cost-based planner starts with the name scan: the per-row type
+        # checks then run on the red-black-tree store, which issues no SDS
+        # kernel calls (the heuristic planner would start with rdf:type).
+        heuristic = QueryEngine(toy_store, planner="heuristic").plan(
+            "SELECT ?x WHERE { ?x a <http://example.org/Person> . ?x <http://example.org/name> ?n }"
+        )
+        assert heuristic.method == "heuristic"
+        assert heuristic.steps[0].pattern.is_rdf_type
 
     def test_invalid_join_strategy_rejected(self, toy_store):
         with pytest.raises(ValueError):

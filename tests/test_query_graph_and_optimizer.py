@@ -1,10 +1,18 @@
-"""Tests for the query graph and the join-order optimizer (Algorithm 1)."""
+"""Tests for the query graph and the join-order optimizers.
+
+``JoinOrderOptimizer`` is the cost-based DP planner (the default for every
+engine); ``HeuristicJoinOrderOptimizer`` is the paper's Algorithm 1, kept
+verbatim for differential testing.  The shared expectations below (left-deep
+connectivity, every pattern planned once, explain output) are checked on the
+default planner; the Algorithm-1 block pins the heuristic-specific shape and
+join-type preferences.
+"""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.query.optimizer import JoinOrderOptimizer
+from repro.query.optimizer import HeuristicJoinOrderOptimizer, JoinOrderOptimizer
 from repro.query.plan import AccessPath, JoinMethod, classify_access_path
 from repro.query.query_graph import QueryGraph
 from repro.sparql.parser import parse_query
@@ -83,7 +91,11 @@ class TestAccessPathClassification:
 
 class TestOptimizerHeuristics:
     def test_rdf_type_with_ss_join_starts_the_plan(self, toy_store):
-        optimizer = JoinOrderOptimizer(statistics=toy_store.statistics)
+        # Algorithm-1 behaviour: the heuristic planner leads with the
+        # SS-connected rdf:type pattern.  (The cost-based default may instead
+        # lead with a PSO scan and use the rdf:type store as a free per-row
+        # filter — covered in tests/test_cost_planner.py.)
+        optimizer = HeuristicJoinOrderOptimizer(statistics=toy_store.statistics)
         query = parse_query(
             "SELECT * WHERE { ?x <http://example.org/memberOf> ?d . ?x a <http://example.org/GraduateStudent> }"
         )
@@ -92,9 +104,10 @@ class TestOptimizerHeuristics:
         assert plan.steps[1].join_type in ("SS", "")
 
     def test_statistics_pick_most_selective_concept(self, toy_store):
-        # Department has 2 instances, FullProfessor has 1: the optimizer must
-        # start from the FullProfessor pattern.
-        optimizer = JoinOrderOptimizer(statistics=toy_store.statistics)
+        # Department has 2 instances, FullProfessor has 1: Algorithm 1 must
+        # start from the FullProfessor pattern.  (The cost-based default
+        # instead leads with the 1-row headOf scan — cheaper still.)
+        optimizer = HeuristicJoinOrderOptimizer(statistics=toy_store.statistics)
         query = parse_query(
             "SELECT * WHERE { ?d a <http://example.org/Department> . "
             "?x a <http://example.org/FullProfessor> . ?x <http://example.org/headOf> ?d }"
@@ -104,7 +117,11 @@ class TestOptimizerHeuristics:
         assert first.object == EX.FullProfessor
 
     def test_left_deep_connectivity(self, toy_store):
-        optimizer = JoinOrderOptimizer(statistics=toy_store.statistics)
+        # Algorithm 1 always extends through a join edge when one exists.
+        # (The cost-based planner may deliberately interleave a cheap cross
+        # product — e.g. off a 1-row prefix — but must flag it CARTESIAN;
+        # see test_cost_planner.py.)
+        optimizer = HeuristicJoinOrderOptimizer(statistics=toy_store.statistics)
         query = parse_query(
             "SELECT * WHERE { ?x <http://example.org/memberOf> ?d . "
             "?d <http://example.org/subOrganizationOf> ?u . ?u a <http://example.org/University> }"
@@ -113,6 +130,22 @@ class TestOptimizerHeuristics:
         seen_variables = set(plan.steps[0].pattern.variable_names())
         for step in plan.steps[1:]:
             assert any(name in seen_variables for name in step.pattern.variable_names())
+            seen_variables.update(step.pattern.variable_names())
+
+    def test_cost_planner_flags_every_disconnected_step(self, toy_store):
+        optimizer = JoinOrderOptimizer(statistics=toy_store.statistics)
+        query = parse_query(
+            "SELECT * WHERE { ?x <http://example.org/memberOf> ?d . "
+            "?d <http://example.org/subOrganizationOf> ?u . ?u a <http://example.org/University> }"
+        )
+        plan = optimizer.optimize(list(query.triple_patterns))
+        assert sorted(plan.order()) == [0, 1, 2]
+        seen_variables = set(plan.steps[0].pattern.variable_names())
+        for step in plan.steps[1:]:
+            connected = any(
+                name in seen_variables for name in step.pattern.variable_names()
+            )
+            assert connected != step.cartesian  # disconnected iff flagged
             seen_variables.update(step.pattern.variable_names())
 
     def test_every_pattern_appears_exactly_once(self, toy_store):
@@ -148,12 +181,21 @@ class TestOptimizerHeuristics:
         assert plan.steps[1].join_method == JoinMethod.MERGE
 
     def test_without_statistics_heuristics_alone_work(self):
-        optimizer = JoinOrderOptimizer(statistics=None)
+        optimizer = HeuristicJoinOrderOptimizer(statistics=None)
         query = parse_query(
             "SELECT * WHERE { ?x <http://example.org/p> ?y . ?x a <http://example.org/C> }"
         )
         plan = optimizer.optimize(list(query.triple_patterns))
         assert plan.steps[0].pattern.is_rdf_type
+
+    def test_without_statistics_cost_planner_still_plans(self):
+        optimizer = JoinOrderOptimizer(statistics=None)
+        query = parse_query(
+            "SELECT * WHERE { ?x <http://example.org/p> ?y . ?x a <http://example.org/C> }"
+        )
+        plan = optimizer.optimize(list(query.triple_patterns))
+        assert sorted(plan.order()) == [0, 1]
+        assert plan.method == "cost-dp"
 
     def test_explain_output(self, toy_store):
         optimizer = JoinOrderOptimizer(statistics=toy_store.statistics)
@@ -163,6 +205,40 @@ class TestOptimizerHeuristics:
         plan = optimizer.optimize(list(query.triple_patterns))
         text = plan.explain()
         assert "tp1" in text and "rdftype" in text
+
+
+class TestAlgorithm1Heuristics:
+    """The paper's greedy planner, pinned independently of the cost model."""
+
+    def test_rdf_type_always_starts_the_plan(self, toy_store):
+        optimizer = HeuristicJoinOrderOptimizer(statistics=toy_store.statistics)
+        plan = optimizer.optimize(
+            patterns_of(
+                "SELECT * WHERE { ?x a <http://example.org/Person> . "
+                "?x <http://example.org/name> ?n }"
+            )
+        )
+        assert plan.method == "heuristic"
+        assert plan.steps[0].pattern.is_rdf_type
+
+    def test_shape_rank_prefers_bound_subject_over_bound_object(self, toy_store):
+        optimizer = HeuristicJoinOrderOptimizer(statistics=toy_store.statistics)
+        plan = optimizer.optimize(
+            patterns_of(
+                "SELECT * WHERE { ?x <http://example.org/advisor> <http://example.org/bob> . "
+                "<http://example.org/alice> <http://example.org/advisor> ?y }"
+            )
+        )
+        # (s, p, ?o) ranks above (?s, p, o) in Heuristic 1.
+        assert plan.steps[0].pattern.subject == EX.alice
+
+    def test_heuristic_has_no_cost_annotations(self, toy_store):
+        optimizer = HeuristicJoinOrderOptimizer(statistics=toy_store.statistics)
+        plan = optimizer.optimize(
+            patterns_of("SELECT * WHERE { ?x <http://example.org/name> ?n }")
+        )
+        assert plan.steps[0].estimated_cost is None
+        assert plan.steps[0].estimated_cardinality is not None
 
 
 class TestPaperExample51:

@@ -217,6 +217,73 @@ def test_http_server_start_query_shutdown(small_lubm_store):
         SparqlClient(server.url, timeout_s=0.5).health()
 
 
+def test_parse_cache_survives_writes_plan_cache_does_not(live_store):
+    with QueryService(live_store, cache_capacity=0, plan_cache_capacity=8) as service:
+        service.execute(WORKS_FOR)
+        service.execute(WORKS_FOR)
+        parse_info = service.stats()["parse_cache"]
+        assert parse_info["hits"] == 1  # the AST is reused across requests
+        # Parsing is epoch-independent: a write must NOT invalidate it.
+        assert live_store.insert(
+            Triple(URI("http://x.org/w2"), URI("http://x.org/value"), Literal(2))
+        )
+        service.execute(WORKS_FOR)
+        assert service.stats()["parse_cache"]["hits"] == 2
+        # The explain-plan cache, by contrast, is epoch-keyed.
+        service.explain(WORKS_FOR)
+        service.explain(WORKS_FOR)
+        assert service.stats()["plan_cache"]["hits"] == 1
+        assert live_store.insert(
+            Triple(URI("http://x.org/w3"), URI("http://x.org/value"), Literal(3))
+        )
+        service.explain(WORKS_FOR)
+        assert service.stats()["plan_cache"]["misses"] == 2
+
+
+def test_service_explain_does_not_execute(small_lubm_store):
+    with QueryService(small_lubm_store) as service:
+        document = service.explain(WORKS_FOR)
+        assert document["planner"] == "cost-dp"
+        assert "plan [cost-dp]" in document["plan"]
+        assert "tp1" in document["plan"]
+        # Nothing was admitted/executed for the explain.
+        assert service.metrics.snapshot()["completed"] == 0
+
+
+def test_explain_respects_admission_control(small_lubm_store):
+    service = QueryService(
+        small_lubm_store, worker_slots=1, max_pending=0, plan_cache_capacity=0
+    )
+    # Occupy the single worker slot, then explain must be rejected.
+    assert service._slots.acquire(timeout=1)
+    try:
+        service._pending = service.max_pending + service.worker_slots
+        with pytest.raises(QueryRejected):
+            service.explain(WORKS_FOR)
+    finally:
+        service._pending = 0
+        service._slots.release()
+    service.close()
+
+
+def test_http_explain_mode(small_lubm_store):
+    service = QueryService(small_lubm_store, cache_capacity=16)
+    with QueryServer(service) as server:
+        client = SparqlClient(server.url)
+        document = client.explain(WORKS_FOR)
+        assert document["planner"] == "cost-dp"
+        assert "cost~" in document["plan"]
+        # explain of an invalid query is a 400, like execution.
+        from urllib.parse import quote
+
+        bad = client._request("/sparql?explain=1&query=" + quote("SELECT ?x WHERE {"))
+        assert bad["_status"] == 400
+        # explain=0 still executes normally.
+        ok = client._request("/sparql?explain=0&query=" + quote(HEAD_ASK))
+        assert ok["boolean"] is True
+    service.close()
+
+
 def test_http_error_statuses(small_lubm_store):
     service = QueryService(small_lubm_store, cache_capacity=0)
     with QueryServer(service) as server:
