@@ -54,3 +54,97 @@ class LiteralStore:
             if literal.datatype:
                 total += 4  # datatype reference (interned)
         return total
+
+
+class BufferLiteralStore:
+    """Read-only literal store decoding lazily out of a mapped record blob.
+
+    The persistence-v4 counterpart of :class:`LiteralStore`: literal records
+    live UTF-8-encoded in one contiguous blob (typically a ``memoryview``
+    aliasing a mapped store image) with a flat 64-bit offset directory, and a
+    literal is only decoded — once, then cached — when a query actually
+    touches its position.  Loading a store therefore costs nothing per
+    literal; serving pays exactly for what it reads.
+
+    The store is append-free by design: live writes ride the delta overlay,
+    and compaction rebuilds a fresh mutable :class:`LiteralStore`.
+    """
+
+    def __init__(self, offsets, blob, count: int) -> None:
+        # ``offsets`` holds ``count + 1`` word entries: record ``i`` spans
+        # ``blob[offsets[i]:offsets[i + 1]]``.
+        self._offsets = offsets
+        self._blob = blob
+        self._count = count
+        self._cache: dict = {}
+
+    @staticmethod
+    def encode_record(literal: Literal) -> bytes:
+        """One literal as a self-contained record (varint-length-prefixed UTF-8)."""
+        out = bytearray()
+        for text in (literal.lexical, literal.datatype or "", literal.language or ""):
+            payload = text.encode("utf-8")
+            length = len(payload)
+            while True:
+                byte = length & 0x7F
+                length >>= 7
+                out.append(byte | 0x80 if length else byte)
+                if not length:
+                    break
+            out += payload
+        return bytes(out)
+
+    def _decode(self, start: int, end: int) -> Literal:
+        blob = self._blob
+        fields = []
+        cursor = start
+        for _ in range(3):
+            length = 0
+            shift = 0
+            while True:
+                byte = blob[cursor]
+                cursor += 1
+                length |= (byte & 0x7F) << shift
+                if not byte & 0x80:
+                    break
+                shift += 7
+            fields.append(bytes(blob[cursor : cursor + length]).decode("utf-8"))
+            cursor += length
+        if cursor > end:
+            raise IndexError(f"literal record overruns its slot [{start}, {end})")
+        lexical, datatype, language = fields
+        if language:
+            return Literal(lexical, language=language)
+        return Literal(lexical, datatype=datatype or None)
+
+    def get(self, position: int) -> Literal:
+        """Literal stored at ``position`` (decoded on first access)."""
+        cached = self._cache.get(position)
+        if cached is not None:
+            return cached
+        if not 0 <= position < self._count:
+            raise IndexError(f"literal position {position} out of range [0, {self._count})")
+        literal = self._decode(self._offsets[position], self._offsets[position + 1])
+        self._cache[position] = literal
+        return literal
+
+    def append(self, literal: Literal) -> int:
+        """Buffer-backed stores are read-only; writes ride the delta overlay."""
+        raise TypeError(
+            "BufferLiteralStore is immutable (it may alias a mapped store image); "
+            "route writes through UpdatableSuccinctEdge instead"
+        )
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[Literal]:
+        for position in range(self._count):
+            yield self.get(position)
+
+    def __repr__(self) -> str:
+        return f"BufferLiteralStore({self._count} literals, lazy)"
+
+    def size_in_bytes(self) -> int:
+        """Exact blob size of the stored records."""
+        return len(self._blob)

@@ -236,6 +236,37 @@ class BitVector:
             words[-1] &= (1 << (bit_length % _WORD_BITS)) - 1
         return cls._from_words(words, bit_length)
 
+    @classmethod
+    def from_buffers(
+        cls,
+        words,
+        length: int,
+        ones: int,
+        word_ranks,
+        superblock_ranks,
+        one_samples,
+        zero_samples,
+    ) -> "BitVector":
+        """Assemble a vector around pre-built word buffers without any rebuild.
+
+        This is the persistence-v4 zero-copy constructor: every argument is a
+        64-bit word buffer (``array('Q')`` or a read-only ``memoryview``
+        aliasing a mapped store image, see
+        :func:`repro.sds.kernels.words_view`) holding exactly what
+        :meth:`_build_directories` would have produced.  Nothing is copied or
+        recomputed — the rank/select directories are trusted as persisted, so
+        construction cost is O(1) regardless of the vector's length.
+        """
+        self = object.__new__(cls)
+        self._words = words
+        self._length = length
+        self._ones = ones
+        self._word_ranks = word_ranks
+        self._superblock_ranks = superblock_ranks
+        self._one_samples = one_samples
+        self._zero_samples = zero_samples
+        return self
+
     def _build_directories(self) -> None:
         superblock_ranks = array("Q")
         word_ranks = array("Q")

@@ -154,3 +154,22 @@ class IntSequence:
     def from_iterable(cls, values: Iterable[int], width: Optional[int] = None) -> "IntSequence":
         """Build from any iterable of non-negative integers."""
         return cls(list(values), width=width)
+
+    @classmethod
+    def from_buffers(cls, words, length: int, width: int) -> "IntSequence":
+        """Assemble a sequence around a pre-packed word buffer without copying.
+
+        The persistence-v4 zero-copy constructor: ``words`` is a 64-bit word
+        buffer (``array('Q')`` or a read-only ``memoryview`` aliasing a
+        mapped store image) holding exactly the packed payload the regular
+        constructor would have produced for ``length`` values of ``width``
+        bits each.  No repacking happens, so construction is O(1).
+        """
+        if width <= 0:
+            raise ValueError(f"IntSequence width must be positive, got {width}")
+        self = object.__new__(cls)
+        self._words = words
+        self._width = width
+        self._length = length
+        self._mask = (1 << width) - 1
+        return self

@@ -23,10 +23,38 @@ time.
 
 from __future__ import annotations
 
-from typing import Dict, List
+import sys
+from array import array
+from typing import Dict, List, Union
 
 WORD_BITS = 64
 WORD_MASK = (1 << WORD_BITS) - 1
+
+#: Buffer types the word-level kernels accept interchangeably: the mutable
+#: ``array('Q')`` produced by the builders, or a read-only ``memoryview``
+#: aliasing a mapped store image (persistence v4).  Both support indexing,
+#: ``len``, iteration and ``tobytes`` — everything the kernels use.
+WordBuffer = Union["array", memoryview]
+
+
+def words_view(buffer: Union[bytes, bytearray, memoryview]) -> WordBuffer:
+    """Expose a bytes-like buffer as read-only little-endian 64-bit words.
+
+    On little-endian hosts this is a zero-copy ``memoryview.cast('Q')`` —
+    the caller keeps aliasing the underlying buffer (typically an ``mmap``
+    of a store image), so no decode pass happens.  Big-endian hosts fall
+    back to one byteswapped ``array('Q')`` copy with identical indexing
+    semantics; the on-disk format stays little-endian either way.
+    """
+    view = memoryview(buffer)
+    if view.nbytes % 8:
+        raise ValueError(f"word buffer length {view.nbytes} is not a multiple of 8 bytes")
+    if sys.byteorder == "little":
+        return view.toreadonly().cast("Q")
+    copied = array("Q")
+    copied.frombytes(view.tobytes())
+    copied.byteswap()
+    return copied
 
 #: 16-bit popcount lookup table (64 KiB, shared by every structure).
 POPCOUNT16 = bytes(bin(value).count("1") for value in range(1 << 16))

@@ -264,3 +264,116 @@ class RedBlackTree:
         """Rough storage footprint estimate (pointers + keys)."""
         # 5 machine words per node (key, value, colour, two children).
         return self._size * 5 * 8
+
+
+class FrozenPairTree:
+    """Immutable ordered map over integer pairs, backed by a flat word buffer.
+
+    The persistence-v4 stand-in for a :class:`RedBlackTree` whose keys are
+    ``(a, b)`` integer tuples and whose values are all ``None`` (the RDFType
+    store's only use).  Keys live interleaved in one sorted 64-bit word
+    buffer — ``words[2 * i]``/``words[2 * i + 1]`` are the ``i``-th key — so a
+    mapped store image serves lookups by binary search directly out of the
+    page cache, with no nodes ever materialised.
+
+    The read API mirrors :class:`RedBlackTree` (``in``, :meth:`items`,
+    :meth:`range_items` accept the same tuple bounds, including sentinels such
+    as ``(concept_id, -1)``).  :meth:`insert` raises — live writes against a
+    mapped store go through the delta overlay, never through the mapped base.
+    """
+
+    __slots__ = ("_words", "_count")
+
+    def __init__(self, words, count: int) -> None:
+        self._words = words
+        self._count = count
+
+    @classmethod
+    def from_pairs(cls, pairs: "List[Tuple[int, int]]") -> "FrozenPairTree":
+        """Pack already-sorted unique ``(a, b)`` pairs into a fresh buffer."""
+        from array import array
+
+        words = array("Q")
+        for a, b in pairs:
+            words.append(a)
+            words.append(b)
+        return cls(words, len(pairs))
+
+    def _key(self, index: int) -> Tuple[int, int]:
+        words = self._words
+        return words[2 * index], words[2 * index + 1]
+
+    def _lower_bound(self, bound: Any) -> int:
+        """Index of the first key ``>= bound`` (bounds may use sentinels)."""
+        lo, hi = 0, self._count
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._key(mid) < bound:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, key: Any) -> bool:
+        index = self._lower_bound(key)
+        return index < self._count and self._key(index) == tuple(key)
+
+    def __iter__(self) -> Iterator[Any]:
+        for key, _value in self.items():
+            yield key
+
+    def __getitem__(self, key: Any) -> Any:
+        if key not in self:
+            raise KeyError(key)
+        return None
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Return ``None`` for stored keys (pair values are always ``None``)."""
+        return None if key in self else default
+
+    def items(self) -> Iterator[Tuple[Tuple[int, int], None]]:
+        """Yield ``(key, None)`` pairs in ascending key order."""
+        for index in range(self._count):
+            yield self._key(index), None
+
+    def keys(self) -> Iterator[Tuple[int, int]]:
+        """Yield keys in ascending order."""
+        for key, _value in self.items():
+            yield key
+
+    def range_items(self, low: Any, high: Any) -> Iterator[Tuple[Tuple[int, int], None]]:
+        """Yield ``(key, None)`` pairs with ``low <= key < high`` in order."""
+        index = self._lower_bound(low)
+        count = self._count
+        while index < count:
+            key = self._key(index)
+            if not key < high:
+                return
+            yield key, None
+            index += 1
+
+    def min_key(self) -> Tuple[int, int]:
+        """Smallest key; raises :class:`KeyError` when empty."""
+        if not self._count:
+            raise KeyError("min_key() on empty tree")
+        return self._key(0)
+
+    def max_key(self) -> Tuple[int, int]:
+        """Largest key; raises :class:`KeyError` when empty."""
+        if not self._count:
+            raise KeyError("max_key() on empty tree")
+        return self._key(self._count - 1)
+
+    def insert(self, key: Any, value: Any = None) -> None:
+        """Frozen trees are read-only; writes belong in the delta overlay."""
+        raise TypeError(
+            "FrozenPairTree is immutable (it may alias a mapped store image); "
+            "route writes through UpdatableSuccinctEdge instead"
+        )
+
+    def size_in_bytes(self) -> int:
+        """Exact storage footprint of the packed key buffer."""
+        return self._count * 2 * 8

@@ -50,6 +50,75 @@ class _Node:
         self.right: Optional["_Node"] = None
 
 
+#: ``left``/``right`` reference marking a child with no node record (a leaf,
+#: or the root of an empty subtree — distinguished by the child's interval).
+NO_NODE_REF = (1 << 64) - 1
+
+#: 64-bit words per node record in a serialised node table: word offset,
+#: bitmap length, ones, the five word counts of a
+#: :meth:`~repro.sds.bitvector.BitVector.from_buffers` directory, and the two
+#: child references.
+NODE_RECORD_WORDS = 10
+
+
+class _LazyNode(_Node):
+    """A :class:`_Node` materialised from a flat node table on first touch.
+
+    ``bits`` / ``left`` / ``right`` are deliberately left unset: with
+    ``__slots__``, reading an unset slot raises ``AttributeError``, which
+    routes the *first* access through :meth:`__getattr__`; that materialises
+    all three from the (typically mapped) table and assigns them into the
+    slots, so every later access is a plain slot read with zero overhead.
+    Descents therefore only ever pay for the nodes a query actually walks —
+    the mechanism behind v4's O(1) wavelet-tree load.
+    """
+
+    __slots__ = ("_table", "_words", "_ref")
+
+    def __init__(self, table, words, ref: int, lo: int, hi: int) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.mid = (lo + hi) // 2
+        self.is_leaf = hi - lo <= 1
+        self._table = table
+        self._words = words
+        self._ref = ref
+
+    def __getattr__(self, name: str):
+        if name in ("bits", "left", "right"):
+            self._materialize()
+            return object.__getattribute__(self, name)
+        raise AttributeError(name)
+
+    def _materialize(self) -> None:
+        if self.is_leaf or self._ref == NO_NODE_REF:
+            # Leaf, or the root of an empty subtree: no bitmap either way;
+            # an empty internal node still grows (lazy) children so that the
+            # skeleton matches what _build() yields for no data.
+            self.bits = None
+            if self.is_leaf:
+                self.left = None
+                self.right = None
+            else:
+                self.left = _LazyNode(self._table, self._words, NO_NODE_REF, self.lo, self.mid)
+                self.right = _LazyNode(self._table, self._words, NO_NODE_REF, self.mid, self.hi)
+            return
+        table = self._table
+        words = self._words
+        base = self._ref * NODE_RECORD_WORDS
+        cursor = table[base]
+        length = table[base + 1]
+        ones = table[base + 2]
+        parts = []
+        for index in range(5):
+            count = table[base + 3 + index]
+            parts.append(words[cursor : cursor + count])
+            cursor += count
+        self.bits = BitVector.from_buffers(parts[0], length, ones, *parts[1:])
+        self.left = _LazyNode(table, words, table[base + 8], self.lo, self.mid)
+        self.right = _LazyNode(table, words, table[base + 9], self.mid, self.hi)
+
+
 class WaveletTree:
     """Immutable wavelet tree over a sequence of non-negative integers.
 
@@ -112,6 +181,35 @@ class WaveletTree:
         node.left = self._build(left_data, lo, mid)
         node.right = self._build(right_data, mid, hi)
         return node
+
+    @classmethod
+    def from_node_table(
+        cls,
+        length: int,
+        alphabet_size: int,
+        symbol_counts: Dict[int, int],
+        table,
+        node_words,
+    ) -> "WaveletTree":
+        """Assemble a tree over a flat node table, materialising nodes lazily.
+
+        The persistence-v4 constructor: ``table`` holds one
+        :data:`NODE_RECORD_WORDS`-word record per data-bearing internal node
+        (word offset, bitmap directory, child references, see
+        :class:`_LazyNode`) and ``node_words`` the concatenated bitmap words
+        — both typically 64-bit views over a mapped store image.  Only the
+        root handle is created here; every node (including the skeletons of
+        empty subtrees) is built on its first query touch and cached in
+        place, so loading a tree costs O(1) regardless of ``length`` *and*
+        of ``alphabet_size``.
+        """
+        tree = object.__new__(cls)
+        tree._length = length
+        tree._sigma = max(1, alphabet_size)
+        tree._symbol_counts = dict(symbol_counts)
+        root_ref = 0 if len(table) else NO_NODE_REF
+        tree._root = _LazyNode(table, node_words, root_ref, 0, tree._sigma)
+        return tree
 
     # ------------------------------------------------------------------ #
     # basic protocol

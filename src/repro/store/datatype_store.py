@@ -90,6 +90,36 @@ class DatatypeTripleStore:
         self._property_index_cache: dict = {}
         self._subject_run_cache: dict = {}
 
+    @classmethod
+    def _from_components(
+        cls,
+        wt_p: WaveletTree,
+        wt_s: WaveletTree,
+        object_pointers: IntSequence,
+        bm_ps: BitVector,
+        bm_so: BitVector,
+        literals,
+        triple_count: int,
+    ) -> "DatatypeTripleStore":
+        """Assemble a store around pre-built layout structures (persistence v4).
+
+        ``literals`` is any literal-store implementation (typically the lazy
+        :class:`~repro.dictionary.literal_store.BufferLiteralStore` decoding
+        straight out of a mapped image).  Nothing is re-encoded, so
+        construction is O(1) in the triple count.
+        """
+        store = object.__new__(cls)
+        store.literals = literals
+        store._triple_count = triple_count
+        store.wt_p = wt_p
+        store.wt_s = wt_s
+        store.object_pointers = object_pointers
+        store.bm_ps = bm_ps
+        store.bm_so = bm_so
+        store._property_index_cache = {}
+        store._subject_run_cache = {}
+        return store
+
     # ------------------------------------------------------------------ #
     # basic accessors
     # ------------------------------------------------------------------ #

@@ -1,39 +1,73 @@
-"""Persistence of a SuccinctEdge store.
+"""Persistence of a SuccinctEdge store: compact v3 files and mmap v4 images.
 
 The paper's storage evaluation (Section 7.3.2) "persisted all the data
 structures existing in SuccinctEdge to disk in order to make a fair
 comparison" with the disk-based systems, and its deployment model has the
 central server broadcast pre-encoded dictionaries to the edge devices.  This
-module provides both:
+module provides:
 
 * :func:`save_store` / :func:`load_store` — serialise a complete
-  :class:`~repro.store.succinct_edge.SuccinctEdge` instance (dictionaries,
-  schema, and the encoded triples of the three layouts) into a single
-  compact binary file and restore it;
-* :func:`serialized_size_in_bytes` — the on-disk size, used as the
+  :class:`~repro.store.succinct_edge.SuccinctEdge` instance and restore it
+  (``load_store`` sniffs the format version, so it reads both v3 files and
+  v4 images);
+* :func:`save_store_image` / :func:`dump_store_image` — the **v4 store
+  image** writer (page-aligned zero-copy layout, see below);
+* :func:`upgrade_store_image` — rewrite a v3 file as a v4 image;
+* :func:`serialized_size_in_bytes` — the v3 on-disk size, used as the
   ground-truth measurement behind Figures 9 and 10.
 
-The format is deliberately simple and self-contained: a small header followed
-by length-prefixed sections (terms as UTF-8, identifiers and triples as
-varints).  The SDS layouts are rebuilt at load time from the encoded triples —
-construction is cheap compared to I/O, and the format stays independent of
-the in-memory layout details.
+Two formats coexist (see ``docs/persistence.md`` for the full layout):
+
+* **v3** is compact and layout-independent: a small header followed by
+  varint-encoded sections (dictionaries, schema, and the encoded triples of
+  the three layouts).  The SDS layouts are *rebuilt from the triples at load
+  time*, so a v3 load re-encodes the whole dataset — cheap to write, small
+  on disk, O(triples) to open.
+* **v4** is the mmap-backed store image (the default load path for anything
+  saved with :func:`save_store_image`): bitvector words, rank blocks, select
+  directories, wavelet-tree node bitmaps, packed int-sequences and the
+  sorted rdf:type pair buffers are written verbatim as aligned sections
+  behind a fixed header plus a table of contents.  :func:`load_store` maps
+  the file and hands read-only ``memoryview`` slices straight to the SDS
+  kernels — **no per-triple decode happens**, so cold-start cost is
+  independent of the triple count.  Only the small decoded section
+  (dictionaries, schema, statistics, structural manifest) is parsed.
 """
 
 from __future__ import annotations
 
 import io
+import mmap as _mmaplib
+import os
 import struct
-from typing import BinaryIO, Dict, List, Tuple
+import zlib
+from array import array
+from typing import BinaryIO, Dict, List, Optional, Tuple
 
 from repro.ontology.litemat import EncodedEntity, LiteMatEncoding
 from repro.ontology.schema import OntologySchema
 from repro.rdf.terms import BlankNode, Literal, Term, URI
+from repro.sds.bitvector import BitVector
+from repro.sds.int_sequence import IntSequence
+from repro.sds.kernels import words_view
+from repro.sds.rbtree import FrozenPairTree
+from repro.sds.wavelet_tree import WaveletTree
 
 _MAGIC = b"SEDG"
 # Version 3 added the dictionary overflow tables (live-inserted terms whose
 # identifiers live above the LiteMat space, see docs/update_lifecycle.md).
 _VERSION = 3
+
+# Version 4: the mmap-backed zero-copy store image.  The version field stays
+# a little-endian u16 at byte offset 4, exactly where v3 keeps it, so version
+# sniffing (and corruption detection) works uniformly across formats.
+_V4_VERSION = 4
+_V4_PAGE = 4096
+#: Fixed 64-byte v4 header: magic, version, flags, page size, section count,
+#: TOC offset, meta offset, meta length, file length, checksum (CRC-32 of
+#: TOC + meta, zero-extended to u64), reserved.
+_V4_HEADER = struct.Struct("<4sHHIIQQQQQQ")
+_V4_TOC_ENTRY = struct.Struct("<QQ")
 
 _TERM_URI = 0
 _TERM_BNODE = 1
@@ -216,16 +250,12 @@ def _read_schema(buffer: BinaryIO) -> OntologySchema:
 
 
 # --------------------------------------------------------------------------- #
-# public API
+# shared decoded sections (dictionaries + schema), used by both v3 and v4
 # --------------------------------------------------------------------------- #
 
 
-def dump_store(store) -> bytes:
-    """Serialise a SuccinctEdge store into a compact byte string."""
-    buffer = io.BytesIO()
-    buffer.write(_MAGIC)
-    buffer.write(struct.pack("<H", _VERSION))
-
+def _write_dictionary_sections(buffer: BinaryIO, store) -> None:
+    """Schema, LiteMat encodings, overflow tables, instances and counters."""
     _write_schema(buffer, store.schema)
     _write_litemat(buffer, store.concepts.encoding)
     _write_litemat(buffer, store.properties.encoding)
@@ -257,54 +287,14 @@ def dump_store(store) -> bytes:
             _write_varint(buffer, identifier)
             _write_varint(buffer, dictionary.occurrences(identifier))
 
-    # rdf:type triples.
-    type_triples = list(store.type_store.iter_triples())
-    _write_varint(buffer, len(type_triples))
-    for subject_id, concept_id in type_triples:
-        _write_varint(buffer, subject_id)
-        _write_varint(buffer, concept_id)
 
-    # Object-property triples.
-    object_triples = list(store.object_store.iter_triples())
-    _write_varint(buffer, len(object_triples))
-    for property_id, subject_id, object_id in object_triples:
-        _write_varint(buffer, property_id)
-        _write_varint(buffer, subject_id)
-        _write_varint(buffer, object_id)
-
-    # Datatype-property triples (literal stored inline).
-    datatype_triples = list(store.datatype_store.iter_triples())
-    _write_varint(buffer, len(datatype_triples))
-    for property_id, subject_id, literal in datatype_triples:
-        _write_varint(buffer, property_id)
-        _write_varint(buffer, subject_id)
-        _write_term(buffer, literal)
-
-    _write_varint(buffer, store.skipped_triples)
-    return buffer.getvalue()
-
-
-def load_store_from_bytes(payload: bytes):
-    """Rebuild a SuccinctEdge store from :func:`dump_store` output."""
-    from repro.dictionary.literal_store import LiteralStore
-    from repro.dictionary.statistics import DictionaryStatistics
+def _read_dictionary_sections(buffer: BinaryIO):
+    """Inverse of :func:`_write_dictionary_sections`."""
     from repro.dictionary.term_dictionary import (
         ConceptDictionary,
         InstanceDictionary,
         PropertyDictionary,
     )
-    from repro.store.datatype_store import DatatypeTripleStore
-    from repro.store.rdftype_store import RDFTypeStore
-    from repro.store.succinct_edge import SuccinctEdge
-    from repro.store.triple_store import ObjectTripleStore
-
-    buffer = io.BytesIO(payload)
-    magic = buffer.read(4)
-    if magic != _MAGIC:
-        raise PersistenceError("not a persisted SuccinctEdge store (bad magic)")
-    (version,) = struct.unpack("<H", buffer.read(2))
-    if version != _VERSION:
-        raise PersistenceError(f"unsupported format version {version} (expected {_VERSION})")
 
     schema = _read_schema(buffer)
     concepts = ConceptDictionary(_read_litemat(buffer))
@@ -340,6 +330,97 @@ def load_store_from_bytes(payload: bytes):
             identifier = _read_varint(buffer)
             occurrences = _read_varint(buffer)
             dictionary.record_occurrence(identifier, occurrences)
+
+    return schema, concepts, properties, instances
+
+
+# --------------------------------------------------------------------------- #
+# public API — v3 (compact, rebuild-at-load)
+# --------------------------------------------------------------------------- #
+
+
+def dump_store(store) -> bytes:
+    """Serialise a SuccinctEdge store into a compact (v3) byte string.
+
+    This remains the Figures 9/10 size-measurement format: triples are
+    varint-encoded and the SDS layouts are rebuilt at load time.  Use
+    :func:`dump_store_image` for the zero-copy v4 image instead.
+    """
+    buffer = io.BytesIO()
+    buffer.write(_MAGIC)
+    buffer.write(struct.pack("<H", _VERSION))
+
+    _write_dictionary_sections(buffer, store)
+
+    # rdf:type triples.
+    type_triples = list(store.type_store.iter_triples())
+    _write_varint(buffer, len(type_triples))
+    for subject_id, concept_id in type_triples:
+        _write_varint(buffer, subject_id)
+        _write_varint(buffer, concept_id)
+
+    # Object-property triples.
+    object_triples = list(store.object_store.iter_triples())
+    _write_varint(buffer, len(object_triples))
+    for property_id, subject_id, object_id in object_triples:
+        _write_varint(buffer, property_id)
+        _write_varint(buffer, subject_id)
+        _write_varint(buffer, object_id)
+
+    # Datatype-property triples (literal stored inline).
+    datatype_triples = list(store.datatype_store.iter_triples())
+    _write_varint(buffer, len(datatype_triples))
+    for property_id, subject_id, literal in datatype_triples:
+        _write_varint(buffer, property_id)
+        _write_varint(buffer, subject_id)
+        _write_term(buffer, literal)
+
+    _write_varint(buffer, store.skipped_triples)
+    return buffer.getvalue()
+
+
+def _sniff_version(payload) -> int:
+    """Magic + version check shared by every loader entry point."""
+    if len(payload) < 6:
+        raise PersistenceError(
+            "not a persisted SuccinctEdge store (shorter than the 6-byte preamble)"
+        )
+    if bytes(payload[:4]) != _MAGIC:
+        raise PersistenceError("not a persisted SuccinctEdge store (bad magic)")
+    (version,) = struct.unpack("<H", bytes(payload[4:6]))
+    if version not in (_VERSION, _V4_VERSION):
+        raise PersistenceError(
+            f"unsupported format version {version} (supported: {_VERSION} and {_V4_VERSION})"
+        )
+    return version
+
+
+def load_store_from_bytes(payload: bytes):
+    """Rebuild a SuccinctEdge store from serialised bytes (v3 or v4).
+
+    v3 payloads rebuild the SDS layouts from the encoded triples; v4 payloads
+    take the zero-copy path over a ``memoryview`` of ``payload`` (no mmap —
+    use :func:`load_store` for the mapped variant).
+    """
+    version = _sniff_version(payload)
+    if version == _V4_VERSION:
+        view = memoryview(payload).toreadonly() if isinstance(payload, (bytes, bytearray)) else memoryview(payload)
+        return _load_store_v4(view, image=StoreImage(view, path=None))
+    buffer = io.BytesIO(payload)
+    buffer.seek(6)
+    return _load_store_v3(buffer)
+
+
+def _load_store_v3(buffer: BinaryIO):
+    """Rebuild a store from a v3 stream positioned just past the preamble."""
+    from repro.dictionary.literal_store import LiteralStore
+    from repro.dictionary.statistics import DictionaryStatistics
+    from repro.store.datatype_store import DatatypeTripleStore
+    from repro.store.rdftype_store import RDFTypeStore
+    from repro.store.succinct_edge import SuccinctEdge
+    from repro.store.triple_store import ObjectTripleStore
+
+    schema, concepts, properties, instances = _read_dictionary_sections(buffer)
 
     type_count = _read_varint(buffer)
     type_triples = []
@@ -385,19 +466,673 @@ def load_store_from_bytes(payload: bytes):
 
 
 def save_store(store, path: str) -> int:
-    """Serialise ``store`` to ``path``; return the number of bytes written."""
+    """Serialise ``store`` to ``path`` (v3); return the number of bytes written."""
     payload = dump_store(store)
     with open(path, "wb") as handle:
         handle.write(payload)
     return len(payload)
 
 
-def load_store(path: str):
-    """Load a SuccinctEdge store previously written by :func:`save_store`."""
+def load_store(path: str, mmap: bool = True):
+    """Load a persisted SuccinctEdge store, sniffing the format version.
+
+    v3 files rebuild the SDS layouts from the encoded triples.  v4 images
+    are **memory-mapped** by default: the SDS structures alias read-only
+    ``memoryview`` slices of the mapping, so no per-triple decode happens
+    and pages fault in lazily as queries touch them.  Pass ``mmap=False``
+    to read a v4 image fully into memory instead (same zero-decode path
+    over a private in-memory buffer; useful when the file may be replaced
+    underneath a long-lived process).
+
+    The loaded store carries the mapping handle as ``store.image`` (a
+    :class:`StoreImage`; ``None`` for v3 loads) — call ``image.validate()``
+    to detect a file modified behind an existing mapping.
+    """
     with open(path, "rb") as handle:
-        return load_store_from_bytes(handle.read())
+        preamble = handle.read(6)
+    try:
+        version = _sniff_version(preamble)
+    except PersistenceError as error:
+        raise PersistenceError(f"cannot load store image {path!r}: {error}") from None
+    if version == _VERSION:
+        with open(path, "rb") as handle:
+            payload = handle.read()
+        buffer = io.BytesIO(payload)
+        buffer.seek(6)
+        return _load_store_v3(buffer)
+    if mmap:
+        handle = open(path, "rb")
+        try:
+            mapping = _mmaplib.mmap(handle.fileno(), 0, access=_mmaplib.ACCESS_READ)
+        except (ValueError, OSError) as error:
+            handle.close()
+            raise PersistenceError(f"cannot map store image {path!r}: {error}") from error
+        view = memoryview(mapping)
+        image = StoreImage(view, path=path, mapping=mapping, handle=handle)
+    else:
+        with open(path, "rb") as handle:
+            payload = handle.read()
+        view = memoryview(payload).toreadonly()
+        image = StoreImage(view, path=path)
+    try:
+        return _load_store_v4(view, image=image)
+    except Exception:
+        image.close(force=True)
+        raise
 
 
 def serialized_size_in_bytes(store) -> int:
-    """On-disk size of the store (the measurement behind Figures 9 and 10)."""
+    """v3 on-disk size of the store (the measurement behind Figures 9 and 10)."""
     return len(dump_store(store))
+
+
+# --------------------------------------------------------------------------- #
+# v4: the mmap-backed zero-copy store image
+# --------------------------------------------------------------------------- #
+
+
+def _align_up(value: int, alignment: int) -> int:
+    return (value + alignment - 1) // alignment * alignment
+
+
+def _word_bytes(words) -> bytes:
+    """Little-endian byte payload of a 64-bit word buffer (array or view)."""
+    import sys
+
+    if sys.byteorder == "little":
+        return words.tobytes()
+    copied = array("Q", words)
+    copied.byteswap()
+    return copied.tobytes()
+
+
+class _ImageWriter:
+    """Accumulates aligned sections plus the varint meta stream of a v4 image."""
+
+    def __init__(self) -> None:
+        self.sections: List[bytes] = []
+        self.meta = io.BytesIO()
+
+    def add_section(self, payload: bytes) -> int:
+        """Register a section payload; returns its TOC index."""
+        self.sections.append(payload)
+        return len(self.sections) - 1
+
+    # -- SDS structures ------------------------------------------------- #
+
+    def write_bitvector(self, bits: BitVector) -> None:
+        """One section holding words + rank blocks + select samples, plus meta."""
+        parts = (
+            bits._words,
+            bits._word_ranks,
+            bits._superblock_ranks,
+            bits._one_samples,
+            bits._zero_samples,
+        )
+        section = self.add_section(b"".join(_word_bytes(part) for part in parts))
+        meta = self.meta
+        _write_varint(meta, section)
+        _write_varint(meta, len(bits))
+        _write_varint(meta, bits.count(1))
+        for part in parts:
+            _write_varint(meta, len(part))
+
+    def write_wavelet_tree(self, tree: WaveletTree) -> None:
+        """Three sections per tree: symbol counts, node table, node words.
+
+        Every data-bearing internal node contributes one fixed-width record
+        to the table (bitmap directory + child references) and its bitmap
+        words to one shared heap — the layout
+        :meth:`~repro.sds.wavelet_tree.WaveletTree.from_node_table`
+        materialises nodes from lazily, so loading never walks the tree.
+        """
+        from repro.sds.wavelet_tree import NO_NODE_REF
+
+        meta = self.meta
+        _write_varint(meta, len(tree))
+        _write_varint(meta, tree.alphabet_size)
+        counts = tree._symbol_counts
+        count_words = array("Q")
+        for symbol in sorted(counts):
+            count_words.append(symbol)
+            count_words.append(counts[symbol])
+        counts_section = self.add_section(_word_bytes(count_words))
+
+        # Preorder over the data-bearing spine; empty subtrees and leaves
+        # get no record (the reader rebuilds them from the symbol interval).
+        records: List[object] = []
+        index_of: Dict[int, int] = {}
+
+        def collect(node) -> None:
+            if node.is_leaf or node.bits is None:
+                return
+            index_of[id(node)] = len(records)
+            records.append(node)
+            collect(node.left)
+            collect(node.right)
+
+        collect(tree._root)
+        table = array("Q")
+        chunks: List[bytes] = []
+        word_offset = 0
+        for node in records:
+            bits = node.bits
+            parts = (
+                bits._words,
+                bits._word_ranks,
+                bits._superblock_ranks,
+                bits._one_samples,
+                bits._zero_samples,
+            )
+            table.append(word_offset)
+            table.append(len(bits))
+            table.append(bits.count(1))
+            for part in parts:
+                table.append(len(part))
+                chunks.append(_word_bytes(part))
+                word_offset += len(part)
+            table.append(index_of.get(id(node.left), NO_NODE_REF))
+            table.append(index_of.get(id(node.right), NO_NODE_REF))
+        table_section = self.add_section(_word_bytes(table))
+        words_section = self.add_section(b"".join(chunks))
+        _write_varint(meta, counts_section)
+        _write_varint(meta, table_section)
+        _write_varint(meta, words_section)
+        _write_varint(meta, len(records))
+
+    def write_int_sequence(self, sequence: IntSequence) -> None:
+        """Packed words as one section; length and width in meta."""
+        section = self.add_section(_word_bytes(sequence._words))
+        meta = self.meta
+        _write_varint(meta, section)
+        _write_varint(meta, len(sequence))
+        _write_varint(meta, sequence.width)
+
+    def write_pair_tree(self, pairs: List[Tuple[int, int]]) -> None:
+        """Sorted integer pairs interleaved into one word section."""
+        words = array("Q")
+        for a, b in pairs:
+            words.append(a)
+            words.append(b)
+        section = self.add_section(_word_bytes(words))
+        meta = self.meta
+        _write_varint(meta, section)
+        _write_varint(meta, len(pairs))
+
+    def write_literals(self, literals) -> None:
+        """Offset directory + record blob sections for the literal store."""
+        from repro.dictionary.literal_store import BufferLiteralStore
+
+        blob = bytearray()
+        offsets = array("Q", [0])
+        for position in range(len(literals)):
+            blob += BufferLiteralStore.encode_record(literals.get(position))
+            offsets.append(len(blob))
+        offsets_section = self.add_section(_word_bytes(offsets))
+        blob_section = self.add_section(bytes(blob))
+        meta = self.meta
+        _write_varint(meta, len(literals))
+        _write_varint(meta, offsets_section)
+        _write_varint(meta, blob_section)
+
+    # -- final assembly -------------------------------------------------- #
+
+    def render(self) -> bytes:
+        """Lay out header + TOC + meta + page-aligned section heap."""
+        meta_bytes = self.meta.getvalue()
+        toc_offset = _V4_HEADER.size
+        meta_offset = toc_offset + _V4_TOC_ENTRY.size * len(self.sections)
+        heap_start = _align_up(meta_offset + len(meta_bytes), _V4_PAGE)
+
+        offsets: List[int] = []
+        cursor = heap_start
+        for payload in self.sections:
+            offsets.append(cursor)
+            cursor = _align_up(cursor + len(payload), 8)
+        file_length = cursor
+
+        toc = b"".join(
+            _V4_TOC_ENTRY.pack(offset, len(payload))
+            for offset, payload in zip(offsets, self.sections)
+        )
+        checksum = zlib.crc32(toc + meta_bytes) & 0xFFFFFFFF
+        header = _V4_HEADER.pack(
+            _MAGIC,
+            _V4_VERSION,
+            0,
+            _V4_PAGE,
+            len(self.sections),
+            toc_offset,
+            meta_offset,
+            len(meta_bytes),
+            file_length,
+            checksum,
+            0,
+        )
+        out = bytearray(file_length)
+        out[: len(header)] = header
+        out[toc_offset:meta_offset] = toc
+        out[meta_offset : meta_offset + len(meta_bytes)] = meta_bytes
+        for offset, payload in zip(offsets, self.sections):
+            out[offset : offset + len(payload)] = payload
+        return bytes(out)
+
+
+def dump_store_image(store) -> bytes:
+    """Serialise a SuccinctEdge store as a v4 zero-copy image."""
+    writer = _ImageWriter()
+    meta = writer.meta
+
+    # Decoded section: dictionaries, schema, bookkeeping, planner statistics.
+    _write_dictionary_sections(meta, store)
+    _write_varint(meta, store.skipped_triples)
+    _write_statistics(meta, store.statistics)
+
+    # Object-property layout.
+    object_store = store.object_store
+    _write_varint(meta, len(object_store))
+    writer.write_wavelet_tree(object_store.wt_p)
+    writer.write_wavelet_tree(object_store.wt_s)
+    writer.write_wavelet_tree(object_store.wt_o)
+    writer.write_bitvector(object_store.bm_ps)
+    writer.write_bitvector(object_store.bm_so)
+
+    # Datatype-property layout.
+    datatype_store = store.datatype_store
+    _write_varint(meta, len(datatype_store))
+    writer.write_wavelet_tree(datatype_store.wt_p)
+    writer.write_wavelet_tree(datatype_store.wt_s)
+    writer.write_int_sequence(datatype_store.object_pointers)
+    writer.write_bitvector(datatype_store.bm_ps)
+    writer.write_bitvector(datatype_store.bm_so)
+    writer.write_literals(datatype_store.literals)
+
+    # rdf:type layout: both sorted pair orders, served by binary search.
+    type_store = store.type_store
+    _write_varint(meta, len(type_store))
+    so_pairs = [key for key, _ in type_store._so.items()]
+    os_pairs = [key for key, _ in type_store._os.items()]
+    writer.write_pair_tree(so_pairs)
+    writer.write_pair_tree(os_pairs)
+
+    return writer.render()
+
+
+def save_store_image(store, path: str, atomic: bool = False) -> int:
+    """Write ``store`` as a v4 image at ``path``; return the bytes written.
+
+    With ``atomic=True`` the image is staged as ``<path>.tmp`` and moved into
+    place with :func:`os.replace`, so readers only ever observe either the
+    old or the complete new image — the compact-and-swap discipline of
+    :meth:`repro.store.updatable.UpdatableSuccinctEdge.compact`.
+    """
+    payload = dump_store_image(store)
+    if atomic:
+        staging = f"{path}.tmp"
+        with open(staging, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(staging, path)
+    else:
+        with open(path, "wb") as handle:
+            handle.write(payload)
+    return len(payload)
+
+
+def upgrade_store_image(source_path: str, target_path: str) -> int:
+    """Rewrite a persisted store (any version) as a v4 image.
+
+    The one-off migration path for v3 files: load (rebuilding the layouts
+    one last time), then emit the zero-copy image so every later start is a
+    page-in instead of a re-encode.  Returns the bytes written.
+    """
+    store = load_store(source_path)
+    return save_store_image(store, target_path)
+
+
+def _write_statistics(meta: BinaryIO, statistics) -> None:
+    """Join-aware planner statistics (PR 5 profiles + characteristic sets).
+
+    Persisting them keeps a mapped store's query *plans* — and therefore its
+    result row order — byte-identical to the builder path's.
+    """
+    _MARKER_TAGS = {"p": 0, "t": 1}
+    profile_ids = statistics.profiled_property_ids()
+    _write_varint(meta, len(profile_ids))
+    for property_id in profile_ids:
+        profile = statistics.property_profile(property_id)
+        _write_varint(meta, property_id)
+        _write_varint(meta, profile.triples)
+        _write_varint(meta, profile.distinct_subjects)
+        _write_varint(meta, profile.distinct_objects)
+        _write_varint(meta, profile.build_triples)
+    characteristic_sets = statistics.characteristic_sets
+    _write_varint(meta, len(characteristic_sets))
+    for signature in sorted(characteristic_sets, key=sorted):
+        entry = characteristic_sets[signature]
+        markers = sorted(signature)
+        _write_varint(meta, len(markers))
+        for kind, identifier in markers:
+            _write_varint(meta, _MARKER_TAGS[kind])
+            _write_varint(meta, identifier)
+        _write_varint(meta, entry.count)
+        triples = sorted(entry.triples.items())
+        _write_varint(meta, len(triples))
+        for (kind, identifier), count in triples:
+            _write_varint(meta, _MARKER_TAGS[kind])
+            _write_varint(meta, identifier)
+            _write_varint(meta, count)
+    _write_varint(meta, statistics.type_triple_count)
+
+
+def _read_statistics(meta: BinaryIO, statistics) -> None:
+    """Inverse of :func:`_write_statistics`; installs onto ``statistics``."""
+    from repro.dictionary.statistics import CharacteristicSet, PropertyProfile
+
+    _MARKER_KINDS = ("p", "t")
+
+    def read_marker() -> Tuple[str, int]:
+        tag = _read_varint(meta)
+        if tag >= len(_MARKER_KINDS):
+            raise PersistenceError(f"unknown characteristic-set marker tag {tag}")
+        return _MARKER_KINDS[tag], _read_varint(meta)
+
+    profiles: Dict[int, "PropertyProfile"] = {}
+    for _ in range(_read_varint(meta)):
+        property_id = _read_varint(meta)
+        profiles[property_id] = PropertyProfile(
+            triples=_read_varint(meta),
+            distinct_subjects=_read_varint(meta),
+            distinct_objects=_read_varint(meta),
+            build_triples=_read_varint(meta),
+        )
+    characteristic_sets: Dict = {}
+    for _ in range(_read_varint(meta)):
+        markers = [read_marker() for _ in range(_read_varint(meta))]
+        entry = CharacteristicSet(count=_read_varint(meta))
+        for _ in range(_read_varint(meta)):
+            marker = read_marker()
+            entry.triples[marker] = _read_varint(meta)
+        characteristic_sets[frozenset(markers)] = entry
+    type_triple_count = _read_varint(meta)
+    if profiles or characteristic_sets or type_triple_count:
+        statistics.register_profiles(
+            profiles, characteristic_sets, type_triple_count=type_triple_count
+        )
+
+
+class StoreImage:
+    """Handle on the buffer backing a loaded v4 store.
+
+    Holds the ``mmap`` (or in-memory buffer) that every zero-copy SDS
+    structure of the store aliases, plus enough of the header to re-verify
+    it later: :meth:`validate` detects a file that was overwritten behind an
+    existing mapping — the one failure mode ``mmap`` cannot prevent — and
+    raises :class:`PersistenceError` telling the operator to reload.
+    """
+
+    def __init__(self, view: memoryview, path: Optional[str], mapping=None, handle=None) -> None:
+        self.view = view
+        self.path = path
+        self._mapping = mapping
+        self._handle = handle
+        self._expected_checksum: Optional[int] = None
+        self._toc_span: Optional[Tuple[int, int]] = None
+
+    @property
+    def mapped(self) -> bool:
+        """Whether the image is an OS mapping (vs. an in-memory buffer)."""
+        return self._mapping is not None
+
+    def size_in_bytes(self) -> int:
+        """Total image size (every section plus header, TOC and meta)."""
+        return self.view.nbytes
+
+    def _remember(self, checksum: int, toc_span: Tuple[int, int]) -> None:
+        self._expected_checksum = checksum
+        self._toc_span = toc_span
+
+    def validate(self) -> None:
+        """Re-verify the mapped header against what was loaded.
+
+        Raises :class:`PersistenceError` when the underlying file no longer
+        carries the image this store was loaded from (magic, version or
+        checksum mismatch) — e.g. a writer rewrote it in place instead of
+        using the atomic-replace discipline.  Reload the store to recover.
+        """
+        where = self.path or "<memory>"
+        view = self.view
+        if bytes(view[:4]) != _MAGIC:
+            raise PersistenceError(
+                f"store image {where} was modified underneath the mapping (bad magic); "
+                "reload the store — writers must replace images atomically, not rewrite them"
+            )
+        (version,) = struct.unpack("<H", bytes(view[4:6]))
+        if version != _V4_VERSION:
+            raise PersistenceError(
+                f"store image {where} was modified underneath the mapping "
+                f"(version changed to {version}); reload the store"
+            )
+        if self._expected_checksum is not None and self._toc_span is not None:
+            start, end = self._toc_span
+            actual = zlib.crc32(bytes(view[start:end])) & 0xFFFFFFFF
+            if actual != self._expected_checksum:
+                raise PersistenceError(
+                    f"store image {where} was modified underneath the mapping "
+                    "(TOC/meta checksum mismatch); reload the store — writers must "
+                    "replace images atomically, not rewrite them"
+                )
+
+    def close(self, force: bool = False) -> None:
+        """Release the mapping and file handle.
+
+        Fails with :class:`PersistenceError` while SDS structures still alias
+        the buffer, unless ``force`` drops the handle references without
+        closing the mapping (the garbage collector reclaims it once the last
+        view dies).
+        """
+        if self._mapping is not None:
+            try:
+                self.view.release()
+                self._mapping.close()
+            except BufferError:
+                if not force:
+                    raise PersistenceError(
+                        "store image is still referenced by loaded structures; "
+                        "drop the store before closing its image"
+                    ) from None
+            self._mapping = None
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def _load_store_v4(view: memoryview, image: StoreImage):
+    """Assemble a SuccinctEdge store over a v4 image buffer, zero-copy."""
+    from repro.dictionary.literal_store import BufferLiteralStore
+    from repro.dictionary.statistics import DictionaryStatistics
+    from repro.store.datatype_store import DatatypeTripleStore
+    from repro.store.rdftype_store import RDFTypeStore
+    from repro.store.succinct_edge import SuccinctEdge
+    from repro.store.triple_store import ObjectTripleStore
+
+    where = image.path or "<memory>"
+    if view.nbytes < _V4_HEADER.size:
+        raise PersistenceError(
+            f"store image {where} is truncated: {view.nbytes} bytes is smaller "
+            f"than the {_V4_HEADER.size}-byte header"
+        )
+    (
+        magic,
+        version,
+        _flags,
+        page_size,
+        section_count,
+        toc_offset,
+        meta_offset,
+        meta_length,
+        file_length,
+        checksum,
+        _reserved,
+    ) = _V4_HEADER.unpack(bytes(view[: _V4_HEADER.size]))
+    if magic != _MAGIC or version != _V4_VERSION:
+        raise PersistenceError(f"store image {where} has a corrupt header")
+    if page_size == 0 or page_size % 8:
+        raise PersistenceError(f"store image {where} declares invalid page size {page_size}")
+    if file_length != view.nbytes:
+        raise PersistenceError(
+            f"store image {where} is truncated or over-long: header declares "
+            f"{file_length} bytes, file has {view.nbytes}"
+        )
+    toc_end = toc_offset + _V4_TOC_ENTRY.size * section_count
+    meta_end = meta_offset + meta_length
+    if toc_offset != _V4_HEADER.size or meta_offset != toc_end or meta_end > file_length:
+        raise PersistenceError(f"store image {where} has an inconsistent TOC/meta layout")
+    if zlib.crc32(bytes(view[toc_offset:meta_end])) & 0xFFFFFFFF != checksum:
+        raise PersistenceError(
+            f"store image {where} fails its TOC/meta checksum — the file is corrupt "
+            "or was modified after writing; re-create it with save_store_image()"
+        )
+    image._remember(checksum, (toc_offset, meta_end))
+
+    sections: List[Tuple[int, int]] = []
+    for index in range(section_count):
+        entry_at = toc_offset + index * _V4_TOC_ENTRY.size
+        offset, length = _V4_TOC_ENTRY.unpack(
+            bytes(view[entry_at : entry_at + _V4_TOC_ENTRY.size])
+        )
+        if offset % 8:
+            raise PersistenceError(
+                f"store image {where}: section {index} is misaligned "
+                f"(offset {offset} is not 8-byte aligned); the image is corrupt"
+            )
+        if offset < meta_end or offset + length > file_length:
+            raise PersistenceError(
+                f"store image {where}: section {index} "
+                f"[{offset}, {offset + length}) falls outside the file "
+                f"(length {file_length}); the image is truncated or corrupt"
+            )
+        sections.append((offset, length))
+
+    def section_bytes(index: int) -> memoryview:
+        offset, length = sections[index]
+        return view[offset : offset + length]
+
+    def section_words(index: int):
+        return words_view(section_bytes(index))
+
+    meta = io.BytesIO(bytes(view[meta_offset:meta_end]))
+
+    schema, concepts, properties, instances = _read_dictionary_sections(meta)
+    skipped = _read_varint(meta)
+    statistics = DictionaryStatistics(concepts, properties, instances)
+    _read_statistics(meta, statistics)
+
+    def read_bitvector() -> BitVector:
+        section = _read_varint(meta)
+        length = _read_varint(meta)
+        ones = _read_varint(meta)
+        counts = [_read_varint(meta) for _ in range(5)]
+        words_all = section_words(section)
+        if len(words_all) != sum(counts):
+            raise PersistenceError(
+                f"store image {where}: bitvector section {section} holds "
+                f"{len(words_all)} words, directory expects {sum(counts)}"
+            )
+        parts = []
+        cursor = 0
+        for count in counts:
+            parts.append(words_all[cursor : cursor + count])
+            cursor += count
+        return BitVector.from_buffers(parts[0], length, ones, parts[1], parts[2], parts[3], parts[4])
+
+    def read_wavelet_tree() -> WaveletTree:
+        from repro.sds.wavelet_tree import NODE_RECORD_WORDS
+
+        length = _read_varint(meta)
+        sigma = _read_varint(meta)
+        counts_section = _read_varint(meta)
+        table_section = _read_varint(meta)
+        words_section = _read_varint(meta)
+        node_count = _read_varint(meta)
+        count_words = section_words(counts_section)
+        if len(count_words) % 2:
+            raise PersistenceError(
+                f"store image {where}: wavelet-tree symbol-count section "
+                f"{counts_section} holds an odd number of words"
+            )
+        pairs = iter(count_words)
+        symbol_counts = dict(zip(pairs, pairs))
+        table = section_words(table_section)
+        if len(table) != node_count * NODE_RECORD_WORDS:
+            raise PersistenceError(
+                f"store image {where}: wavelet-tree node table {table_section} "
+                f"holds {len(table)} words, expected {node_count * NODE_RECORD_WORDS}"
+            )
+        return WaveletTree.from_node_table(
+            length, sigma, symbol_counts, table, section_words(words_section)
+        )
+
+    def read_int_sequence() -> IntSequence:
+        section = _read_varint(meta)
+        length = _read_varint(meta)
+        width = _read_varint(meta)
+        return IntSequence.from_buffers(section_words(section), length, width)
+
+    def read_pair_tree() -> FrozenPairTree:
+        section = _read_varint(meta)
+        count = _read_varint(meta)
+        words = section_words(section)
+        if len(words) != 2 * count:
+            raise PersistenceError(
+                f"store image {where}: pair section {section} holds {len(words)} "
+                f"words, expected {2 * count}"
+            )
+        return FrozenPairTree(words, count)
+
+    object_count = _read_varint(meta)
+    object_store = ObjectTripleStore._from_components(
+        wt_p=read_wavelet_tree(),
+        wt_s=read_wavelet_tree(),
+        wt_o=read_wavelet_tree(),
+        bm_ps=read_bitvector(),
+        bm_so=read_bitvector(),
+        triple_count=object_count,
+    )
+
+    datatype_count = _read_varint(meta)
+    dt_wt_p = read_wavelet_tree()
+    dt_wt_s = read_wavelet_tree()
+    dt_pointers = read_int_sequence()
+    dt_bm_ps = read_bitvector()
+    dt_bm_so = read_bitvector()
+    literal_count = _read_varint(meta)
+    literal_offsets = section_words(_read_varint(meta))
+    literal_blob = section_bytes(_read_varint(meta))
+    datatype_store = DatatypeTripleStore._from_components(
+        wt_p=dt_wt_p,
+        wt_s=dt_wt_s,
+        object_pointers=dt_pointers,
+        bm_ps=dt_bm_ps,
+        bm_so=dt_bm_so,
+        literals=BufferLiteralStore(literal_offsets, literal_blob, literal_count),
+        triple_count=datatype_count,
+    )
+
+    type_count = _read_varint(meta)
+    type_store = RDFTypeStore.from_frozen(read_pair_tree(), read_pair_tree(), type_count)
+
+    store = SuccinctEdge(
+        schema=schema,
+        concepts=concepts,
+        properties=properties,
+        instances=instances,
+        object_store=object_store,
+        datatype_store=datatype_store,
+        type_store=type_store,
+        statistics=statistics,
+        skipped_triples=skipped,
+    )
+    store.image = image
+    return store

@@ -43,6 +43,22 @@ class RDFTypeStore:
     # construction
     # ------------------------------------------------------------------ #
 
+    @classmethod
+    def from_frozen(cls, so_tree, os_tree, count: int) -> "RDFTypeStore":
+        """Assemble a store around pre-built (typically mapped) pair trees.
+
+        The persistence-v4 constructor: ``so_tree`` / ``os_tree`` are
+        :class:`~repro.sds.rbtree.FrozenPairTree` instances aliasing the
+        sorted pair sections of a store image, so no tree is rebuilt and no
+        pair is decoded.  The resulting store serves every read path; writes
+        against it raise (live writes ride the delta overlay instead).
+        """
+        store = object.__new__(cls)
+        store._so = so_tree
+        store._os = os_tree
+        store._count = count
+        return store
+
     def insert(self, subject_id: int, concept_id: int) -> None:
         """Insert one ``rdf:type`` statement (duplicates are ignored)."""
         key_so = (subject_id, concept_id)

@@ -34,6 +34,8 @@ live delta on one shard.
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 from bisect import bisect_right
 from typing import Iterator, List, Optional, Sequence, Tuple
@@ -449,6 +451,132 @@ class ShardedStore(SuccinctEdge):
                 part = UpdatableSuccinctEdge(part, policy=policy, ontology=ontology)
             shard_stores.append(part)
         return cls(shard_stores, partitioner)
+
+    # ------------------------------------------------------------------ #
+    # persistence (per-shard v4 image directories, see docs/persistence.md)
+    # ------------------------------------------------------------------ #
+
+    #: Manifest filename inside a shard image directory.
+    MANIFEST_NAME = "shards.json"
+
+    def save_image_directory(self, directory, atomic: bool = False) -> int:
+        """Persist every shard as a v4 store image under ``directory``.
+
+        Layout: a ``shards.json`` manifest (shard count, partition
+        boundaries, per-shard file names) next to one ``shard-NNNN.sedg``
+        v4 image per shard.  Updatable shards with a pending delta are
+        compacted first so each image captures the shard's full visible
+        state.  Each shard image carries its own copy of the shared
+        dictionaries (images are self-contained by design); the loader
+        rebinds shards to one copy, so the duplication costs disk, not RAM.
+
+        Returns the total bytes written across manifest and images.
+        """
+        from repro.store.persistence import save_store_image
+
+        os.makedirs(directory, exist_ok=True)
+        total = 0
+        files: List[str] = []
+        for index, shard in enumerate(self.shards):
+            target = shard
+            if isinstance(shard, UpdatableSuccinctEdge):
+                if shard.delta_operation_count:
+                    shard.compact()
+                target = shard.base
+            name = f"shard-{index:04d}.sedg"
+            total += save_store_image(target, os.path.join(directory, name), atomic=atomic)
+            files.append(name)
+        manifest = {
+            "format": "succinctedge-shard-images",
+            "version": 1,
+            "shards": self.shard_count,
+            "boundaries": self.partitioner.boundaries,
+            "files": files,
+        }
+        payload = json.dumps(manifest, indent=2).encode("utf-8")
+        manifest_path = os.path.join(directory, self.MANIFEST_NAME)
+        if atomic:
+            staged = manifest_path + ".tmp"
+            with open(staged, "wb") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(staged, manifest_path)
+        else:
+            with open(manifest_path, "wb") as handle:
+                handle.write(payload)
+        return total + len(payload)
+
+    @classmethod
+    def load_image_directory(
+        cls,
+        directory,
+        mmap: bool = True,
+        updatable: bool = False,
+        policy: Optional[CompactionPolicy] = None,
+    ) -> "ShardedStore":
+        """Reassemble a sharded store from a :meth:`save_image_directory` tree.
+
+        Shard 0's image provides the (single, shared) dictionaries, schema
+        and statistics; every other shard's layouts are rebound to them, so
+        the on-disk dictionary duplication never reaches memory.  With
+        ``mmap=True`` each shard's succinct layouts alias its own mapping —
+        startup cost stays independent of the total triple count.
+        """
+        from repro.store.persistence import PersistenceError, load_store
+
+        manifest_path = os.path.join(directory, cls.MANIFEST_NAME)
+        try:
+            with open(manifest_path, "rb") as handle:
+                manifest = json.loads(handle.read().decode("utf-8"))
+        except FileNotFoundError:
+            raise PersistenceError(
+                f"{directory!s} has no {cls.MANIFEST_NAME} manifest — "
+                "expected a directory written by ShardedStore.save_image_directory"
+            ) from None
+        except (ValueError, UnicodeDecodeError) as error:
+            raise PersistenceError(
+                f"{manifest_path!s} is not a valid shard manifest: {error}"
+            ) from None
+        if manifest.get("format") != "succinctedge-shard-images":
+            raise PersistenceError(
+                f"{manifest_path!s} does not describe shard images "
+                f"(format={manifest.get('format')!r})"
+            )
+        files = manifest.get("files") or []
+        if len(files) != manifest.get("shards") or not files:
+            raise PersistenceError(
+                f"{manifest_path!s} is inconsistent: {manifest.get('shards')} shards "
+                f"declared but {len(files)} image files listed"
+            )
+        partitioner = SubjectPartitioner(manifest.get("boundaries") or [])
+        if partitioner.shard_count != len(files):
+            raise PersistenceError(
+                f"{manifest_path!s} is inconsistent: {len(files)} image files but "
+                f"boundaries describe {partitioner.shard_count} intervals"
+            )
+        first = load_store(os.path.join(directory, files[0]), mmap=mmap)
+        shards: List[SuccinctEdge] = [first]
+        for name in files[1:]:
+            loaded = load_store(os.path.join(directory, name), mmap=mmap)
+            rebound = SuccinctEdge(
+                schema=first.schema,
+                concepts=first.concepts,
+                properties=first.properties,
+                instances=first.instances,
+                object_store=loaded.object_store,
+                datatype_store=loaded.datatype_store,
+                type_store=loaded.type_store,
+                statistics=first.statistics,
+                skipped_triples=0,
+            )
+            rebound.image = loaded.image
+            shards.append(rebound)
+        if updatable:
+            shards = [
+                UpdatableSuccinctEdge(shard, policy=policy) for shard in shards
+            ]
+        return cls(shards, partitioner)
 
     # ------------------------------------------------------------------ #
     # shard accounting

@@ -72,6 +72,40 @@ class SuccinctEdge:
         return StoreBuilder(ontology=ontology).build(data)
 
     # ------------------------------------------------------------------ #
+    # persistence (store images, see docs/persistence.md)
+    # ------------------------------------------------------------------ #
+
+    #: When this store was loaded from a v4 image, the
+    #: :class:`~repro.store.persistence.StoreImage` handle keeping the mapping
+    #: (or byte buffer) alive; ``None`` for built / v3-loaded stores.
+    image = None
+
+    @classmethod
+    def load(cls, path, mmap: bool = True) -> "SuccinctEdge":
+        """Load a store from a saved file (v3 stream or v4 image).
+
+        For v4 images with ``mmap=True`` (the default) the file is memory
+        mapped and the succinct layouts alias the mapping directly — startup
+        cost is independent of the triple count, and the handle stays
+        reachable as ``store.image``.  v3 streams are decoded and rebuilt in
+        memory regardless of ``mmap``.
+        """
+        from repro.store.persistence import load_store
+
+        return load_store(path, mmap=mmap)
+
+    def save_image(self, path, atomic: bool = False) -> int:
+        """Write this store as a v4 store image at ``path``; returns the size.
+
+        With ``atomic=True`` the image is staged in a temporary sibling file,
+        fsynced, and moved into place with ``os.replace`` so a concurrent
+        reader never observes a half-written image.
+        """
+        from repro.store.persistence import save_store_image
+
+        return save_store_image(self, path, atomic=atomic)
+
+    # ------------------------------------------------------------------ #
     # live updates (delta overlay, see docs/update_lifecycle.md)
     # ------------------------------------------------------------------ #
 

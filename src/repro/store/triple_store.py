@@ -90,6 +90,33 @@ class ObjectTripleStore:
         self._property_index_cache: dict = {}
         self._subject_run_cache: dict = {}
 
+    @classmethod
+    def _from_components(
+        cls,
+        wt_p: WaveletTree,
+        wt_s: WaveletTree,
+        wt_o: WaveletTree,
+        bm_ps: BitVector,
+        bm_so: BitVector,
+        triple_count: int,
+    ) -> "ObjectTripleStore":
+        """Assemble a store around pre-built layout structures (persistence v4).
+
+        The components typically alias a mapped store image; nothing is
+        re-encoded or validated here, so construction is O(1) in the triple
+        count.
+        """
+        store = object.__new__(cls)
+        store._triple_count = triple_count
+        store.wt_p = wt_p
+        store.wt_s = wt_s
+        store.wt_o = wt_o
+        store.bm_ps = bm_ps
+        store.bm_so = bm_so
+        store._property_index_cache = {}
+        store._subject_run_cache = {}
+        return store
+
     # ------------------------------------------------------------------ #
     # basic accessors
     # ------------------------------------------------------------------ #

@@ -205,7 +205,7 @@ class UpdatableSuccinctEdge(SuccinctEdge):
     # compaction
     # ------------------------------------------------------------------ #
 
-    def compact(self) -> CompactionReport:
+    def compact(self, image_path=None, remap: bool = False) -> CompactionReport:
         """Fold the delta into a fresh succinct base (synchronous).
 
         The merged iterators of the overlay views are already deduplicated
@@ -213,15 +213,66 @@ class UpdatableSuccinctEdge(SuccinctEdge):
         ``presorted`` path with no sort pass.  Identifiers are stable across
         compaction — query results before and after are identical.
 
+        With ``image_path`` the freshly compacted base is additionally
+        persisted as a v4 store image, written atomically (staged sibling
+        file + ``os.replace``) so a concurrent loader never sees a torn
+        image; the image captures exactly the new compaction epoch's
+        snapshot.  With ``remap=True`` the written image is immediately
+        loaded back memory-mapped and swapped in as the serving base — the
+        process then serves straight off the page cache and the heap copies
+        of the succinct layouts become garbage.  Both default off; the
+        no-argument call keeps its historical behavior.
+
         If a background compaction is in flight, it is waited for first (its
         swap would otherwise clobber this one's).
         """
+        if remap and image_path is None:
+            raise ValueError("compact(remap=True) needs image_path to know where to map from")
         self._join_background_compaction()
         with self._write_lock:
             started = time.perf_counter()
             snapshot = self._snapshot()
             new_base = self._build_base(snapshot)
-            return self._install(new_base, snapshot, started)
+            report = self._install(new_base, snapshot, started)
+            if image_path is not None:
+                from repro.store.persistence import save_store_image
+
+                save_store_image(self._base, image_path, atomic=True)
+                if remap:
+                    self._remap_base(image_path)
+            return report
+
+    def _remap_base(self, image_path) -> None:
+        """Swap the just-written image in as the memory-mapped serving base.
+
+        Called under the write lock right after :meth:`_install`, so the
+        delta is empty and identifiers are stable: the mapped layouts hold
+        exactly the triples of the heap-built base they replace.  The facade
+        keeps its live (shared, growable) dictionaries and statistics — only
+        the three storage layouts are re-pointed at the mapping.
+        """
+        from repro.store.persistence import load_store
+
+        mapped = load_store(image_path, mmap=True)
+        remapped = SuccinctEdge(
+            schema=self.schema,
+            concepts=self.concepts,
+            properties=self.properties,
+            instances=self.instances,
+            object_store=mapped.object_store,
+            datatype_store=mapped.datatype_store,
+            type_store=mapped.type_store,
+            statistics=self.statistics,
+            skipped_triples=mapped.skipped_triples,
+        )
+        remapped.image = mapped.image
+        staged = UpdatableSuccinctEdge(remapped, policy=self.policy, ontology=self._ontology)
+        self._base = remapped
+        self._delta = staged._delta
+        self.object_store = staged.object_store
+        self.datatype_store = staged.datatype_store
+        self.type_store = staged.type_store
+        self.image = mapped.image
 
     def compact_in_background(self) -> threading.Thread:
         """Fold the delta on a worker thread; returns the (started) thread.

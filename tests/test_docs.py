@@ -33,6 +33,7 @@ def test_docs_exist_and_are_linked_from_readme():
         "operations.md",
         "performance.md",
         "query_planning.md",
+        "persistence.md",
     ):
         assert (REPO_ROOT / "docs" / name).is_file()
         assert name in readme, f"README does not link docs/{name}"
@@ -40,7 +41,7 @@ def test_docs_exist_and_are_linked_from_readme():
 
 def test_new_docs_pages_are_linked_from_architecture_map():
     architecture = (REPO_ROOT / "docs" / "architecture.md").read_text(encoding="utf-8")
-    for name in ("operations.md", "performance.md", "query_planning.md"):
+    for name in ("operations.md", "performance.md", "query_planning.md", "persistence.md"):
         assert name in architecture, f"docs/architecture.md does not link {name}"
 
 

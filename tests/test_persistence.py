@@ -1,16 +1,28 @@
-"""Tests for SuccinctEdge store persistence (save / load round trips)."""
+"""Tests for SuccinctEdge store persistence (save / load round trips).
+
+Covers both on-disk formats: the v3 varint stream (decoded and rebuilt at
+load) and the v4 page-aligned store image (memory-mapped, zero-copy), plus
+the v3-to-v4 upgrade path and the corruption error paths of each.
+"""
 
 from __future__ import annotations
+
+import struct
+import sys
+import zlib
 
 import pytest
 
 from repro.store.persistence import (
     PersistenceError,
     dump_store,
+    dump_store_image,
     load_store,
     load_store_from_bytes,
     save_store,
+    save_store_image,
     serialized_size_in_bytes,
+    upgrade_store_image,
 )
 from repro.store.succinct_edge import SuccinctEdge
 from tests.conftest import EX
@@ -104,3 +116,230 @@ class TestErrorHandling:
         store = SuccinctEdge.from_graph(Graph())
         restored = load_store_from_bytes(dump_store(store))
         assert restored.triple_count == 0
+
+
+# --------------------------------------------------------------------------- #
+# v4 store images
+# --------------------------------------------------------------------------- #
+
+
+def _rewrite_image_checksum(data: bytearray) -> None:
+    """Recompute the header checksum after patching a v4 image in a test."""
+    toc_offset, meta_offset, meta_length = struct.unpack_from("<QQQ", data, 16)
+    checksum = zlib.crc32(bytes(data[toc_offset : meta_offset + meta_length])) & 0xFFFFFFFF
+    struct.pack_into("<Q", data, 48, checksum)
+
+
+class TestV4RoundTrip:
+    def test_image_bytes_round_trip(self, toy_store, toy_data):
+        restored = load_store_from_bytes(dump_store_image(toy_store))
+        assert restored.triple_count == toy_store.triple_count
+        assert set(restored.match(None, None, None)) == set(toy_data)
+
+    def test_image_file_round_trip_mapped(self, toy_store, toy_data, tmp_path):
+        path = tmp_path / "store.sedg"
+        written = save_store_image(toy_store, str(path))
+        assert path.stat().st_size == written
+        restored = load_store(str(path), mmap=True)
+        assert restored.image is not None
+        assert restored.image.mapped
+        restored.image.validate()  # pristine file passes
+        assert set(restored.match(None, None, None)) == set(toy_data)
+
+    def test_image_file_round_trip_unmapped(self, toy_store, toy_data, tmp_path):
+        path = tmp_path / "store.sedg"
+        save_store_image(toy_store, str(path))
+        restored = load_store(str(path), mmap=False)
+        assert restored.image is not None
+        assert not restored.image.mapped
+        assert set(restored.match(None, None, None)) == set(toy_data)
+
+    @pytest.mark.skipif(sys.byteorder != "little", reason="big-endian hosts copy+byteswap")
+    def test_mapped_layouts_alias_the_image(self, toy_store, tmp_path):
+        # The zero-copy claim, structurally: the succinct layouts' word
+        # buffers are memoryview slices of the mapping, not decoded arrays.
+        path = tmp_path / "store.sedg"
+        save_store_image(toy_store, str(path))
+        restored = load_store(str(path))
+        assert isinstance(restored.object_store.bm_ps._words, memoryview)
+        assert isinstance(restored.datatype_store.object_pointers._words, memoryview)
+
+    def test_version_sniffing_dispatch(self, toy_store, tmp_path):
+        # load_store reads either format transparently; the caller never
+        # declares which one is on disk.
+        v3_path, v4_path = tmp_path / "v3.sedg", tmp_path / "v4.sedg"
+        save_store(toy_store, str(v3_path))
+        save_store_image(toy_store, str(v4_path))
+        from_v3 = load_store(str(v3_path))
+        from_v4 = load_store(str(v4_path))
+        assert from_v3.image is None
+        assert from_v4.image is not None
+        assert set(from_v3.match(None, None, None)) == set(from_v4.match(None, None, None))
+
+    def test_queries_agree_after_mapped_reload(self, toy_store, tmp_path):
+        path = tmp_path / "store.sedg"
+        save_store_image(toy_store, str(path))
+        restored = load_store(str(path))
+        queries = [
+            ("SELECT ?x WHERE { ?x a <http://example.org/Person> }", True),
+            ("SELECT ?x ?d WHERE { ?x <http://example.org/memberOf> ?d }", True),
+            (
+                "SELECT ?x ?n WHERE { ?x a <http://example.org/Department> . "
+                "?y <http://example.org/memberOf> ?x . ?y <http://example.org/name> ?n }",
+                False,
+            ),
+        ]
+        for query, reasoning in queries:
+            assert (
+                restored.query(query, reasoning=reasoning).to_set()
+                == toy_store.query(query, reasoning=reasoning).to_set()
+            )
+
+    def test_join_profiles_survive_v4(self, toy_store):
+        # v4 persists the cost-based planner's statistics (v3 predates them),
+        # so a mapped store plans — and therefore orders rows — identically
+        # to the builder output.
+        restored = load_store_from_bytes(dump_store_image(toy_store))
+        assert restored.statistics.has_profiles == toy_store.statistics.has_profiles
+        assert (
+            restored.statistics.profiled_property_ids()
+            == toy_store.statistics.profiled_property_ids()
+        )
+
+    def test_upgrade_v3_to_v4(self, toy_store, toy_data, tmp_path):
+        v3_path, v4_path = tmp_path / "old.sedg", tmp_path / "new.sedg"
+        save_store(toy_store, str(v3_path))
+        written = upgrade_store_image(str(v3_path), str(v4_path))
+        assert v4_path.stat().st_size == written
+        restored = load_store(str(v4_path))
+        assert restored.image is not None
+        assert set(restored.match(None, None, None)) == set(toy_data)
+
+    def test_atomic_save_leaves_no_staging_file(self, toy_store, tmp_path):
+        path = tmp_path / "store.sedg"
+        save_store_image(toy_store, str(path), atomic=True)
+        assert [entry.name for entry in tmp_path.iterdir()] == ["store.sedg"]
+        assert load_store(str(path)).triple_count == toy_store.triple_count
+
+    def test_facade_convenience_methods(self, toy_store, tmp_path):
+        path = tmp_path / "store.sedg"
+        toy_store.save_image(str(path), atomic=True)
+        restored = SuccinctEdge.load(str(path))
+        assert restored.image is not None
+        assert restored.triple_count == toy_store.triple_count
+
+    def test_empty_store_image_round_trip(self, tmp_path):
+        from repro.rdf.graph import Graph
+
+        store = SuccinctEdge.from_graph(Graph())
+        path = tmp_path / "empty.sedg"
+        save_store_image(store, str(path))
+        restored = load_store(str(path))
+        assert restored.triple_count == 0
+
+    def test_engie_store_image_round_trip(self, engie_store, engie_graph):
+        restored = load_store_from_bytes(dump_store_image(engie_store))
+        assert set(restored.match(None, None, None)) == set(engie_graph)
+
+    def test_mapped_store_rejects_writes(self, toy_store, tmp_path):
+        from repro.rdf.terms import Triple, URI
+
+        path = tmp_path / "store.sedg"
+        save_store_image(toy_store, str(path))
+        restored = load_store(str(path))
+        with pytest.raises(TypeError):
+            restored.insert(Triple(URI("http://x/s"), URI("http://x/p"), URI("http://x/o")))
+        # ...but the delta overlay gives it a write path like any other store.
+        live = restored.updatable()
+        assert live.insert(Triple(URI("http://x/s"), URI("http://x/p"), URI("http://x/o")))
+
+
+class TestV4ErrorHandling:
+    @pytest.fixture()
+    def image(self, toy_store):
+        return bytearray(dump_store_image(toy_store))
+
+    def test_truncated_header_rejected(self, image, tmp_path):
+        path = tmp_path / "short.sedg"
+        path.write_bytes(bytes(image[:40]))
+        with pytest.raises(PersistenceError, match="truncated"):
+            load_store(str(path))
+
+    def test_truncated_heap_rejected(self, image, tmp_path):
+        path = tmp_path / "cut.sedg"
+        path.write_bytes(bytes(image[: len(image) - 64]))
+        with pytest.raises(PersistenceError, match="truncated"):
+            load_store(str(path))
+
+    def test_bad_magic_rejected(self, image, tmp_path):
+        image[:4] = b"NOPE"
+        path = tmp_path / "magic.sedg"
+        path.write_bytes(bytes(image))
+        with pytest.raises(PersistenceError, match="bad magic"):
+            load_store(str(path))
+
+    def test_unknown_version_rejected(self, image, tmp_path):
+        image[4] = 99  # version field, same offset as in the v3 stream
+        path = tmp_path / "future.sedg"
+        path.write_bytes(bytes(image))
+        with pytest.raises(PersistenceError, match="version"):
+            load_store(str(path))
+
+    def test_checksum_mismatch_rejected(self, image, tmp_path):
+        toc_offset = struct.unpack_from("<Q", image, 16)[0]
+        image[toc_offset] ^= 0xFF  # corrupt the TOC without fixing the checksum
+        path = tmp_path / "bitrot.sedg"
+        path.write_bytes(bytes(image))
+        with pytest.raises(PersistenceError, match="checksum"):
+            load_store(str(path))
+
+    def test_misaligned_section_rejected(self, image, tmp_path):
+        # Bump the first section's offset off 8-byte alignment and re-sign
+        # the header so the corruption reaches the alignment check.
+        toc_offset = struct.unpack_from("<Q", image, 16)[0]
+        offset = struct.unpack_from("<Q", image, toc_offset)[0]
+        struct.pack_into("<Q", image, toc_offset, offset + 1)
+        _rewrite_image_checksum(image)
+        path = tmp_path / "skewed.sedg"
+        path.write_bytes(bytes(image))
+        with pytest.raises(PersistenceError, match="misaligned"):
+            load_store(str(path))
+
+    def test_out_of_bounds_section_rejected(self, image, tmp_path):
+        toc_offset = struct.unpack_from("<Q", image, 16)[0]
+        file_length = struct.unpack_from("<Q", image, 40)[0]
+        struct.pack_into("<Q", image, toc_offset, file_length + 8)
+        _rewrite_image_checksum(image)
+        path = tmp_path / "oob.sedg"
+        path.write_bytes(bytes(image))
+        with pytest.raises(PersistenceError, match="outside the file"):
+            load_store(str(path))
+
+    def test_modification_underneath_detected(self, toy_store, tmp_path):
+        # A writer rewriting the image in place (instead of atomically
+        # replacing it) flips bytes under the live mapping; validate()
+        # catches it through the remembered TOC/meta checksum.
+        path = tmp_path / "live.sedg"
+        save_store_image(toy_store, str(path))
+        restored = load_store(str(path))
+        restored.image.validate()
+        toc_offset = 64
+        with open(path, "r+b") as handle:
+            handle.seek(toc_offset)
+            original = handle.read(1)
+            handle.seek(toc_offset)
+            handle.write(bytes([original[0] ^ 0xFF]))
+            handle.flush()
+        with pytest.raises(PersistenceError, match="modified"):
+            restored.image.validate()
+
+    def test_load_failure_does_not_leak_the_mapping(self, image, tmp_path):
+        # A rejected image must release its file handle/mapping so the
+        # caller can delete or repair the file immediately (Windows-style
+        # semantics; on Linux this pins the error-path cleanup).
+        image[4] = 99
+        path = tmp_path / "reject.sedg"
+        path.write_bytes(bytes(image))
+        with pytest.raises(PersistenceError):
+            load_store(str(path))
+        path.unlink()  # would fail on platforms with mandatory locks if leaked
