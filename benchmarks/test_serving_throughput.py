@@ -29,9 +29,12 @@ Results land in ``benchmarks/results/serving_throughput.txt``.
 
 from __future__ import annotations
 
+import os
 import queue
 import threading
 import time
+
+import pytest
 
 from repro.bench.harness import format_table, record_table
 from repro.edge.device import EDGE_UPLINK, SimulatedNetwork
@@ -80,13 +83,16 @@ def _drive(server_url: str, queries, clients: int):
     return elapsed
 
 
-def _measure(store, queries, workers: int, parallel: bool, cache: bool, network_profile):
+def _measure(store, queries, workers: int, parallel: bool, cache: bool, network_profile,
+             backend=None, process_workers=None):
     """One configuration: queries/sec plus the service's latency percentiles."""
     service = QueryService(
         store,
         parallel=parallel,
+        backend=backend,
+        process_workers=process_workers,
         worker_slots=workers,
-        max_pending=_TOTAL_QUERIES + _CLIENTS,
+        max_pending=len(queries) + _CLIENTS,
         cache_capacity=256 if cache else 0,
         default_timeout_s=600,
     )
@@ -201,4 +207,61 @@ def test_serving_throughput(context, results_dir):
         results_dir,
         "serving_throughput",
         "\n\n".join([worker_table, lan_table, shard_table, cache_table, summary]),
+    )
+
+
+def test_serving_throughput_multiproc(context, results_dir):
+    """Process-backend LAN control: compute scaling with worker processes.
+
+    The thread benchmark above shows the LAN control flat — compute
+    serialises on the GIL.  The process backend is the configuration that
+    is *supposed* to move that row: worker processes mmap the store image
+    and run the kernels on real cores.  Same workload, same instant link,
+    variable = worker-process count; the acceptance bar (>= 2x at 4 vs 1
+    process) only applies on a host with >= 4 CPUs — on fewer cores the
+    table is still recorded, honestly labelled, and the bar is skipped.
+    """
+    workload = ServingWorkload(context.lubm)
+    store = SuccinctEdge.from_graph(context.lubm.graph, ontology=context.lubm.ontology)
+    lan_queries = workload.sample_queries(_TOTAL_QUERIES * 2, seed=107)
+
+    rows = {}
+    for processes in _WORKER_COUNTS:
+        result = _measure(
+            store, lan_queries, workers=4, parallel=False, cache=False,
+            network_profile=None, backend="process", process_workers=processes,
+        )
+        rows[f"{processes} process(es)"] = [result["qps"], result["p50"], result["p99"]]
+
+    speedup = rows["4 process(es)"][0] / rows["1 process(es)"][0]
+    cpus = os.cpu_count() or 1
+    table = format_table(
+        "Process backend on an instant link (LAN control): queries/sec vs "
+        f"worker processes, 4 worker slots, host has {cpus} CPU(s)",
+        ["queries/sec", "p50 ms", "p99 ms"],
+        rows,
+    )
+    summary = "\n".join(
+        [
+            f"LUBM scale: {len(context.lubm.graph)} triples, "
+            f"{len(lan_queries)} queries, {_CLIENTS} closed-loop clients",
+            f"4-process vs 1-process speedup on the LAN control: {speedup:.2f}x "
+            f"(acceptance bar >= 2x, applied only on >= 4-CPU hosts; this host: {cpus})",
+            "Interpretation: worker processes attach to the mmap'd store image and "
+            "run the SDS kernels outside the coordinator's GIL — this is the row "
+            "threads cannot move; see docs/performance.md (Multicore execution).",
+        ]
+    )
+    # Record first: the table is evidence either way, including on hosts
+    # where the scaling bar cannot honestly be applied.
+    record_table(results_dir, "serving_throughput_multiproc", "\n\n".join([table, summary]))
+
+    if cpus < 4:
+        pytest.skip(
+            f"process-scaling acceptance bar needs >= 4 CPUs; host has {cpus} "
+            "(table recorded in serving_throughput_multiproc.txt)"
+        )
+    assert speedup >= 2.0, (
+        f"4 worker processes deliver {speedup:.2f}x the 1-process throughput on "
+        "an instant link; expected >= 2x from multi-core kernel execution"
     )

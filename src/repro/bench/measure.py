@@ -16,6 +16,13 @@ operation performed (rank/select/scan/access_range invocations counted by
 :mod:`repro.sds.kernels`).  A batched primitive registers as one call, so
 this number makes the effect of batched triple-pattern evaluation visible
 next to the wall-clock improvement.
+
+The counters are process-wide, and the process execution backend
+(:mod:`repro.query.multiproc`) keeps them complete across process
+boundaries: each worker task reports its per-task counter delta, which the
+coordinator folds back into its own ``KERNEL_COUNTS`` before the task's
+results are surfaced — so ``measure_call`` around a process-backed query
+still sees every rank/select/scan the workers performed.
 """
 
 from __future__ import annotations

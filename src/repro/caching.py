@@ -12,12 +12,18 @@ no explicit invalidation pass.
 
 from __future__ import annotations
 
+import os
 import threading
+import weakref
 from collections import OrderedDict
 from typing import Hashable, Optional, Tuple
 
 #: Returned by :meth:`LruCache.get` on a miss (``None`` is a valid value).
 _MISS = object()
+
+#: Every live cache, tracked so a forked child can repair them all (see
+#: :func:`_reset_caches_after_fork`).
+_LIVE_CACHES: "weakref.WeakSet" = weakref.WeakSet()
 
 
 class LruCache:
@@ -32,6 +38,7 @@ class LruCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        _LIVE_CACHES.add(self)
 
     def get(self, key: Hashable) -> Tuple[bool, Optional[object]]:
         """``(True, value)`` on a hit, ``(False, None)`` on a miss."""
@@ -88,3 +95,23 @@ class LruCache:
             f"{type(self).__name__}({len(self)}/{self.capacity} entries, "
             f"{self.hits} hits, {self.misses} misses)"
         )
+
+
+def _reset_caches_after_fork() -> None:
+    """Repair every cache in a freshly forked child process.
+
+    A fork can catch a cache mid-``put`` in another thread: the child then
+    inherits a lock that is held forever (its owner thread does not exist
+    in the child — the classic fork deadlock) and possibly a half-mutated
+    ``OrderedDict``.  Each cache gets a brand-new lock and an empty entry
+    map; entries repopulate on demand, which is the caches' normal miss
+    path.  Runs single-threaded (Python forks replicate only the calling
+    thread), so touching the attributes without the old lock is safe.
+    """
+    for cache in list(_LIVE_CACHES):
+        cache._lock = threading.Lock()
+        cache._entries = OrderedDict()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reset_caches_after_fork)

@@ -1,0 +1,862 @@
+"""Process-pool query execution over memory-mapped store images.
+
+The GIL keeps :class:`~repro.query.parallel.ParallelExecutor`'s thread-pool
+fan-out from buying compute scaling on stock CPython; this module executes
+the *same* scatter/gather plan shape on a pool of **worker processes** that
+memory-map the v4 store image (persistence PR 6) — N workers share one page
+cache, so attaching is near-free and RAM stays O(1) in the worker count.
+
+Architecture
+------------
+
+* **Attachment**: every task ships a small *attach spec* — the base image
+  path (a monolithic ``.sedg`` v4 image or a
+  :meth:`~repro.store.sharding.ShardedStore.save_image_directory` tree), a
+  *generation* (the compaction epoch / image-directory generation, so a
+  compact-and-swap rotation re-attaches workers), and the path of a spilled
+  **term-level delta log** holding the writes applied since the base image
+  was taken.  Workers ``load_store(path, mmap=True)`` lazily, cache the
+  attachment, and replay only the log suffix they have not applied yet.
+  Replaying through the public ``insert``/``delete`` path reproduces the
+  coordinator's dictionary state exactly — overflow and instance identifiers
+  are assigned sequentially and idempotently, so id-level work units mean
+  the same terms on both sides.
+* **Work units** are compact and id-level: leaf scans ship as one task per
+  ``(candidate property × shard)`` returning raw identifier pairs, and
+  bind-join batches ship encoded bindings evaluated sequentially inside one
+  worker.  The coordinator merges replies in the exact monolithic PSO/PS/SO
+  order that :class:`~repro.query.parallel.ParallelExecutor` defines
+  (property-major, object layout before datatype layout, shard-minor), so
+  results stay **byte-identical** to the sequential engine.
+* **Fault containment**: a worker crash (:class:`BrokenProcessPool`), a
+  corrupt image (:class:`~repro.store.persistence.PersistenceError` raised
+  inside the task) or a task timeout surfaces as a clean exception on the
+  coordinator — never a hang, never partial rows (engines materialize rows
+  before releasing them).  The pool restarts lazily on the next submit, and
+  :class:`ProcessPoolQueryEngine` retries a failed query once after healing.
+* **Kernel accounting**: each reply carries the worker's per-task kernel
+  counter delta; the coordinator folds it into its own
+  :data:`~repro.sds.kernels.KERNEL_COUNTS`, so ``bench.measure.measure_call``
+  sees worker-side rank/select work in the existing breakdown.
+
+Fork-safety: the pool defaults to the ``fork`` start method where available
+(fast, inherits the warm interpreter); the module-level state that must not
+leak through a fork — kernel counters, :class:`~repro.caching.LruCache`
+locks and entries — is reset by ``os.register_at_fork`` hooks in
+:mod:`repro.sds.kernels` and :mod:`repro.caching`, and the worker
+initializer re-zeroes the counters for spawned workers too.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import tempfile
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import multiprocessing
+
+from repro.query.engine import QueryEngine
+from repro.query.parallel import DEFAULT_BATCH_SIZE, ParallelExecutor
+from repro.query.tp_eval import TriplePatternEvaluator
+from repro.rdf.terms import BlankNode, Literal, URI
+from repro.sds.kernels import kernel_counters, merge_kernel_counters, reset_kernel_counters
+from repro.sparql.ast import TriplePattern, Variable
+from repro.sparql.bindings import Binding
+from repro.store.sharding import ShardedStore
+from repro.store.succinct_edge import SuccinctEdge
+from repro.store.updatable import UpdatableSuccinctEdge
+
+
+class WorkerPoolError(RuntimeError):
+    """A worker task failed terminally (crash, timeout, exhausted pool).
+
+    The coordinator raises this instead of hanging or emitting partial
+    rows; the pool restarts itself before the next query.
+    """
+
+
+# --------------------------------------------------------------------------- #
+# wire codec: terms, bindings and patterns as compact picklable tuples
+# --------------------------------------------------------------------------- #
+
+
+def _encode_term(term, instances):
+    """Encode one RDF term against the shared instance dictionary.
+
+    Terms present in the dictionary travel as a bare identifier (the
+    common case: every stored individual); literals and never-stored terms
+    travel self-contained.
+    """
+    if isinstance(term, Literal):
+        return ("l", term.lexical, term.datatype, term.language)
+    identifier = instances.try_locate(term)
+    if identifier is not None:
+        return ("i", identifier)
+    if isinstance(term, URI):
+        return ("u", term.value)
+    return ("b", term.label)
+
+
+def _decode_term(code, instances):
+    kind = code[0]
+    if kind == "i":
+        return instances.extract(code[1])
+    if kind == "l":
+        return Literal(code[1], datatype=code[2], language=code[3])
+    if kind == "u":
+        return URI(code[1])
+    return BlankNode(code[1])
+
+
+def _encode_binding(binding: Binding, instances) -> tuple:
+    return tuple((name, _encode_term(value, instances)) for name, value in binding.items())
+
+
+def _decode_binding(code: tuple, instances) -> Binding:
+    return Binding._adopt({name: _decode_term(value, instances) for name, value in code})
+
+
+def _encode_pattern(pattern: TriplePattern, instances) -> tuple:
+    def slot(value):
+        if isinstance(value, Variable):
+            return ("v", value.name)
+        return _encode_term(value, instances)
+
+    return (slot(pattern.subject), slot(pattern.predicate), slot(pattern.object))
+
+
+def _decode_pattern(code: tuple, instances) -> TriplePattern:
+    def slot(value):
+        if value[0] == "v":
+            return Variable(value[1])
+        return _decode_term(value, instances)
+
+    return TriplePattern(slot(code[0]), slot(code[1]), slot(code[2]))
+
+
+# --------------------------------------------------------------------------- #
+# worker side (module-level so both fork and spawn start methods pickle it)
+# --------------------------------------------------------------------------- #
+
+
+class _WorkerState:
+    """One worker's cached attachment: mapped base, live overlay, evaluators."""
+
+    __slots__ = ("token", "base", "live", "evaluators", "applied_epoch", "applied_ops")
+
+    def __init__(self, token) -> None:
+        self.token = token
+        self.base = None
+        self.live = None
+        self.evaluators: Dict[bool, TriplePatternEvaluator] = {}
+        self.applied_epoch = 0
+        self.applied_ops = 0
+
+
+_STATE: Optional[_WorkerState] = None
+
+
+def _worker_initialize() -> None:
+    """Per-process initialisation: counters start at zero in every worker."""
+    reset_kernel_counters()
+
+
+def _load_base(spec):
+    from repro.store.persistence import load_store
+
+    if spec["kind"] == "shards":
+        return ShardedStore.load_image_directory(spec["path"], mmap=spec["mmap"])
+    return load_store(spec["path"], mmap=spec["mmap"])
+
+
+def _wrap_writable(base):
+    """An updatable overlay over the mapped base, for delta-log replay."""
+    if isinstance(base, ShardedStore):
+        wrapped = [UpdatableSuccinctEdge(shard) for shard in base.shards]
+        return ShardedStore(wrapped, base.partitioner)
+    return UpdatableSuccinctEdge(base)
+
+
+def _apply_delta(state: _WorkerState, spec) -> None:
+    with open(spec["delta_path"], "rb") as handle:
+        operations = pickle.load(handle)
+    if state.live is None:
+        state.live = _wrap_writable(state.base)
+        state.evaluators = {}
+    if state.applied_ops > len(operations):
+        # The log can only grow within one generation; a shorter log means
+        # this worker is somehow ahead of the spec — rebuild defensively.
+        # (Replaying from scratch is safe: identifier assignment is
+        # idempotent, so already-grown dictionaries resolve identically.)
+        state.live = _wrap_writable(state.base)
+        state.evaluators = {}
+        state.applied_ops = 0
+    for operation, triple in operations[state.applied_ops :]:
+        if operation == "insert":
+            state.live.insert(triple)
+        else:
+            state.live.delete(triple)
+    state.applied_ops = len(operations)
+    state.applied_epoch = spec["data_epoch"]
+
+
+def _attach(spec) -> _WorkerState:
+    """The (cached) worker store described by ``spec``, synced forward.
+
+    Attachment is lazy and per-task so a corrupt or truncated image raises
+    a clean :class:`~repro.store.persistence.PersistenceError` through the
+    task's future instead of killing the worker at pool start.  Sync is
+    forward-only: a task carrying an older epoch than the worker has
+    already applied is served with the newer state (reads always see live
+    data, exactly like the coordinator's own evaluator).
+    """
+    global _STATE
+    state = _STATE
+    token = (spec["kind"], spec["path"], spec["generation"])
+    if state is None or state.token != token:
+        state = _WorkerState(token)
+        state.base = _load_base(spec)
+        _STATE = state
+    if spec["delta_path"] is not None and spec["data_epoch"] > state.applied_epoch:
+        _apply_delta(state, spec)
+    return state
+
+
+def _evaluator(state: _WorkerState, reasoning: bool) -> TriplePatternEvaluator:
+    evaluator = state.evaluators.get(reasoning)
+    if evaluator is None:
+        evaluator = TriplePatternEvaluator(state.live or state.base, reasoning=reasoning)
+        state.evaluators[reasoning] = evaluator
+    return evaluator
+
+
+def _shard_view(store, shard_index):
+    if shard_index is None:
+        return store
+    return store.shards[shard_index]
+
+
+def _dispatch(spec, op, args, reasoning):
+    if op == "ping":
+        return {"pid": os.getpid()}
+    if op == "counters":
+        return kernel_counters()
+    if op == "sleep":  # fault-injection harness: a task of known duration
+        time.sleep(args[0])
+        return args[0]
+    state = _attach(spec)
+    store = state.live or state.base
+    instances = store.instances
+    if op == "eval_many":
+        pattern_code, binding_codes = args
+        pattern = _decode_pattern(pattern_code, instances)
+        evaluate = _evaluator(state, reasoning).evaluate
+        rows: List[tuple] = []
+        for code in binding_codes:
+            for result in evaluate(pattern, _decode_binding(code, instances)):
+                rows.append(_encode_binding(result, instances))
+        return rows
+    shard = _shard_view(store, args[-1])
+    if op == "pairs":
+        property_id = args[0]
+        return (
+            list(shard.object_store.pairs_for_property(property_id)),
+            [
+                (subject_id, _encode_term(literal, instances))
+                for subject_id, literal in shard.datatype_store.pairs_for_property(property_id)
+            ],
+        )
+    if op == "subjects_obj":
+        return list(shard.object_store.subjects_for(args[0], args[1]))
+    if op == "subjects_lit":
+        literal = _decode_term(args[1], instances)
+        return list(shard.datatype_store.subjects_for(args[0], literal))
+    if op == "type_interval":
+        return list(shard.type_store.subjects_of_interval(args[0], args[1]))
+    if op == "type_concept":
+        return list(shard.type_store.subjects_of(args[0]))
+    raise ValueError(f"unknown worker op {op!r}")
+
+
+def _worker_run(task):
+    """Task entry point: dispatch, then report the kernel-call delta."""
+    spec, op, args, reasoning = task
+    before = kernel_counters()
+    payload = _dispatch(spec, op, args, reasoning)
+    deltas = {
+        name: count - before.get(name, 0)
+        for name, count in kernel_counters().items()
+        if count - before.get(name, 0)
+    }
+    return {"payload": payload, "kernels": deltas, "pid": os.getpid()}
+
+
+# --------------------------------------------------------------------------- #
+# coordinator side: the pool wrapper with health, restart and accounting
+# --------------------------------------------------------------------------- #
+
+
+class WorkerPool:
+    """A self-healing :class:`ProcessPoolExecutor` for store work units.
+
+    The pool is *generic*: tasks carry their own attach spec, so one pool
+    can serve several engines (the serving layer shares one across its
+    reasoning modes) and successive stores (the fuzz harness reuses one
+    across examples).  A broken pool — worker SIGKILLed, queue corrupted,
+    task past ``task_timeout`` — is torn down and lazily recreated on the
+    next submit; the failed task surfaces as :class:`WorkerPoolError`.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        mp_context: Optional[str] = None,
+        task_timeout: Optional[float] = None,
+    ) -> None:
+        if max_workers is None:
+            max_workers = max(2, min(8, os.cpu_count() or 1))
+        if max_workers < 1:
+            raise ValueError("worker pool needs at least one process")
+        self.max_workers = max_workers
+        self.mp_context = mp_context or ("fork" if hasattr(os, "fork") else "spawn")
+        self.task_timeout = task_timeout
+        self._lock = threading.Lock()
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self.restarts = 0
+        self.tasks_submitted = 0
+        self.tasks_failed = 0
+        self.worker_kernel_calls = 0
+
+    # -- lifecycle ----------------------------------------------------- #
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    mp_context=multiprocessing.get_context(self.mp_context),
+                    initializer=_worker_initialize,
+                )
+            return self._executor
+
+    @staticmethod
+    def _processes_of(executor) -> list:
+        processes = getattr(executor, "_processes", None) or {}
+        return [process for process in dict(processes).values() if process is not None]
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the currently alive workers (empty before the first task)."""
+        with self._lock:
+            executor = self._executor
+        if executor is None:
+            return []
+        return [process.pid for process in self._processes_of(executor) if process.is_alive()]
+
+    def prime(self) -> List[int]:
+        """Spin every worker up with a ping; returns the distinct PIDs seen."""
+        futures = [self.submit(None, "ping", (), True) for _ in range(self.max_workers)]
+        return sorted({self.result(future)["pid"] for future in futures})
+
+    def restart(self) -> None:
+        """Tear the executor down (killing stuck workers); next submit rebuilds."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        self.restarts += 1
+        processes = self._processes_of(executor)
+        executor.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            if process.is_alive():
+                process.kill()
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent; a later submit re-creates it)."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    # -- task round trips ---------------------------------------------- #
+
+    def submit(self, spec, op, args, reasoning=True):
+        """Submit one work unit; transparently rebuilds a broken executor."""
+        for _ in range(2):
+            executor = self._ensure()
+            try:
+                future = executor.submit(_worker_run, (spec, op, args, reasoning))
+            except (BrokenProcessPool, RuntimeError):
+                # Broken (a worker died between tasks) or shut down by a
+                # concurrent restart: retire this executor and retry once
+                # with a fresh one.
+                with self._lock:
+                    if self._executor is executor:
+                        self._executor = None
+                        self.restarts += 1
+                continue
+            self.tasks_submitted += 1
+            return future
+        raise WorkerPoolError("worker pool could not be (re)started")
+
+    def result(self, future):
+        """The payload of one submitted task, with kernel counters folded in.
+
+        Raises :class:`WorkerPoolError` when the pool broke or the task
+        exceeded ``task_timeout`` (the pool is restarted so the next query
+        gets healthy workers); exceptions raised *inside* the task — e.g. a
+        :class:`~repro.store.persistence.PersistenceError` for a corrupt
+        image — propagate unchanged.
+        """
+        try:
+            reply = future.result(timeout=self.task_timeout)
+        except FutureTimeoutError:
+            self.tasks_failed += 1
+            future.cancel()
+            self.restart()
+            raise WorkerPoolError(
+                f"worker task exceeded the {self.task_timeout}s task timeout; pool restarted"
+            ) from None
+        except BrokenProcessPool as error:
+            self.tasks_failed += 1
+            self.restart()
+            raise WorkerPoolError(f"worker pool broke mid-task: {error}") from error
+        kernels = reply["kernels"]
+        if kernels:
+            merge_kernel_counters(kernels)
+            self.worker_kernel_calls += sum(kernels.values())
+        return reply["payload"]
+
+    def info(self) -> dict:
+        """Pool health and accounting (the serving layer exposes this)."""
+        return {
+            "max_workers": self.max_workers,
+            "mp_context": self.mp_context,
+            "task_timeout": self.task_timeout,
+            "alive_workers": len(self.worker_pids()),
+            "restarts": self.restarts,
+            "tasks_submitted": self.tasks_submitted,
+            "tasks_failed": self.tasks_failed,
+            "worker_kernel_calls": self.worker_kernel_calls,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerPool({self.max_workers} workers, {self.mp_context}, "
+            f"{self.tasks_submitted} tasks, {self.restarts} restarts)"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# the process-backed evaluator and engine
+# --------------------------------------------------------------------------- #
+
+
+class ProcessExecutor(ParallelExecutor):
+    """:class:`ParallelExecutor` whose fan-out crosses process boundaries.
+
+    Shares the thread version's scatter decisions, batch sizing and shard
+    pruning (inherited), but ships the work units to a :class:`WorkerPool`
+    as encoded id-level tasks.  Single-shard leaf scans stay local — a
+    whole-store scan gains nothing from one round trip and would lose
+    ``LIMIT``/``ASK`` early termination — while bind-join batches (the
+    compute bulk of multi-pattern queries) and per-shard leaf scans ship.
+    """
+
+    def __init__(
+        self,
+        store: SuccinctEdge,
+        reasoning: bool = True,
+        inner: Optional[TriplePatternEvaluator] = None,
+        max_workers: Optional[int] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        pool: Optional[WorkerPool] = None,
+        mp_context: Optional[str] = None,
+        task_timeout: Optional[float] = None,
+        workspace: Optional[str] = None,
+    ) -> None:
+        if max_workers is None:
+            max_workers = max(2, min(8, os.cpu_count() or 1))
+        super().__init__(
+            store,
+            reasoning=reasoning,
+            inner=inner,
+            max_workers=max_workers,
+            batch_size=batch_size,
+        )
+        self._owns_pool = pool is None
+        self.pool = pool if pool is not None else WorkerPool(
+            max_workers=max_workers, mp_context=mp_context, task_timeout=task_timeout
+        )
+        self._owns_workspace = workspace is None
+        if workspace is None:
+            workspace = tempfile.mkdtemp(prefix="succinctedge-mp-")
+        else:
+            os.makedirs(workspace, exist_ok=True)
+        self.workspace = workspace
+        self._spec_lock = threading.Lock()
+        self._saved_images: Dict[int, str] = {}
+        self._delta_files: Dict[Tuple[int, int], str] = {}
+
+    # -- attachment: base image + delta log shipping -------------------- #
+
+    def _image_provider(self, base, generation) -> str:
+        """Save (once per generation) a v4 image for a store with none."""
+        path = self._saved_images.get(generation)
+        if path is None:
+            from repro.store.persistence import save_store_image
+
+            os.makedirs(self.workspace, exist_ok=True)
+            path = os.path.join(self.workspace, f"base-g{generation}.sedg")
+            save_store_image(base, path, atomic=True)
+            self._saved_images[generation] = path
+        return path
+
+    def _directory_provider(self) -> str:
+        os.makedirs(self.workspace, exist_ok=True)
+        return os.path.join(self.workspace, "shards-auto")
+
+    def _spill_delta(self, generation: int, epoch: int, operations) -> str:
+        """Write the delta log to one immutable file per (generation, epoch).
+
+        The log is append-only within a generation, so a later epoch's file
+        is a strict extension of an earlier one — workers replay only the
+        suffix past their applied count.
+        """
+        key = (generation, epoch)
+        path = self._delta_files.get(key)
+        if path is None:
+            os.makedirs(self.workspace, exist_ok=True)
+            path = os.path.join(self.workspace, f"delta-g{generation}-e{epoch}.pkl")
+            handle = tempfile.NamedTemporaryFile(dir=self.workspace, delete=False)
+            try:
+                pickle.dump(list(operations), handle)
+                handle.flush()
+            finally:
+                handle.close()
+            os.replace(handle.name, path)
+            self._delta_files[key] = path
+        return path
+
+    def _attach_spec(self) -> dict:
+        """One consistent attach spec for the current store state.
+
+        Sampled under the store's write lock (via ``delta_shipment``), so
+        the (base generation, data epoch, op log) triple is atomic even
+        while writes race the query.
+        """
+        store = self.store
+        with self._spec_lock:
+            if isinstance(store, ShardedStore):
+                kind = "shards"
+                path, generation, epoch, operations = store.delta_shipment(
+                    self._directory_provider
+                )
+            elif isinstance(store, UpdatableSuccinctEdge):
+                kind = "image"
+                path, generation, epoch, operations = store.delta_shipment(
+                    self._image_provider
+                )
+            else:
+                kind = "image"
+                generation, epoch, operations = 0, 0, ()
+                image = getattr(store, "image", None)
+                path = getattr(image, "path", None) if image is not None else None
+                if path is None:
+                    path = self._image_provider(store, 0)
+            delta_path = (
+                self._spill_delta(generation, epoch, operations) if operations else None
+            )
+        return {
+            "kind": kind,
+            "path": str(path),
+            "mmap": True,
+            "generation": generation,
+            "data_epoch": epoch,
+            "delta_path": delta_path,
+        }
+
+    def resync(self) -> None:
+        """Forget cached attachment artifacts (call after an epoch rotation).
+
+        Attach specs are re-sampled per dispatch anyway — the generation
+        bump makes workers re-attach on their next task — so this only
+        drops the coordinator-side file caches of superseded generations.
+        """
+        with self._spec_lock:
+            self._saved_images.clear()
+            self._delta_files.clear()
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Release the pool (if owned) and the spill workspace."""
+        super().close()  # the inherited (unused-by-default) thread pool
+        if self._owns_pool:
+            self.pool.close()
+        with self._spec_lock:
+            self._saved_images.clear()
+            self._delta_files.clear()
+        if self._owns_workspace:
+            shutil.rmtree(self.workspace, ignore_errors=True)
+
+    # -- scatter/gather over the process pool ---------------------------- #
+
+    def _scatter_rdf_type(
+        self, subject_var: str, object_term: URI, binding: Binding
+    ) -> Iterator[Binding]:
+        store = self.store
+        concept_id = store.concepts.try_locate(object_term)
+        if concept_id is None:
+            return
+        spec = self._attach_spec()
+        pool = self.pool
+        if self.reasoning:
+            low, high = store.concepts.interval(object_term)
+            indexes = self._shard_indexes_holding(self._concept_shard_counts(low, high))
+            futures = [
+                pool.submit(spec, "type_interval", (low, high, index), self.reasoning)
+                for index in indexes
+            ]
+        else:
+            indexes = self._shard_indexes_holding(
+                self._concept_shard_counts(concept_id, concept_id + 1)
+            )
+            futures = [
+                pool.submit(spec, "type_concept", (concept_id, index), self.reasoning)
+                for index in indexes
+            ]
+        extract = store.instances.extract
+        extend = binding.extended
+        for future in futures:
+            for subject_id in pool.result(future):
+                yield extend(subject_var, extract(subject_id))
+
+    def _scatter_property(
+        self,
+        predicate_term: URI,
+        subject_var: str,
+        object_slot,
+        binding: Binding,
+    ) -> Iterator[Binding]:
+        object_term, object_var = object_slot
+        store = self.store
+        property_ids = self.inner._candidate_property_ids(predicate_term)
+        if not property_ids:
+            return
+        spec = self._attach_spec()
+        pool = self.pool
+        instances = store.instances
+        extract = instances.extract
+        extend = binding.extended
+
+        if object_term is not None:
+            futures = []
+            if isinstance(object_term, Literal):
+                literal_code = _encode_term(object_term, instances)
+                for property_id in property_ids:
+                    for index in self._shard_indexes_holding(
+                        self._property_shard_counts(property_id)
+                    ):
+                        futures.append(
+                            pool.submit(
+                                spec, "subjects_lit", (property_id, literal_code, index),
+                                self.reasoning,
+                            )
+                        )
+            else:
+                object_id = instances.try_locate(object_term)
+                if object_id is None:
+                    return
+                for property_id in property_ids:
+                    for index in self._shard_indexes_holding(
+                        self._property_shard_counts(property_id)
+                    ):
+                        futures.append(
+                            pool.submit(
+                                spec, "subjects_obj", (property_id, object_id, index),
+                                self.reasoning,
+                            )
+                        )
+            for future in futures:
+                for found_subject in pool.result(future):
+                    yield extend(subject_var, extract(found_subject))
+            return
+
+        # (?s, p, ?o): one "pairs" task per (property × holding shard),
+        # scheduled one property ahead of consumption.  Each task returns
+        # both layouts of its shard; the drain emits the object layout
+        # across all shards, then the datatype layout — the monolithic
+        # order, property-major, shard-minor.
+        diagonal = subject_var == object_var
+        base = binding.as_dict()
+        adopt = Binding._adopt
+
+        def schedule(property_id: int):
+            indexes = self._shard_indexes_holding(self._property_shard_counts(property_id))
+            return [
+                pool.submit(spec, "pairs", (property_id, index), self.reasoning)
+                for index in indexes
+            ]
+
+        window = []  # at most 2 scheduled properties: current + next
+        position = 0
+        while position < len(property_ids) or window:
+            while position < len(property_ids) and len(window) < 2:
+                window.append(schedule(property_ids[position]))
+                position += 1
+            replies = [pool.result(future) for future in window.pop(0)]
+            for object_pairs, _ in replies:
+                for found_subject, found_object in object_pairs:
+                    if diagonal:
+                        if found_subject == found_object:
+                            yield extend(subject_var, extract(found_subject))
+                        continue
+                    values = dict(base)
+                    values[subject_var] = extract(found_subject)
+                    values[object_var] = extract(found_object)
+                    yield adopt(values)
+            for _, datatype_pairs in replies:
+                for found_subject, literal_code in datatype_pairs:
+                    if diagonal:
+                        continue  # a subject URI never equals a literal
+                    values = dict(base)
+                    values[subject_var] = extract(found_subject)
+                    values[object_var] = _decode_term(literal_code, instances)
+                    yield adopt(values)
+
+    def evaluate_many(
+        self, pattern: TriplePattern, bindings: Iterable[Binding]
+    ) -> Iterator[Binding]:
+        """Batched bind join across the process pool, in upstream order.
+
+        Same windowed ordered drain as the thread executor; the batches
+        travel as encoded id-level bindings and come back as encoded rows.
+        """
+        pool = self.pool
+        instances = self.store.instances
+        spec = self._attach_spec()
+        pattern_code = _encode_pattern(pattern, instances)
+        batch_size = self._sized_batch(pattern)
+
+        def submit(chunk: List[Binding]):
+            codes = tuple(_encode_binding(one, instances) for one in chunk)
+            return pool.submit(spec, "eval_many", (pattern_code, codes), self.reasoning)
+
+        def drain(future) -> List[Binding]:
+            return [_decode_binding(code, instances) for code in pool.result(future)]
+
+        pending = []  # ordered in-flight futures
+        chunk: List[Binding] = []
+        for binding in bindings:
+            scattered = self._try_scatter(pattern, binding)
+            if scattered is not None:
+                if chunk:
+                    pending.append(submit(chunk))
+                    chunk = []
+                while pending:
+                    yield from drain(pending.pop(0))
+                yield from scattered
+                continue
+            chunk.append(binding)
+            if len(chunk) >= batch_size:
+                pending.append(submit(chunk))
+                chunk = []
+                while len(pending) > self.window:
+                    yield from drain(pending.pop(0))
+        if chunk:
+            pending.append(submit(chunk))
+        while pending:
+            yield from drain(pending.pop(0))
+
+
+class ProcessPoolQueryEngine(QueryEngine):
+    """A :class:`QueryEngine` executing over a pool of mmap'd worker processes.
+
+    Same construction pattern as
+    :class:`~repro.query.parallel.ParallelQueryEngine` — the optimizer keeps
+    its sequential runtime estimator, so plans (and row order) cannot
+    diverge.  ``execute``/``ask`` retry once after a pool failure
+    (:attr:`retryable_exceptions`); the streaming path leaves retries to the
+    serving layer, which re-runs the whole query so no partial rows ever
+    escape.
+    """
+
+    #: Exceptions the serving layer may retry after calling :meth:`heal`.
+    retryable_exceptions = (WorkerPoolError,)
+
+    def __init__(
+        self,
+        store: SuccinctEdge,
+        reasoning: bool = True,
+        join_strategy: str = "auto",
+        max_workers: Optional[int] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        planner: str = "cost",
+        pool: Optional[WorkerPool] = None,
+        mp_context: Optional[str] = None,
+        task_timeout: Optional[float] = None,
+        workspace: Optional[str] = None,
+        retries: int = 1,
+    ) -> None:
+        super().__init__(
+            store, reasoning=reasoning, join_strategy=join_strategy, planner=planner
+        )
+        self.retries = max(0, retries)
+        self.evaluator = ProcessExecutor(
+            store,
+            reasoning=reasoning,
+            inner=self.evaluator,
+            max_workers=max_workers,
+            batch_size=batch_size,
+            pool=pool,
+            mp_context=mp_context,
+            task_timeout=task_timeout,
+            workspace=workspace,
+        )
+
+    @property
+    def pool(self) -> WorkerPool:
+        """The (possibly shared) worker pool behind this engine."""
+        return self.evaluator.pool
+
+    def heal(self) -> None:
+        """Restart the worker pool after a failure (the retry hook)."""
+        self.evaluator.pool.restart()
+
+    def resync(self) -> None:
+        """Drop cached attachment artifacts (after compact-and-swap)."""
+        self.evaluator.resync()
+
+    def _retrying(self, call, *args, **kwargs):
+        for attempt in range(self.retries + 1):
+            try:
+                return call(*args, **kwargs)
+            except WorkerPoolError:
+                self.heal()
+                if attempt >= self.retries:
+                    raise
+
+    def execute(self, query):
+        """Execute with heal-and-retry on pool failure (results materialize)."""
+        return self._retrying(super().execute, query)
+
+    def ask(self, query):
+        """ASK with heal-and-retry on pool failure."""
+        return self._retrying(super().ask, query)
+
+    def close(self) -> None:
+        """Release the evaluator's worker pool and spill workspace."""
+        self.evaluator.close()
+
+    def __enter__(self) -> "ProcessPoolQueryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

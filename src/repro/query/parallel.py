@@ -36,6 +36,8 @@ instead; see ``docs/performance.md``.
 
 from __future__ import annotations
 
+import os
+import sys
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, Iterator, List, Optional
@@ -278,6 +280,17 @@ class ParallelExecutor:
             return self.shards
         return [shard for shard, count in zip(self.shards, counts) if count]
 
+    def _shard_indexes_holding(self, counts: Optional[List[int]]) -> List[int]:
+        """Like :meth:`_shards_holding` but as shard *indexes*.
+
+        The process execution backend (:mod:`repro.query.multiproc`) ships
+        shard indexes instead of shard objects — the worker resolves them
+        against its own mapped copy of the store.
+        """
+        if counts is None or len(counts) != len(self.shards):
+            return list(range(len(self.shards)))
+        return [index for index, count in enumerate(counts) if count]
+
     # ------------------------------------------------------------------ #
     # leaf scatter-gather
     # ------------------------------------------------------------------ #
@@ -445,6 +458,79 @@ class ParallelExecutor:
                     values[subject_var] = extract(found_subject)
                     values[object_var] = literal
                     yield adopt(values)
+
+
+def gil_enabled() -> bool:
+    """Whether this interpreter runs with the GIL (True on stock CPython).
+
+    CPython 3.13's free-threaded builds (``3.13t``) expose
+    ``sys._is_gil_enabled``; on every other interpreter the GIL is on.
+    """
+    probe = getattr(sys, "_is_gil_enabled", None)
+    return True if probe is None else bool(probe())
+
+
+def select_backend(requested: str = "auto") -> str:
+    """Resolve an execution backend name to a concrete one.
+
+    ``auto`` picks threads on a free-threaded interpreter (real parallelism
+    without process overhead), processes on a multi-core GIL build (the only
+    way to scale compute there), and threads on a single core (I/O overlap
+    is all there is to win).  ``free-threaded`` is an explicit assertion and
+    fails loudly on a GIL build instead of silently degrading.
+    """
+    if requested == "auto":
+        if not gil_enabled():
+            return "threads"
+        return "process" if (os.cpu_count() or 1) > 1 else "threads"
+    if requested == "free-threaded":
+        if gil_enabled():
+            raise ValueError(
+                "the free-threaded backend needs a GIL-free interpreter (CPython 3.13t); "
+                "this build has the GIL — use 'threads', 'process' or 'auto'"
+            )
+        return "threads"
+    if requested in ("sequential", "threads", "process"):
+        return requested
+    raise ValueError(
+        f"unknown execution backend {requested!r}; "
+        "expected auto | sequential | threads | process | free-threaded"
+    )
+
+
+def create_parallel_engine(
+    store: SuccinctEdge,
+    backend: str = "auto",
+    reasoning: bool = True,
+    max_workers: Optional[int] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    **kwargs,
+) -> QueryEngine:
+    """One engine for ``store`` on the resolved backend.
+
+    ``sequential`` returns a plain :class:`~repro.query.engine.QueryEngine`;
+    ``threads`` (and ``free-threaded``, once validated) a
+    :class:`ParallelQueryEngine`; ``process`` a
+    :class:`~repro.query.multiproc.ProcessPoolQueryEngine` (extra ``kwargs``
+    such as ``pool`` / ``task_timeout`` / ``mp_context`` are forwarded to
+    it).  All three produce byte-identical results by construction.
+    """
+    resolved = select_backend(backend)
+    if resolved == "sequential":
+        return QueryEngine(store, reasoning=reasoning)
+    if resolved == "process":
+        from repro.query.multiproc import ProcessPoolQueryEngine
+
+        return ProcessPoolQueryEngine(
+            store,
+            reasoning=reasoning,
+            max_workers=max_workers,
+            batch_size=batch_size,
+            **kwargs,
+        )
+    return ParallelQueryEngine(
+        store, reasoning=reasoning, max_workers=max_workers, batch_size=batch_size
+    )
 
 
 class ParallelQueryEngine(QueryEngine):

@@ -23,6 +23,7 @@ time.
 
 from __future__ import annotations
 
+import os
 import sys
 from array import array
 from typing import Dict, List, Union
@@ -143,3 +144,23 @@ def reset_kernel_counters() -> None:
     """
     for name in KERNEL_COUNTS:
         KERNEL_COUNTS[name] = 0
+
+
+def merge_kernel_counters(deltas: Dict[str, int]) -> None:
+    """Fold per-kernel call deltas from elsewhere into this process's totals.
+
+    The process execution backend (:mod:`repro.query.multiproc`) reports
+    each worker task's counter delta back to the coordinator; merging keeps
+    ``measure_call``'s breakdown complete — kernel work is attributed to the
+    measured operation no matter which process ran it.
+    """
+    for name, count in deltas.items():
+        KERNEL_COUNTS[name] = KERNEL_COUNTS.get(name, 0) + count
+
+
+# A forked worker inherits the parent's counters mid-count; its own work
+# must start from zero or the coordinator would double-count the inherited
+# calls when the worker reports task deltas.  (Spawned workers start fresh
+# interpreters; the pool initializer resets them again, belt and braces.)
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=reset_kernel_counters)

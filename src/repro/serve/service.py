@@ -39,6 +39,8 @@ cache fill → metrics.
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 import threading
 import time
 from contextlib import contextmanager
@@ -94,7 +96,24 @@ class QueryService:
         Default reasoning mode for queries that do not override it.
     parallel:
         Use :class:`~repro.query.parallel.ParallelQueryEngine` (per-shard
-        scatter-gather) instead of the sequential engine.
+        scatter-gather) instead of the sequential engine.  Shorthand for
+        ``backend="threads"``; ignored when ``backend`` is given.
+    backend:
+        Execution backend: ``"sequential"``, ``"threads"``, ``"process"``
+        (a :class:`~repro.query.multiproc.ProcessPoolQueryEngine` over one
+        shared worker-process pool) or ``"auto"`` (resolved by
+        :func:`~repro.query.parallel.select_backend`).  ``None`` derives it
+        from ``parallel``.
+    process_workers:
+        Worker-process count for the ``process`` backend (``None``: the
+        pool's own default).
+    mp_context:
+        Multiprocessing start method for the ``process`` backend
+        (``"fork"``/``"spawn"``; ``None``: fork where available).
+    task_timeout_s:
+        Per-task timeout for the ``process`` backend — a worker task
+        exceeding it fails the query cleanly and restarts the pool, so a
+        deadlocked worker can never hang the service.
     worker_slots:
         Maximum queries executing concurrently (the bounded worker pool).
     max_pending:
@@ -114,6 +133,10 @@ class QueryService:
         store: SuccinctEdge,
         reasoning: bool = True,
         parallel: bool = False,
+        backend: Optional[str] = None,
+        process_workers: Optional[int] = None,
+        mp_context: Optional[str] = None,
+        task_timeout_s: Optional[float] = None,
         worker_slots: int = 4,
         max_pending: int = 64,
         cache_capacity: int = 256,
@@ -124,7 +147,17 @@ class QueryService:
             raise ValueError("worker_slots must be positive")
         self.store = store
         self.reasoning = reasoning
-        self.parallel = parallel
+        if backend is None:
+            backend = "threads" if parallel else "sequential"
+        from repro.query.parallel import select_backend
+
+        self.backend = select_backend(backend)
+        self.parallel = self.backend != "sequential"
+        self.process_workers = process_workers
+        self.mp_context = mp_context
+        self.task_timeout_s = task_timeout_s
+        self._process_pool = None
+        self._process_workspace: Optional[str] = None
         self.worker_slots = worker_slots
         self.max_pending = max_pending
         self.default_timeout_s = default_timeout_s
@@ -154,7 +187,9 @@ class QueryService:
             with self._engine_lock:
                 engine = self._engines.get(reasoning)
                 if engine is None:
-                    if self.parallel:
+                    if self.backend == "process":
+                        engine = self._process_engine(reasoning)
+                    elif self.parallel:
                         from repro.query.parallel import ParallelQueryEngine
 
                         engine = ParallelQueryEngine(self.store, reasoning=reasoning)
@@ -163,14 +198,45 @@ class QueryService:
                     self._engines[reasoning] = engine
         return engine
 
+    def _process_engine(self, reasoning: bool) -> QueryEngine:
+        """A process-backed engine over the service-wide shared worker pool.
+
+        Both reasoning modes share one :class:`~repro.query.multiproc.
+        WorkerPool` (tasks carry their own attach spec, so one pool serves
+        any number of engines) and one workspace directory for spilled
+        images and delta files.  Called under ``_engine_lock``.
+        """
+        from repro.query.multiproc import ProcessPoolQueryEngine, WorkerPool
+
+        if self._process_pool is None:
+            self._process_pool = WorkerPool(
+                max_workers=self.process_workers,
+                mp_context=self.mp_context,
+                task_timeout=self.task_timeout_s,
+            )
+        if self._process_workspace is None:
+            self._process_workspace = tempfile.mkdtemp(prefix="succinctedge-serve-")
+        return ProcessPoolQueryEngine(
+            self.store,
+            reasoning=reasoning,
+            pool=self._process_pool,
+            workspace=self._process_workspace,
+        )
+
     def close(self) -> None:
-        """Release engine resources (parallel engines hold a thread pool)."""
+        """Release engine resources (thread pools, worker processes)."""
         with self._engine_lock:
             engines, self._engines = dict(self._engines), {}
+            pool, self._process_pool = self._process_pool, None
+            workspace, self._process_workspace = self._process_workspace, None
         for engine in engines.values():
             close = getattr(engine, "close", None)
             if close is not None:
                 close()
+        if pool is not None:
+            pool.close()
+        if workspace is not None:
+            shutil.rmtree(workspace, ignore_errors=True)
 
     def __enter__(self) -> "QueryService":
         return self
@@ -336,6 +402,32 @@ class QueryService:
         self, query: str, reasoning: bool, started: float, timeout: Optional[float]
     ) -> Union[ResultSet, AskResult]:
         engine = self._engine(reasoning)
+        # Engines backed by worker processes publish which failures are safe
+        # to retry (a crashed worker fails the whole attempt before any row
+        # is surfaced — results materialize, so a retry can never duplicate
+        # or drop rows).  The pool is healed between attempts.
+        retryable = tuple(getattr(engine, "retryable_exceptions", ()))
+        attempts = 2 if retryable else 1
+        for attempt in range(attempts):
+            try:
+                return self._run_once(engine, query, reasoning, started, timeout)
+            except retryable:  # an empty tuple here matches nothing
+                if attempt + 1 >= attempts:
+                    raise
+                heal = getattr(engine, "heal", None)
+                if heal is not None:
+                    heal()
+                self._check_deadline(started, timeout)
+        raise AssertionError("unreachable")
+
+    def _run_once(
+        self,
+        engine: QueryEngine,
+        query: str,
+        reasoning: bool,
+        started: float,
+        timeout: Optional[float],
+    ) -> Union[ResultSet, AskResult]:
         parsed = self._parsed(query)
         if isinstance(parsed, AskQuery):
             # ASK stops at the first solution; a deadline check after the
@@ -356,6 +448,53 @@ class QueryService:
     def _check_deadline(self, started: float, timeout: Optional[float]) -> None:
         if timeout is not None and (time.perf_counter() - started) > timeout:
             raise QueryTimeout(f"query exceeded its {timeout:.3f}s deadline")
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+
+    def rotate_image(self, image_path: str, timeout_s: Optional[float] = None):
+        """Compact the store into a fresh mmap image with a graceful drain.
+
+        Acquires every worker slot (waiting for in-flight queries to finish
+        and keeping new ones queued), runs
+        ``store.compact(image_path=..., remap=True)`` so the live store
+        swaps onto the new on-disk image, then tells every engine to
+        re-ship attachment state so worker processes re-attach to the new
+        generation on their next task.  Queries admitted after the rotation
+        see the compacted store; none observe a half-swapped state.
+
+        Raises :class:`QueryTimeout` if in-flight queries do not drain
+        within ``timeout_s`` and :class:`ValueError` if the store cannot
+        compact to an image.
+        """
+        compact = getattr(self.store, "compact", None)
+        if compact is None:
+            raise ValueError("store does not support compaction")
+        deadline = None if timeout_s is None else time.perf_counter() + timeout_s
+        acquired = 0
+        try:
+            for _ in range(self.worker_slots):
+                if deadline is None:
+                    self._slots.acquire()
+                else:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0 or not self._slots.acquire(timeout=remaining):
+                        raise QueryTimeout(
+                            f"in-flight queries did not drain within {timeout_s:.3f}s"
+                        )
+                acquired += 1
+            report = compact(image_path=str(image_path), remap=True)
+            with self._engine_lock:
+                engines = list(self._engines.values())
+            for engine in engines:
+                resync = getattr(engine, "resync", None)
+                if resync is not None:
+                    resync()
+            return report
+        finally:
+            for _ in range(acquired):
+                self._slots.release()
 
     # ------------------------------------------------------------------ #
     # accounting
@@ -379,6 +518,8 @@ class QueryService:
             "worker_slots": self.worker_slots,
             "max_pending": self.max_pending,
             "parallel": self.parallel,
+            "backend": self.backend,
+            "pool": self._process_pool.info() if self._process_pool is not None else None,
         }
         return info
 

@@ -358,6 +358,13 @@ class ShardedStore(SuccinctEdge):
         # monolithic store's write lock provided.  Per-shard locks still
         # protect each shard's compaction swap.
         self._write_lock = threading.Lock()
+        # Facade-level term-level write log plus on-disk image bookkeeping,
+        # the sharded analogue of UpdatableSuccinctEdge._delta_log: the
+        # process execution backend ships (directory, generation, log) to
+        # its workers so live writes stay visible over mapped shard images.
+        self._delta_log: List[Tuple[str, Triple]] = []
+        self._image_directory: Optional[str] = None
+        self._image_generation = 0
         super().__init__(
             schema=first.schema,
             concepts=first.concepts,
@@ -472,6 +479,10 @@ class ShardedStore(SuccinctEdge):
 
         Returns the total bytes written across manifest and images.
         """
+        with self._write_lock:
+            return self._save_image_directory_locked(directory, atomic)
+
+    def _save_image_directory_locked(self, directory, atomic: bool) -> int:
         from repro.store.persistence import save_store_image
 
         os.makedirs(directory, exist_ok=True)
@@ -505,6 +516,12 @@ class ShardedStore(SuccinctEdge):
         else:
             with open(manifest_path, "wb") as handle:
                 handle.write(payload)
+        # The images capture the full visible state (pending deltas were
+        # compacted above), so the write log restarts here and worker
+        # attachments key on the new generation.
+        self._image_directory = str(directory)
+        self._image_generation += 1
+        self._delta_log = []
         return total + len(payload)
 
     @classmethod
@@ -576,7 +593,9 @@ class ShardedStore(SuccinctEdge):
             shards = [
                 UpdatableSuccinctEdge(shard, policy=policy) for shard in shards
             ]
-        return cls(shards, partitioner)
+        store = cls(shards, partitioner)
+        store._image_directory = str(directory)
+        return store
 
     # ------------------------------------------------------------------ #
     # shard accounting
@@ -667,7 +686,10 @@ class ShardedStore(SuccinctEdge):
         from two shard locks would alias two fresh terms to one id.
         """
         with self._write_lock:
-            return self._route(triple).insert(triple)
+            changed = self._route(triple).insert(triple)
+            if changed:
+                self._delta_log.append(("insert", triple))
+            return changed
 
     def delete(self, triple: Triple) -> bool:
         """Route the delete to the owning shard (requires updatable shards)."""
@@ -675,7 +697,10 @@ class ShardedStore(SuccinctEdge):
             subject_id = self.instances.try_locate(triple.subject)
             if subject_id is None:
                 return False
-            return self.shards[self.partitioner.shard_of(subject_id)].delete(triple)
+            changed = self.shards[self.partitioner.shard_of(subject_id)].delete(triple)
+            if changed:
+                self._delta_log.append(("delete", triple))
+            return changed
 
     def insert_graph(self, graph: Graph) -> int:
         """Insert every triple of ``graph``; return how many were new."""
@@ -710,6 +735,35 @@ class ShardedStore(SuccinctEdge):
             ):
                 triggered += 1
         return triggered
+
+    def delta_shipment(self, directory_provider=None):
+        """A consistent ``(image directory, generation, data epoch, ops)`` tuple.
+
+        The sharded analogue of
+        :meth:`~repro.store.updatable.UpdatableSuccinctEdge.delta_shipment`:
+        worker processes map the per-shard images of the directory and
+        replay the facade-level write log through their own routing insert /
+        delete path, reproducing identifier assignment exactly.  When no
+        image directory has been written yet, ``directory_provider()`` names
+        one and :meth:`save_image_directory` runs right here under the write
+        lock (note this compacts shards with pending deltas — their visible
+        state is unchanged, identifiers are stable); without a provider this
+        raises :class:`ValueError`.
+        """
+        with self._write_lock:
+            if self._image_directory is None:
+                if directory_provider is None:
+                    raise ValueError(
+                        "the sharded store has no on-disk image directory; pass "
+                        "directory_provider (or call save_image_directory first)"
+                    )
+                self._save_image_directory_locked(directory_provider(), atomic=True)
+            return (
+                self._image_directory,
+                self._image_generation,
+                self.data_epoch,
+                tuple(self._delta_log),
+            )
 
     def snapshot_info(self) -> dict:
         """Aggregated accounting plus the per-shard breakdown."""

@@ -128,6 +128,11 @@ class UpdatableSuccinctEdge(SuccinctEdge):
         self._write_lock = threading.RLock()
         self._log_ops = False
         self._oplog: List[Tuple[str, Triple]] = []
+        # Term-level log of every applied write since the current base was
+        # installed (cleared at compaction).  The process execution backend
+        # ships it read-only next to the base image so worker processes can
+        # replay live writes over their mapped copy; see delta_shipment().
+        self._delta_log: List[Tuple[str, Triple]] = []
         self._compaction_thread: Optional[threading.Thread] = None
 
     # ------------------------------------------------------------------ #
@@ -175,6 +180,7 @@ class UpdatableSuccinctEdge(SuccinctEdge):
             changed = self._apply_insert(triple, record_stats=True)
             if changed:
                 self.data_epoch += 1
+                self._delta_log.append(("insert", triple))
                 if self._log_ops:
                     self._oplog.append(("insert", triple))
             return changed
@@ -189,6 +195,7 @@ class UpdatableSuccinctEdge(SuccinctEdge):
             changed = self._apply_delete(triple, record_stats=True)
             if changed:
                 self.data_epoch += 1
+                self._delta_log.append(("delete", triple))
                 if self._log_ops:
                     self._oplog.append(("delete", triple))
             return changed
@@ -314,6 +321,10 @@ class UpdatableSuccinctEdge(SuccinctEdge):
                             else:
                                 staging._apply_delete(triple, record_stats=False)
                         self._install(new_base, snapshot, started, staged=staging)
+                        # The racing writes live in the staged delta, not the
+                        # new base — they are exactly what a worker replaying
+                        # against the new base still needs.
+                        self._delta_log = list(self._oplog)
                 finally:
                     with self._write_lock:
                         self._log_ops = False
@@ -400,6 +411,37 @@ class UpdatableSuccinctEdge(SuccinctEdge):
     def delta(self) -> DeltaOverlay:
         """The current delta overlay."""
         return self._delta
+
+    def delta_shipment(self, image_provider=None):
+        """A consistent ``(base image path, generation, data epoch, ops)`` tuple.
+
+        The process execution backend ships this to its worker pool: a
+        worker memory-maps the base image and replays the term-level
+        operation log through its own ``insert``/``delete`` path.  Replay
+        reproduces the coordinator's state *exactly* — dictionary and
+        overflow identifiers are assigned sequentially and idempotently, so
+        running the same changed-operation sequence over the same base
+        yields identical identifiers, and with them identical id-level rows.
+
+        The generation is the compaction epoch: compaction installs a new
+        base (and clears the log), so a generation bump tells workers to
+        re-attach.  When the current base has no on-disk image — it was
+        heap-built, or the last compaction did not persist one —
+        ``image_provider(base, generation)`` is called (still under the
+        write lock, so the saved image matches the returned log) to save
+        one; without a provider this raises :class:`ValueError`.
+        """
+        with self._write_lock:
+            image = getattr(self._base, "image", None)
+            path = getattr(image, "path", None) if image is not None else None
+            if path is None:
+                if image_provider is None:
+                    raise ValueError(
+                        "the store base has no on-disk image; pass image_provider "
+                        "to save one (or compact(image_path=..., remap=True) first)"
+                    )
+                path = image_provider(self._base, self.compaction_epoch)
+            return str(path), self.compaction_epoch, self.data_epoch, tuple(self._delta_log)
 
     def snapshot_info(self) -> dict:
         """One consistent accounting snapshot (sizes, epochs, overflow)."""
@@ -598,6 +640,7 @@ class UpdatableSuccinctEdge(SuccinctEdge):
         self.datatype_store = staged.datatype_store
         self.type_store = staged.type_store
         overflow_merged = self.concepts.merge_overflow() + self.properties.merge_overflow()
+        self._delta_log = []
         self.compaction_epoch += 1
         report = CompactionReport(
             epoch=self.compaction_epoch,

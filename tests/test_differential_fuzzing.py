@@ -11,6 +11,9 @@ conventional store.
 
 from __future__ import annotations
 
+from collections import Counter
+
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -129,3 +132,62 @@ def test_differential_reasoning_bgp(dataset, patterns):
     expected = _project(naive_bgp_bindings(closure, list(patterns)), names)
     actual = _project(succinct.query(query, reasoning=True), names)
     assert actual == expected
+
+
+# --------------------------------------------------------------------------- #
+# process execution backend vs the materializing oracle
+# --------------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def worker_pool():
+    """One worker pool shared by every fuzz example.
+
+    Tasks carry their own attach spec, so the pool is store-agnostic:
+    each example's engine ships its own freshly saved image (engines own a
+    private workspace, so image paths — and with them the workers' attach
+    tokens — never collide between examples).  Sharing the pool means the
+    workers fork exactly once for the whole run.
+    """
+    from repro.query.multiproc import WorkerPool
+
+    pool = WorkerPool(max_workers=2)
+    yield pool
+    pool.close()
+
+
+def _multiset(result, names):
+    return Counter(tuple(binding.get(name) for name in names) for binding in result)
+
+
+@settings(max_examples=20, deadline=None)
+@given(dataset=random_dataset(), patterns=random_bgp(), reasoning=st.booleans())
+def test_differential_process_backend(worker_pool, dataset, patterns, reasoning):
+    """The process backend agrees with the materializing oracle on any BGP.
+
+    The oracle is a genuinely independent evaluation strategy (fully
+    materialized operators in the coordinator process); the process engine
+    answers from workers that attached to a saved image of the same store.
+    Multiset equality over the projected rows is the bar — it catches
+    dropped rows, duplicated rows and wrong bindings alike.
+    """
+    from repro.query.materializing import MaterializingQueryEngine
+    from repro.query.multiproc import ProcessPoolQueryEngine
+
+    ontology, data = dataset
+    names = sorted({name for pattern in patterns for name in pattern.variable_names()})
+    query = SelectQuery(
+        projection=[Variable(name) for name in names] or None,
+        where=GroupGraphPattern(bgp=BasicGraphPattern(patterns=list(patterns))),
+    )
+
+    store = SuccinctEdge.from_graph(data, ontology=ontology)
+    oracle = MaterializingQueryEngine(store, reasoning=reasoning)
+    expected = _multiset(oracle.execute(query), names)
+    engine = ProcessPoolQueryEngine(
+        store, reasoning=reasoning, batch_size=3, pool=worker_pool
+    )
+    try:
+        assert _multiset(engine.execute(query), names) == expected
+    finally:
+        engine.close()

@@ -1,0 +1,281 @@
+"""Fault injection: the process backend fails cleanly and heals itself.
+
+Worker processes die — OOM killers, segfaults in native extensions, admin
+mistakes.  The contract under fire is strict:
+
+* a query hit by a worker death either **retries to the correct result**
+  or fails with a clean :class:`~repro.query.multiproc.WorkerPoolError` —
+  never a hang, never a partial or duplicated row (results materialize
+  before they are surfaced, so no half-consumed stream can escape);
+* a corrupt or truncated store image fails the task with the store's own
+  :class:`~repro.store.persistence.PersistenceError` carried back to the
+  caller, and the pool stays healthy for the next query;
+* after any of the above the pool **self-heals**: dead workers are
+  replaced and the very next query runs normally.
+
+``SIGKILL`` is the injection vehicle because it is the worst case — no
+atexit handlers, no exception propagation, just a vanished process.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.query.engine import QueryEngine
+from repro.query.multiproc import ProcessPoolQueryEngine, WorkerPoolError
+from repro.store.persistence import PersistenceError, save_store_image
+from repro.store.sharding import ShardedStore
+
+PROBE = """
+SELECT ?x ?n WHERE {
+  ?x a <http://swat.cse.lehigh.edu/onto/univ-bench.owl#FullProfessor> .
+  ?x <http://swat.cse.lehigh.edu/onto/univ-bench.owl#name> ?n .
+}
+"""
+
+#: Everything in this module must finish fast; a test that would hang
+#: without the pool's own timeout/restart machinery fails loudly instead.
+_SUITE_DEADLINE_S = 120.0
+
+
+@pytest.fixture()
+def engine(small_lubm_store, tmp_path):
+    engine = ProcessPoolQueryEngine(
+        small_lubm_store, max_workers=2, workspace=str(tmp_path / "spill")
+    )
+    yield engine
+    engine.close()
+
+
+def _expected(store, sparql=PROBE):
+    return sorted(QueryEngine(store).execute(sparql).to_tuples())
+
+
+def _kill(pids):
+    for pid in pids:
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+
+
+# --------------------------------------------------------------------------- #
+# worker death
+# --------------------------------------------------------------------------- #
+
+
+def test_sigkill_all_workers_retries_to_correct_result(engine, small_lubm_store):
+    # Prime so there are real processes to kill, then kill every one of
+    # them.  The engine's retry (heal + re-execute) must return the exact
+    # sequential result — materialization means the failed attempt
+    # surfaced zero rows, so the retry cannot duplicate any.
+    engine.pool.prime()
+    expected = _expected(small_lubm_store)
+    _kill(engine.pool.worker_pids())
+    result = sorted(engine.execute(PROBE).to_tuples())
+    assert result == expected
+    assert engine.pool.info()["restarts"] >= 1
+    # Self-healed: the next query runs with no further restarts.
+    before = engine.pool.info()["restarts"]
+    assert sorted(engine.execute(PROBE).to_tuples()) == expected
+    assert engine.pool.info()["restarts"] == before
+
+
+def test_sigkill_mid_query_never_partial(small_lubm_store, small_lubm_catalog, tmp_path):
+    """Kill workers *while* a scatter query is in flight, repeatedly.
+
+    Every attempt must end in one of exactly two states: the full correct
+    result (retry won) or a clean ``WorkerPoolError`` (retries exhausted).
+    A partial row set — the failure mode this harness exists to catch —
+    fails the assertion; a hang fails the suite deadline.
+    """
+    sharded = ShardedStore.from_store(small_lubm_store, shards=4)
+    query = small_lubm_catalog.by_identifier()["S9"]
+    expected = sorted(
+        QueryEngine(small_lubm_store, reasoning=query.requires_reasoning)
+        .execute(query.sparql)
+        .to_tuples()
+    )
+    engine = ProcessPoolQueryEngine(
+        sharded,
+        reasoning=query.requires_reasoning,
+        max_workers=2,
+        batch_size=7,
+        workspace=str(tmp_path / "spill"),
+        retries=1,
+    )
+    deadline = time.monotonic() + _SUITE_DEADLINE_S
+    outcomes = {"ok": 0, "failed": 0}
+    try:
+        for round_ in range(6):
+            assert time.monotonic() < deadline, "fault suite exceeded its deadline"
+            engine.pool.prime()
+            victims = engine.pool.worker_pids()
+            # Stagger the kill so some rounds hit mid-query and some hit
+            # between tasks — both must stay clean.
+            import threading
+
+            timer = threading.Timer(0.005 * round_, _kill, args=(victims,))
+            timer.start()
+            try:
+                result = sorted(engine.execute(query.sparql).to_tuples())
+            except WorkerPoolError:
+                outcomes["failed"] += 1
+            else:
+                assert result == expected, f"partial or wrong rows in round {round_}"
+                outcomes["ok"] += 1
+            finally:
+                timer.cancel()
+        # The engine must have survived every round; at least one round
+        # must have produced the full result (the retry path works).
+        assert outcomes["ok"] >= 1
+        assert sorted(engine.execute(query.sparql).to_tuples()) == expected
+    finally:
+        engine.close()
+
+
+def test_pool_restart_is_deterministic_during_sleep(small_lubm_store, tmp_path):
+    # Pool-level determinism: a task caught by a worker death raises
+    # WorkerPoolError from result() when the pool cannot transparently
+    # retry (the task was already running); the pool is usable right after.
+    engine = ProcessPoolQueryEngine(
+        small_lubm_store, max_workers=2, workspace=str(tmp_path / "spill")
+    )
+    try:
+        pool = engine.pool
+        pool.prime()
+        spec = engine.evaluator._attach_spec()
+        future = pool.submit(spec, "sleep", (30.0,))
+        time.sleep(0.2)  # let the worker start sleeping
+        _kill(pool.worker_pids())
+        with pytest.raises(WorkerPoolError):
+            pool.result(future)
+        assert pool.submit(spec, "ping", ()).result() is not None
+    finally:
+        engine.close()
+
+
+def test_pool_exhaustion_self_heals(small_lubm_store, tmp_path):
+    # Kill every worker repeatedly, back to back: the pool must keep
+    # replacing them and never wedge into a permanently broken state.
+    engine = ProcessPoolQueryEngine(
+        small_lubm_store, max_workers=2, workspace=str(tmp_path / "spill")
+    )
+    expected = _expected(small_lubm_store)
+    try:
+        for _ in range(3):
+            engine.pool.prime()
+            _kill(engine.pool.worker_pids())
+            assert sorted(engine.execute(PROBE).to_tuples()) == expected
+        assert engine.pool.info()["alive_workers"] == 2
+    finally:
+        engine.close()
+
+
+# --------------------------------------------------------------------------- #
+# corrupt images
+# --------------------------------------------------------------------------- #
+
+
+def _corrupt_engine(path, store, tmp_path):
+    engine = ProcessPoolQueryEngine(
+        store, max_workers=2, workspace=str(tmp_path / "spill")
+    )
+    # Point the attach machinery at the damaged image: seed the saved-image
+    # cache so the engine ships the bad path instead of re-saving.
+    engine.evaluator._saved_images[0] = str(path)
+    return engine
+
+
+def test_truncated_image_fails_clean_and_pool_survives(small_lubm_store, tmp_path):
+    path = tmp_path / "trunc.sedg"
+    save_store_image(small_lubm_store, str(path), atomic=True)
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+    engine = _corrupt_engine(path, small_lubm_store, tmp_path)
+    try:
+        spec = engine.evaluator._attach_spec()
+        assert spec["path"] == str(path)
+        # "ping" deliberately skips attachment; a scan op forces the worker
+        # to open (and checksum) the image.
+        future = engine.pool.submit(spec, "type_concept", (0, None))
+        with pytest.raises(PersistenceError):
+            engine.pool.result(future)
+        # The worker survived (the exception travelled back instead of
+        # killing it) and the pool serves the intact store right after.
+        engine.evaluator._saved_images.clear()
+        assert sorted(engine.execute(PROBE).to_tuples()) == _expected(small_lubm_store)
+        assert engine.pool.info()["restarts"] == 0
+    finally:
+        engine.close()
+
+
+def test_crc_corrupt_image_fails_clean(small_lubm_store, tmp_path):
+    path = tmp_path / "corrupt.sedg"
+    save_store_image(small_lubm_store, str(path), atomic=True)
+    data = bytearray(path.read_bytes())
+    # The v4 checksum covers the TOC + meta region right after the 64-byte
+    # header; flip one bit inside it so the CRC check must fire on attach.
+    data[80] ^= 0xFF
+    path.write_bytes(bytes(data))
+    engine = _corrupt_engine(path, small_lubm_store, tmp_path)
+    try:
+        spec = engine.evaluator._attach_spec()
+        future = engine.pool.submit(spec, "type_concept", (0, None))
+        with pytest.raises(PersistenceError):
+            engine.pool.result(future)
+        engine.evaluator._saved_images.clear()
+        assert sorted(engine.execute(PROBE).to_tuples()) == _expected(small_lubm_store)
+    finally:
+        engine.close()
+
+
+# --------------------------------------------------------------------------- #
+# timeouts
+# --------------------------------------------------------------------------- #
+
+
+def test_task_timeout_cannot_hang(small_lubm_store, tmp_path):
+    # A wedged worker (here: sleeping far past the deadline) must fail the
+    # task within ~task_timeout and leave a working pool behind.
+    engine = ProcessPoolQueryEngine(
+        small_lubm_store,
+        max_workers=2,
+        task_timeout=1.0,
+        workspace=str(tmp_path / "spill"),
+    )
+    try:
+        spec = engine.evaluator._attach_spec()
+        started = time.monotonic()
+        future = engine.pool.submit(spec, "sleep", (60.0,))
+        with pytest.raises(WorkerPoolError):
+            engine.pool.result(future)
+        assert time.monotonic() - started < 30.0, "timeout did not bound the wait"
+        assert sorted(engine.execute(PROBE).to_tuples()) == _expected(small_lubm_store)
+    finally:
+        engine.close()
+
+
+def test_service_level_retry_on_worker_death(small_lubm_store):
+    # The serving layer's own retry: a killed pool behind QueryService
+    # still answers the request (heal + rerun) with full results.
+    from repro.serve.service import QueryService
+
+    service = QueryService(small_lubm_store, backend="process", process_workers=2)
+    try:
+        expected = _expected(small_lubm_store)
+        outcome = service.execute(PROBE)
+        assert sorted(outcome.result.to_tuples()) == expected
+        service._process_pool.prime()
+        _kill(service._process_pool.worker_pids())
+        outcome = service.execute(PROBE + "# cache-buster")
+        assert sorted(outcome.result.to_tuples()) == expected
+        stats = service.stats()
+        assert stats["backend"] == "process"
+        assert stats["pool"]["alive_workers"] == 2
+    finally:
+        service.close()
