@@ -1,0 +1,105 @@
+"""Cluster scaling smoke: queries/sec vs replica count over the HTTP tier.
+
+A :class:`~repro.serve.cluster.ClusterQueryEngine` replays a fixed slice of
+the paper workload against 1, 2 and 4 HTTP replicas that bootstrapped from
+the primary's shipped image, and the sustained throughput lands in a
+replica-count scaling table under ``benchmarks/results/``.
+
+**Methodology (read before quoting the numbers).**  This is a *smoke*, not
+a scaling claim: every replica is a thread-backed HTTP server on the same
+single-core CPython host, so adding replicas adds no compute — what the
+table shows is the coordination overhead of the scatter-gather tier
+(epoch pinning, per-unit HTTP round trips, windowed gathers) staying
+bounded as the fan-out widens, plus a sequential in-process engine as the
+zero-network control.  On real hardware each replica owns a core or a
+machine and the replica columns turn into genuine capacity; the loopback
+numbers here are only good for catching regressions in the coordinator's
+per-unit cost.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.harness import format_table, record_table
+from repro.query.engine import QueryEngine
+from repro.serve.cluster import (
+    ClusterQueryEngine,
+    ClusterReplica,
+    HttpReplicationClient,
+    ReplicaSet,
+    ReplicationSource,
+)
+from repro.serve.server import QueryServer
+from repro.serve.service import QueryService
+from repro.store.sharding import ShardedStore
+
+_REPLICA_COUNTS = (1, 2, 4)
+
+#: One representative slice per query family — enough traffic to amortise
+#: connection setup without pushing the smoke into the minutes range.
+_WORKLOAD = ("S1", "S4", "S9", "M1", "M2", "R2", "R5", "A4")
+
+
+def _replay(engine, queries) -> float:
+    started = time.perf_counter()
+    for query in queries:
+        result = engine.execute(query.sparql)
+        if hasattr(result, "to_tuples"):
+            result.to_tuples()
+    return time.perf_counter() - started
+
+
+def test_cluster_throughput_scaling(context, results_dir, tmp_path):
+    catalog = context.catalog.by_identifier()
+    queries = [catalog[identifier] for identifier in _WORKLOAD]
+    store = ShardedStore.from_graph(
+        context.full_graph, ontology=context.lubm.ontology, shards=4, updatable=True
+    )
+    source = ReplicationSource(store, workspace=str(tmp_path / "ship"))
+    primary = QueryServer(QueryService(store), routes=source.routes()).start()
+
+    sequential = QueryEngine(store, reasoning=True)
+    baseline_elapsed = _replay(sequential, queries)
+
+    rows = {}
+    rows["sequential (in-process)"] = [round(len(queries) / baseline_elapsed, 2)] + [
+        None
+    ] * (len(_REPLICA_COUNTS) - 1)
+    replicas = []
+    servers = []
+    try:
+        for count in _REPLICA_COUNTS:
+            while len(replicas) < count:
+                index = len(replicas)
+                replica = ClusterReplica(
+                    HttpReplicationClient(primary.url),
+                    str(tmp_path / f"replica{index}"),
+                ).bootstrap()
+                replicas.append(replica)
+                servers.append(replica.serve())
+            replica_set = ReplicaSet([server.url for server in servers[:count]])
+            engine = ClusterQueryEngine(store, replica_set, source, reasoning=True)
+            try:
+                elapsed = _replay(engine, queries)
+            finally:
+                engine.close()
+                replica_set.close()
+            label = f"cluster ({count} replica{'s' if count > 1 else ''})"
+            cells = [None] * len(_REPLICA_COUNTS)
+            cells[_REPLICA_COUNTS.index(count)] = round(len(queries) / elapsed, 2)
+            rows[label] = cells
+        table = format_table(
+            "Cluster throughput vs replica count (single-core loopback smoke)",
+            [f"{count} replicas" for count in _REPLICA_COUNTS],
+            rows,
+            unit="queries/sec",
+        )
+        record_table(results_dir, "cluster_throughput", table)
+    finally:
+        for server in servers:
+            server.service.close()
+            server.stop()
+        primary.service.close()
+        primary.stop()
+        source.close()

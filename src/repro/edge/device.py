@@ -65,6 +65,9 @@ class NetworkProfile:
     while a real worker blocks in ``socket.send`` towards a slow client the
     GIL is released, which is exactly what a worker pool overlaps — the
     simulation reproduces that with a sleep of :meth:`transmission_ms`.
+    The cluster transport (:mod:`repro.serve.cluster`) additionally models
+    the *request* path with :meth:`one_way_ms` — half the round trip plus
+    the request payload's serialisation time.
 
     Attributes
     ----------
@@ -86,6 +89,18 @@ class NetworkProfile:
             return self.rtt_ms
         return self.rtt_ms + (payload_bytes * 8.0) / self.bandwidth_kbps
 
+    def one_way_ms(self, payload_bytes: int) -> float:
+        """Milliseconds for one direction: half the RTT plus payload time.
+
+        :meth:`transmission_ms` keeps charging the full RTT on the response
+        (its callers model request-response exchanges with one call); this
+        is the per-direction quantity for transports that charge the two
+        legs of a hop separately.
+        """
+        if self.bandwidth_kbps <= 0:
+            return self.rtt_ms / 2.0
+        return self.rtt_ms / 2.0 + (payload_bytes * 8.0) / self.bandwidth_kbps
+
 
 #: A constrained building-automation backhaul (shared IoT uplink:
 #: tens of ms RTT, ~0.5 Mbit/s — between NB-IoT and LTE-M class links).
@@ -98,30 +113,95 @@ LTE_UPLINK = NetworkProfile(name="lte-uplink", rtt_ms=25.0, bandwidth_kbps=2000.
 LOCAL_LAN = NetworkProfile(name="local-lan", rtt_ms=0.0, bandwidth_kbps=0.0)
 
 
+class NetworkPartitioned(ConnectionError):
+    """Raised by :class:`SimulatedNetwork` when the simulated link is down.
+
+    Subclasses :class:`ConnectionError` so code handling real socket
+    failures handles the simulated ones identically — the cluster transport
+    treats both as a replica being unreachable.
+    """
+
+
 class SimulatedNetwork:
     """Charges transmission time (a GIL-releasing sleep) and device energy.
 
     ``transmit`` is called by the HTTP handler once per response with the
     payload size; with a :class:`EdgeDevice` attached, the transmission
     energy is charged to the device exactly like the stream processors do.
+    ``transmit_request`` models the request leg of a hop (half the RTT plus
+    the request payload's time) so a full request-response exchange over
+    the cluster transport charges both directions.
+
+    Fault injection: :meth:`partition` makes every transmission raise
+    :class:`NetworkPartitioned` until :meth:`heal`; :meth:`drop_next`
+    deterministically drops exactly the next ``count`` transmissions —
+    enough to kill one in-flight request without taking the link down.
     """
 
     def __init__(self, profile: NetworkProfile, device: "EdgeDevice" = None) -> None:
         self.profile = profile
         self.device = device
         self.transmissions = 0
+        self.requests = 0
         self.bytes_transmitted = 0
+        self.drops = 0
+        self.partitioned = False
+        self._drop_budget = 0
+
+    # ---------------------------------------------------------------- #
+    # fault injection
+    # ---------------------------------------------------------------- #
+
+    def partition(self) -> None:
+        """Take the link down: every transmission now raises."""
+        self.partitioned = True
+
+    def heal(self) -> None:
+        """Bring a partitioned link back up."""
+        self.partitioned = False
+
+    def drop_next(self, count: int = 1) -> None:
+        """Drop exactly the next ``count`` transmissions, then recover."""
+        self._drop_budget += count
+
+    def _checkpoint(self) -> None:
+        if self.partitioned:
+            self.drops += 1
+            raise NetworkPartitioned(f"simulated link {self.profile.name!r} is partitioned")
+        if self._drop_budget > 0:
+            self._drop_budget -= 1
+            self.drops += 1
+            raise NetworkPartitioned(f"simulated link {self.profile.name!r} dropped the packet")
+
+    # ---------------------------------------------------------------- #
+    # the two legs of a hop
+    # ---------------------------------------------------------------- #
 
     def transmit(self, payload_bytes: int) -> float:
         """Simulate sending ``payload_bytes``; returns the milliseconds spent."""
         import time
 
+        self._checkpoint()
         milliseconds = self.profile.transmission_ms(payload_bytes)
         if milliseconds > 0:
             time.sleep(milliseconds / 1000.0)
         if self.device is not None:
             self.device.charge_transmission(payload_bytes)
         self.transmissions += 1
+        self.bytes_transmitted += payload_bytes
+        return milliseconds
+
+    def transmit_request(self, payload_bytes: int) -> float:
+        """Simulate the request leg of a hop; returns the milliseconds spent."""
+        import time
+
+        self._checkpoint()
+        milliseconds = self.profile.one_way_ms(payload_bytes)
+        if milliseconds > 0:
+            time.sleep(milliseconds / 1000.0)
+        if self.device is not None:
+            self.device.charge_transmission(payload_bytes)
+        self.requests += 1
         self.bytes_transmitted += payload_bytes
         return milliseconds
 

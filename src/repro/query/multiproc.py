@@ -743,7 +743,6 @@ class ProcessExecutor(ParallelExecutor):
         instances = self.store.instances
         spec = self._attach_spec()
         pattern_code = _encode_pattern(pattern, instances)
-        batch_size = self._sized_batch(pattern)
 
         def submit(chunk: List[Binding]):
             codes = tuple(_encode_binding(one, instances) for one in chunk)
@@ -752,28 +751,7 @@ class ProcessExecutor(ParallelExecutor):
         def drain(future) -> List[Binding]:
             return [_decode_binding(code, instances) for code in pool.result(future)]
 
-        pending = []  # ordered in-flight futures
-        chunk: List[Binding] = []
-        for binding in bindings:
-            scattered = self._try_scatter(pattern, binding)
-            if scattered is not None:
-                if chunk:
-                    pending.append(submit(chunk))
-                    chunk = []
-                while pending:
-                    yield from drain(pending.pop(0))
-                yield from scattered
-                continue
-            chunk.append(binding)
-            if len(chunk) >= batch_size:
-                pending.append(submit(chunk))
-                chunk = []
-                while len(pending) > self.window:
-                    yield from drain(pending.pop(0))
-        if chunk:
-            pending.append(submit(chunk))
-        while pending:
-            yield from drain(pending.pop(0))
+        return self._windowed_many(pattern, bindings, submit=submit, drain=drain)
 
 
 class ProcessPoolQueryEngine(QueryEngine):

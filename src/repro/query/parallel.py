@@ -171,7 +171,6 @@ class ParallelExecutor:
         """
         pool = self._ensure_pool()
         inner_evaluate = self.inner.evaluate
-        batch_size = self._sized_batch(pattern)
 
         def expand(chunk: List[Binding]) -> List[Binding]:
             results: List[Binding] = []
@@ -179,7 +178,29 @@ class ParallelExecutor:
                 results.extend(inner_evaluate(pattern, one))
             return results
 
-        pending = []  # ordered in-flight futures
+        return self._windowed_many(
+            pattern,
+            bindings,
+            submit=lambda chunk: pool.submit(expand, chunk),
+            drain=lambda future: future.result(),
+        )
+
+    def _windowed_many(
+        self, pattern: TriplePattern, bindings: Iterable[Binding], submit, drain
+    ) -> Iterator[Binding]:
+        """The shared windowed, order-preserving bind-join drain.
+
+        ``submit(chunk)`` dispatches one batch of upstream bindings and
+        returns a ticket; ``drain(ticket)`` blocks for (an iterable of) its
+        result rows.  The three execution backends differ only in what a
+        ticket is — a thread-pool future (here), a process-pool future
+        (:mod:`repro.query.multiproc`) or an HTTP round trip racing on a
+        local thread pool (:mod:`repro.serve.cluster`) — while the
+        windowing, batching and in-order emission (and with them
+        byte-identity to the sequential engine) live in this one place.
+        """
+        batch_size = self._sized_batch(pattern)
+        pending = []  # ordered in-flight tickets
         chunk: List[Binding] = []
         for binding in bindings:
             scattered = self._try_scatter(pattern, binding)
@@ -187,22 +208,22 @@ class ParallelExecutor:
                 # Keep emission order: drain everything queued before the
                 # scatterable binding, then fan it out across shards.
                 if chunk:
-                    pending.append(pool.submit(expand, chunk))
+                    pending.append(submit(chunk))
                     chunk = []
                 while pending:
-                    yield from pending.pop(0).result()
+                    yield from drain(pending.pop(0))
                 yield from scattered
                 continue
             chunk.append(binding)
             if len(chunk) >= batch_size:
-                pending.append(pool.submit(expand, chunk))
+                pending.append(submit(chunk))
                 chunk = []
                 while len(pending) > self.window:
-                    yield from pending.pop(0).result()
+                    yield from drain(pending.pop(0))
         if chunk:
-            pending.append(pool.submit(expand, chunk))
+            pending.append(submit(chunk))
         while pending:
-            yield from pending.pop(0).result()
+            yield from drain(pending.pop(0))
 
     def _sized_batch(self, pattern: TriplePattern) -> int:
         """Batch size for one bind join, targeting a fixed rows-per-task.

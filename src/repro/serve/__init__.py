@@ -17,9 +17,29 @@ The store underneath can be a single :class:`~repro.store.succinct_edge.Succinct
 an updatable one, or a :class:`~repro.store.sharding.ShardedStore` with the
 :class:`~repro.query.parallel.ParallelQueryEngine` fanning scans across
 shards.
+
+The distributed tier lives in :mod:`repro.serve.cluster`: read replicas
+bootstrap from a shipped store image and tail the primary's delta log
+(:class:`~repro.serve.cluster.ReplicationSource` /
+:class:`~repro.serve.cluster.ClusterReplica`), and a scatter-gather
+coordinator (:class:`~repro.serve.cluster.ClusterQueryEngine`) fans
+epoch-pinned work units across them with health-checked failover and
+hedged, deadline-bounded retries.
 """
 
 from repro.serve.cache import ResultCache
+from repro.serve.cluster import (
+    ClusterError,
+    ClusterQueryEngine,
+    ClusterReplica,
+    ClusterTimeout,
+    EpochConflict,
+    HttpReplicationClient,
+    LocalReplicationClient,
+    ReplicaSet,
+    ReplicationSource,
+    ReplicaUnavailable,
+)
 from repro.serve.metrics import ServingMetrics
 from repro.serve.server import QueryServer, SparqlClient
 from repro.serve.service import (
@@ -30,12 +50,21 @@ from repro.serve.service import (
 )
 
 __all__ = [
+    "ClusterError",
+    "ClusterQueryEngine",
+    "ClusterReplica",
+    "ClusterTimeout",
+    "EpochConflict",
+    "HttpReplicationClient",
+    "LocalReplicationClient",
     "QueryOutcome",
     "QueryRejected",
     "QueryServer",
     "QueryService",
     "QueryTimeout",
-    "ResultCache",
+    "ReplicaSet",
+    "ReplicaUnavailable",
+    "ReplicationSource",
     "ServingMetrics",
     "SparqlClient",
 ]

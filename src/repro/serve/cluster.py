@@ -1,0 +1,1259 @@
+"""Distributed serving: delta-log replication and a scatter-gather coordinator.
+
+This module turns the single-node serving stack into a small cluster:
+
+* **Replication** (:class:`ReplicationSource` / :class:`ClusterReplica`) —
+  a read replica bootstraps by downloading the primary's current v4 store
+  image (one ``.sedg`` file, or a
+  :meth:`~repro.store.sharding.ShardedStore.save_image_directory` tree) and
+  stays fresh by pulling the **term-level delta-log suffix** it has not
+  applied yet (``/replicate?generation=G&applied=N``, the HTTP face of
+  :meth:`~repro.store.updatable.UpdatableSuccinctEdge.replication_slice`).
+  Replaying the log through the replica's own ``insert``/``delete`` path
+  reproduces dictionary and overflow identifier assignment *exactly* — the
+  same idempotent-replay property the process execution backend
+  (:mod:`repro.query.multiproc`) relies on — so id-level work units mean
+  the same terms on the primary, on every replica, and on the coordinator.
+* **Epoch-consistent reads** — a position in the replicated history is the
+  pair ``(generation, epoch)``: the image generation (compaction epoch /
+  image-directory generation; a bump means *re-bootstrap*) and the data
+  epoch (applied write operations).  The coordinator pins one position per
+  query and stamps it on every work unit; a replica serves a unit only at
+  *exactly* that position — it syncs forward on demand (the pull is capped
+  at the pinned epoch, so concurrently shipped writes never leak into an
+  older query's rows) and answers **409 epoch conflict** when it has moved
+  past it.  A conflict aborts the whole attempt before any row is
+  surfaced; the engine re-pins at a fresh position and retries, so a query
+  returns rows from one position or none at all — never a mix.
+* **Scatter-gather coordination** (:class:`ClusterExecutor` /
+  :class:`ClusterQueryEngine`) — the coordinator executes the *same*
+  scatter plan as the thread and process backends (it subclasses
+  :class:`~repro.query.parallel.ParallelExecutor`: same scatter decisions,
+  same per-shard cardinality pruning, same windowed ordered drain), but
+  ships each work unit as an HTTP call to a replica.  Replies are merged
+  in the monolithic property-major, shard-minor order, so results stay
+  byte-identical to the sequential engine.
+* **Failure handling** (:class:`ReplicaSet`) — per-replica health flags
+  (a transport failure marks the replica down; ``refresh_health`` probes
+  ``/cluster/health`` to readmit it), shard-affine routing with failover
+  to peers, **hedged retries** (a unit unanswered after ``hedge_after_s``
+  is also sent to the next candidate; first success wins) and a
+  coordinator-side deadline (:class:`ClusterTimeout`, never retried).
+  Every hop — request and response — can be charged to a
+  :class:`~repro.edge.device.SimulatedNetwork`, whose partition and drop
+  knobs are what the fault-injection suite drives.
+
+Wire format: coordinator→replica requests are **self-contained** (terms by
+value — the coordinator's dictionary may have grown past the pinned epoch,
+so its identifiers are not safe to ship), while replica→coordinator rows
+reuse the id-level codec of :mod:`repro.query.multiproc` — identifiers the
+replica assigned at epoch ``E`` are exactly the coordinator's identifiers
+at ``E``, and the coordinator's dictionary only ever grows.
+
+Known limits, stated honestly: coordinator-local probes (bound-subject
+lookups the scatter planner prunes to one shard) read the primary live,
+exactly like the monolithic engine mid-write; and two concurrent queries
+pinned at different epochs sharing one replica can force clean 409/retry
+cycles — never wrong rows.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from contextlib import contextmanager
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.edge.device import NetworkPartitioned, SimulatedNetwork
+from repro.query.engine import QueryEngine
+from repro.query.multiproc import (
+    _decode_binding,
+    _decode_pattern,
+    _decode_term,
+    _encode_binding,
+    _encode_term,
+)
+from repro.query.parallel import DEFAULT_BATCH_SIZE, ParallelExecutor
+from repro.query.tp_eval import TriplePatternEvaluator
+from repro.rdf.terms import Literal, Triple, URI
+from repro.sparql.ast import TriplePattern, Variable
+from repro.sparql.bindings import Binding
+from repro.store.sharding import ShardedStore
+from repro.store.succinct_edge import SuccinctEdge
+from repro.store.updatable import UpdatableSuccinctEdge
+
+
+class ClusterError(RuntimeError):
+    """Base class for cluster failures the engine may retry cleanly."""
+
+
+class ClusterTimeout(ClusterError):
+    """The coordinator's deadline passed; never retried (time is spent)."""
+
+
+class EpochConflict(ClusterError):
+    """A replica has moved past the pinned position; re-pin and retry."""
+
+
+class ReplicaUnavailable(ClusterError):
+    """A replica (or the primary, during a sync) could not be reached."""
+
+
+# --------------------------------------------------------------------------- #
+# wire codec: self-contained (by-value) terms for coordinator→replica requests
+# --------------------------------------------------------------------------- #
+
+
+def _value_term(term) -> tuple:
+    """Encode one term fully by value (no dictionary identifiers).
+
+    Requests must decode against a replica frozen at the *pinned* epoch;
+    the coordinator's dictionary may already hold later identifiers, so
+    unlike the process backend's codec this one never ships ``("i", id)``.
+    """
+    if isinstance(term, Literal):
+        return ("l", term.lexical, term.datatype, term.language)
+    if isinstance(term, URI):
+        return ("u", term.value)
+    return ("b", term.label)
+
+
+def _value_pattern(pattern: TriplePattern) -> tuple:
+    def slot(value):
+        if isinstance(value, Variable):
+            return ("v", value.name)
+        return _value_term(value)
+
+    return (slot(pattern.subject), slot(pattern.predicate), slot(pattern.object))
+
+
+def _value_binding(binding: Binding) -> tuple:
+    return tuple((name, _value_term(value)) for name, value in binding.items())
+
+
+def _encode_wire_triple(triple: Triple) -> list:
+    return [
+        _value_term(triple.subject),
+        _value_term(triple.predicate),
+        _value_term(triple.object),
+    ]
+
+
+def _decode_wire_triple(code) -> Triple:
+    subject, predicate, obj = (_decode_term(slot, None) for slot in code)
+    return Triple(subject, predicate, obj)
+
+
+# --------------------------------------------------------------------------- #
+# transports
+# --------------------------------------------------------------------------- #
+
+
+class _JsonHttp:
+    """One HTTP peer: JSON in/out, with an optional simulated link.
+
+    Both directions of every call are charged to the link —
+    :meth:`~repro.edge.device.SimulatedNetwork.transmit_request` for the
+    request path, ``transmit`` for the response — so latency, partition
+    and drop injection apply at every hop of the cluster.  Transport
+    failures (refused connection, timeout, simulated partition or drop)
+    surface as :class:`ReplicaUnavailable`; HTTP error *statuses* are
+    returned to the caller, which maps them (409 → epoch conflict).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        network: Optional[SimulatedNetwork] = None,
+        timeout_s: float = 30.0,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.network = network
+        self.timeout_s = timeout_s
+
+    def request(
+        self, path: str, payload=None, timeout_s: Optional[float] = None
+    ) -> Tuple[int, bytes]:
+        data = None if payload is None else json.dumps(payload).encode("utf-8")
+        timeout = self.timeout_s if timeout_s is None else min(self.timeout_s, timeout_s)
+        target = self.base_url + path
+        try:
+            if self.network is not None:
+                self.network.transmit_request(len(data) if data else 0)
+            request = urllib.request.Request(target, data=data)
+            if data is not None:
+                request.add_header("Content-Type", "application/json")
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                status, raw = response.status, response.read()
+        except urllib.error.HTTPError as error:
+            status, raw = error.code, error.read()
+        except (OSError, NetworkPartitioned) as error:
+            raise ReplicaUnavailable(f"{target}: {error}") from error
+        try:
+            if self.network is not None:
+                self.network.transmit(len(raw))
+        except NetworkPartitioned as error:
+            raise ReplicaUnavailable(f"{target}: {error}") from error
+        return status, raw
+
+    def json(self, path: str, payload=None, timeout_s: Optional[float] = None):
+        status, raw = self.request(path, payload, timeout_s)
+        document = json.loads(raw.decode("utf-8")) if raw else {}
+        return status, document
+
+
+class HttpReplicationClient:
+    """A replica's view of its primary, over HTTP.
+
+    Speaks to the three routes :meth:`ReplicationSource.routes` attaches to
+    the primary's :class:`~repro.serve.server.QueryServer`.  Any transport
+    or server failure raises :class:`ReplicaUnavailable` — the replica's
+    sync reports it upward, and the coordinator fails over to a peer.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        network: Optional[SimulatedNetwork] = None,
+        timeout_s: float = 60.0,
+    ) -> None:
+        self._http = _JsonHttp(base_url, network=network, timeout_s=timeout_s)
+
+    def manifest(self) -> dict:
+        """The primary's current image manifest (kind, generation, files)."""
+        status, document = self._http.json("/cluster/manifest")
+        if status != 200:
+            raise ReplicaUnavailable(
+                f"manifest request answered {status}: {document.get('error')}"
+            )
+        return document
+
+    def fetch_file(self, name: str) -> bytes:
+        """One image file of the current manifest, as raw bytes."""
+        status, raw = self._http.request("/cluster/file?name=" + urllib.parse.quote(name))
+        if status != 200:
+            raise ReplicaUnavailable(f"file {name!r} request answered {status}")
+        return raw
+
+    def slice(self, generation: int, applied: int, upto_epoch: Optional[int] = None) -> dict:
+        """The delta-log suffix past ``applied`` (wire-encoded operations)."""
+        path = f"/replicate?generation={generation}&applied={applied}"
+        if upto_epoch is not None:
+            path += f"&upto={upto_epoch}"
+        status, document = self._http.json(path)
+        if status != 200:
+            raise ReplicaUnavailable(
+                f"replicate request answered {status}: {document.get('error')}"
+            )
+        return document
+
+
+class LocalReplicationClient:
+    """In-process replication transport (tests, fuzzing, single-box drills).
+
+    Same wire documents as :class:`HttpReplicationClient` — the replica
+    replays JSON-shaped operations either way, so a property-based test
+    driving this transport exercises the exact replay path the HTTP
+    cluster uses, minus the sockets.
+    """
+
+    def __init__(self, source: "ReplicationSource") -> None:
+        self.source = source
+
+    def manifest(self) -> dict:
+        """The source's current image manifest."""
+        return json.loads(json.dumps(self.source.manifest()))
+
+    def fetch_file(self, name: str) -> bytes:
+        """One image file of the current manifest."""
+        return self.source.file_bytes(name)
+
+    def slice(self, generation: int, applied: int, upto_epoch: Optional[int] = None) -> dict:
+        """The wire-encoded delta-log suffix past ``applied``."""
+        return json.loads(json.dumps(self.source.slice(generation, applied, upto_epoch)))
+
+
+# --------------------------------------------------------------------------- #
+# the primary side: image + delta-log shipping
+# --------------------------------------------------------------------------- #
+
+
+class ReplicationSource:
+    """The primary's shipping desk: images to bootstrap from, logs to tail.
+
+    Wraps the primary store (updatable, sharded or static) and serves the
+    replication protocol's three reads:
+
+    * :meth:`manifest` — the current base image: kind (``image`` /
+      ``shards``), generation, the epoch the image captures
+      (``base_epoch``), and the file names to download;
+    * :meth:`file_bytes` — one image file (name-validated against the
+      manifest, so the route cannot read outside the image tree);
+    * :meth:`slice` — the wire-encoded delta-log suffix, delegated to the
+      store's ``replication_slice`` (which owns the resync / epoch-cap
+      semantics).
+
+    Stores with no on-disk image yet get one saved lazily into
+    ``workspace`` (once per generation), under the store's write lock so
+    image and log stay consistent — the same provider pattern the process
+    backend uses.
+    """
+
+    def __init__(self, store: SuccinctEdge, workspace: Optional[str] = None) -> None:
+        import tempfile
+
+        self.store = store
+        self._owns_workspace = workspace is None
+        if workspace is None:
+            workspace = tempfile.mkdtemp(prefix="succinctedge-ship-")
+        else:
+            os.makedirs(workspace, exist_ok=True)
+        self.workspace = str(workspace)
+        self._lock = threading.Lock()
+        self._saved_images = {}
+        self._files_cache = {}
+
+    # -- image providers (called under the store's write lock) ---------- #
+
+    def _image_provider(self, base, generation: int) -> str:
+        path = self._saved_images.get(generation)
+        if path is None:
+            from repro.store.persistence import save_store_image
+
+            path = os.path.join(self.workspace, f"base-g{generation}.sedg")
+            save_store_image(base, path, atomic=True)
+            self._saved_images[generation] = path
+        return path
+
+    def _directory_provider(self) -> str:
+        return os.path.join(self.workspace, "shards-auto")
+
+    # -- shipment state -------------------------------------------------- #
+
+    def _shipment(self):
+        """(kind, root, files, generation, base_epoch, epoch), consistently."""
+        store = self.store
+        with self._lock:
+            if isinstance(store, ShardedStore):
+                kind = "shards"
+                path, generation, epoch, operations = store.delta_shipment(
+                    self._directory_provider
+                )
+                root = str(path)
+                files = self._shard_files(root, generation)
+            elif isinstance(store, UpdatableSuccinctEdge):
+                kind = "image"
+                path, generation, epoch, operations = store.delta_shipment(
+                    self._image_provider
+                )
+                root = os.path.dirname(os.path.abspath(str(path)))
+                files = [os.path.basename(str(path))]
+            else:
+                kind = "image"
+                generation, epoch, operations = 0, 0, ()
+                image = getattr(store, "image", None)
+                path = getattr(image, "path", None) if image is not None else None
+                if path is None:
+                    path = self._image_provider(store, 0)
+                root = os.path.dirname(os.path.abspath(str(path)))
+                files = [os.path.basename(str(path))]
+        return kind, root, list(files), generation, epoch - len(operations), epoch
+
+    def _shard_files(self, root: str, generation: int) -> List[str]:
+        key = (root, generation)
+        files = self._files_cache.get(key)
+        if files is None:
+            with open(os.path.join(root, ShardedStore.MANIFEST_NAME), "rb") as handle:
+                manifest = json.loads(handle.read().decode("utf-8"))
+            files = [ShardedStore.MANIFEST_NAME] + list(manifest.get("files") or [])
+            self._files_cache[key] = files
+        return list(files)
+
+    def position(self) -> Tuple[int, int]:
+        """The primary's current ``(generation, epoch)`` pin position.
+
+        Ensures an on-disk image exists for the current generation (a
+        coordinator must never pin a position replicas cannot bootstrap
+        to), then reports where the history stands.
+        """
+        _, _, _, generation, _, epoch = self._shipment()
+        return generation, epoch
+
+    def manifest(self) -> dict:
+        """The bootstrap document: what to download and where it lands."""
+        kind, _, files, generation, base_epoch, epoch = self._shipment()
+        return {
+            "kind": kind,
+            "generation": generation,
+            "base_epoch": base_epoch,
+            "epoch": epoch,
+            "files": files,
+        }
+
+    def file_bytes(self, name: str) -> bytes:
+        """One manifest file's bytes; unknown names raise :class:`KeyError`."""
+        _, root, files, _, _, _ = self._shipment()
+        if name not in files:
+            raise KeyError(name)
+        with open(os.path.join(root, name), "rb") as handle:
+            return handle.read()
+
+    def slice(self, generation: int, applied: int, upto_epoch: Optional[int] = None) -> dict:
+        """The store's ``replication_slice``, with operations wire-encoded."""
+        reply = self.store.replication_slice(generation, applied, upto_epoch)
+        if not reply.get("resync"):
+            reply = dict(reply)
+            reply["operations"] = [
+                [operation, _encode_wire_triple(triple)]
+                for operation, triple in reply["operations"]
+            ]
+        return reply
+
+    # -- HTTP face -------------------------------------------------------- #
+
+    def routes(self) -> dict:
+        """Extension routes for the primary's :class:`~repro.serve.server.QueryServer`."""
+        return {
+            "/cluster/manifest": lambda params, body: (200, self.manifest()),
+            "/cluster/file": self._file_route,
+            "/replicate": self._replicate_route,
+        }
+
+    def _file_route(self, params: dict, body):
+        name = (params.get("name") or [""])[0]
+        try:
+            return (200, self.file_bytes(name))
+        except KeyError:
+            return (404, {"error": f"unknown replication file {name!r}"})
+
+    def _replicate_route(self, params: dict, body):
+        generation = int((params.get("generation") or ["0"])[0])
+        applied = int((params.get("applied") or ["0"])[0])
+        upto = params.get("upto")
+        return (200, self.slice(generation, applied, int(upto[0]) if upto else None))
+
+    def close(self) -> None:
+        """Remove the owned workspace (saved images); idempotent."""
+        if self._owns_workspace:
+            import shutil
+
+            shutil.rmtree(self.workspace, ignore_errors=True)
+
+
+# --------------------------------------------------------------------------- #
+# the replica side
+# --------------------------------------------------------------------------- #
+
+
+class _ReadWriteLock:
+    """Many readers or one writer: work units read, syncs write.
+
+    A work unit holds the read side for its whole (materialized)
+    evaluation, so a concurrent sync can never advance the store mid-unit
+    — the position check and the rows it guards are atomic.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writing = False
+
+    @contextmanager
+    def read(self):
+        with self._condition:
+            while self._writing:
+                self._condition.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._readers -= 1
+                if not self._readers:
+                    self._condition.notify_all()
+
+    @contextmanager
+    def write(self):
+        with self._condition:
+            while self._writing or self._readers:
+                self._condition.wait()
+            self._writing = True
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._writing = False
+                self._condition.notify_all()
+
+
+class ClusterReplica:
+    """One read replica: a bootstrapped image plus a tailed delta log.
+
+    ``bootstrap()`` downloads the primary's manifest and image files into
+    ``workdir/g<generation>/``, memory-maps them, and wraps them writable
+    so the log can replay; ``sync(upto_epoch=E)`` pulls and replays the
+    missing suffix — capped at ``E``, so a replica serving an old-epoch
+    query is never dragged past the pin — and re-bootstraps when the
+    primary's generation moved (compaction / image rotation).
+
+    :meth:`handle_op` is the work-unit entry point: it syncs forward if the
+    unit's position is ahead, answers :class:`EpochConflict` if the replica
+    is past it, and otherwise evaluates under the read lock so rows and
+    position cannot be torn apart by a concurrent sync.
+    """
+
+    def __init__(self, client, workdir) -> None:
+        self.client = client
+        self.workdir = str(workdir)
+        self.store: Optional[SuccinctEdge] = None
+        self.kind: Optional[str] = None
+        self.generation = -1
+        self.base_epoch = 0
+        self.applied = 0
+        self.syncs = 0
+        self.bootstraps = 0
+        self._lock = _ReadWriteLock()
+        self._evaluators = {}
+
+    @property
+    def epoch(self) -> int:
+        """The replica's current data epoch (base image + replayed ops)."""
+        return self.base_epoch + self.applied
+
+    # -- bootstrap + sync ------------------------------------------------ #
+
+    def bootstrap(self) -> "ClusterReplica":
+        """Download the current image and load it; returns self for chaining."""
+        with self._lock.write():
+            self._bootstrap_locked()
+        return self
+
+    def _bootstrap_locked(self) -> None:
+        manifest = self.client.manifest()
+        generation = manifest["generation"]
+        root = os.path.join(self.workdir, f"g{generation:06d}")
+        os.makedirs(root, exist_ok=True)
+        for name in manifest["files"]:
+            target = os.path.join(root, name)
+            if not os.path.exists(target):
+                staged = target + ".tmp"
+                with open(staged, "wb") as handle:
+                    handle.write(self.client.fetch_file(name))
+                os.replace(staged, target)
+        if manifest["kind"] == "shards":
+            store: SuccinctEdge = ShardedStore.load_image_directory(
+                root, mmap=True, updatable=True
+            )
+        else:
+            from repro.store.persistence import load_store
+
+            store = UpdatableSuccinctEdge(
+                load_store(os.path.join(root, manifest["files"][0]), mmap=True)
+            )
+        self.store = store
+        self.kind = manifest["kind"]
+        self.generation = generation
+        self.base_epoch = manifest["base_epoch"]
+        self.applied = 0
+        self.bootstraps += 1
+        self._evaluators = {}
+
+    def sync(self, upto_epoch: Optional[int] = None, max_rounds: int = 4) -> int:
+        """Pull and replay the missing log suffix; returns the epoch reached.
+
+        Loops re-bootstrap → replay for up to ``max_rounds`` rounds (a
+        racing compaction can invalidate a freshly pulled manifest);
+        transport failures raise :class:`ReplicaUnavailable` unchanged.
+        """
+        with self._lock.write():
+            for _ in range(max_rounds):
+                if self.store is None:
+                    self._bootstrap_locked()
+                reply = self.client.slice(self.generation, self.applied, upto_epoch)
+                if reply.get("resync"):
+                    self.store = None  # stale generation: full re-bootstrap
+                    continue
+                for operation, code in reply["operations"]:
+                    triple = _decode_wire_triple(code)
+                    if operation == "insert":
+                        self.store.insert(triple)
+                    else:
+                        self.store.delete(triple)
+                self.applied = reply["applied"]
+                self.syncs += 1
+                if upto_epoch is None or self.epoch >= upto_epoch:
+                    return self.epoch
+            raise ReplicaUnavailable(
+                f"replica could not converge to epoch {upto_epoch} "
+                f"in {max_rounds} rounds (primary kept rotating)"
+            )
+
+    # -- work units ------------------------------------------------------ #
+
+    def _position(self):
+        with self._lock.read():
+            if self.store is None:
+                return None
+            return (self.generation, self.epoch)
+
+    def handle_op(self, op: str, args, reasoning: bool, generation: int, epoch: int):
+        """Serve one work unit at exactly ``(generation, epoch)``.
+
+        Raises :class:`EpochConflict` when the replica cannot stand at that
+        position (it moved past it, or a racing sync overshot) and
+        :class:`ReplicaUnavailable` when syncing forward needs a primary it
+        cannot reach — both abort the unit *before* any row is produced.
+        """
+        current = self._position()
+        if current != (generation, epoch):
+            behind = (
+                current is None
+                or current[0] < generation
+                or (current[0] == generation and current[1] < epoch)
+            )
+            if behind:
+                self.sync(upto_epoch=epoch)
+        with self._lock.read():
+            if self.store is None or (self.generation, self.epoch) != (generation, epoch):
+                raise EpochConflict(
+                    f"replica stands at (g{self.generation}, e{self.epoch}); "
+                    f"cannot serve a unit pinned at (g{generation}, e{epoch})"
+                )
+            return self._dispatch_locked(op, args, reasoning)
+
+    def _evaluator(self, reasoning: bool) -> TriplePatternEvaluator:
+        evaluator = self._evaluators.get(reasoning)
+        if evaluator is None:
+            evaluator = TriplePatternEvaluator(self.store, reasoning=reasoning)
+            self._evaluators[reasoning] = evaluator
+        return evaluator
+
+    def _shard_view(self, shard_index):
+        if shard_index is None or not isinstance(self.store, ShardedStore):
+            return self.store
+        return self.store.shards[shard_index]
+
+    def _dispatch_locked(self, op: str, args, reasoning: bool):
+        store = self.store
+        instances = store.instances
+        if op == "ping":
+            return {"generation": self.generation, "epoch": self.epoch}
+        if op == "eval_many":
+            pattern_code, binding_codes = args
+            pattern = _decode_pattern(pattern_code, instances)
+            evaluate = self._evaluator(reasoning).evaluate
+            rows: List[tuple] = []
+            for code in binding_codes:
+                for result in evaluate(pattern, _decode_binding(code, instances)):
+                    rows.append(_encode_binding(result, instances))
+            return rows
+        shard = self._shard_view(args[-1])
+        if op == "pairs":
+            property_id = args[0]
+            return [
+                list(shard.object_store.pairs_for_property(property_id)),
+                [
+                    [subject_id, _encode_term(literal, instances)]
+                    for subject_id, literal in shard.datatype_store.pairs_for_property(
+                        property_id
+                    )
+                ],
+            ]
+        if op == "subjects_obj":
+            object_id = instances.try_locate(_decode_term(args[1], instances))
+            if object_id is None:
+                return []  # the term entered the dictionary after this epoch
+            return list(shard.object_store.subjects_for(args[0], object_id))
+        if op == "subjects_lit":
+            literal = _decode_term(args[1], instances)
+            return list(shard.datatype_store.subjects_for(args[0], literal))
+        if op == "type_interval":
+            return list(shard.type_store.subjects_of_interval(args[0], args[1]))
+        if op == "type_concept":
+            return list(shard.type_store.subjects_of(args[0]))
+        raise ValueError(f"unknown cluster op {op!r}")
+
+    # -- HTTP face -------------------------------------------------------- #
+
+    def routes(self) -> dict:
+        """Extension routes for this replica's :class:`~repro.serve.server.QueryServer`."""
+        return {"/cluster/op": self._op_route, "/cluster/health": self._health_route}
+
+    def _op_route(self, params: dict, body):
+        request = json.loads(body.decode("utf-8"))
+        try:
+            rows = self.handle_op(
+                request["op"],
+                request.get("args", ()),
+                bool(request.get("reasoning", True)),
+                request["generation"],
+                request["epoch"],
+            )
+        except EpochConflict as error:
+            return (
+                409,
+                {"error": str(error), "generation": self.generation, "epoch": self.epoch},
+            )
+        except ReplicaUnavailable as error:
+            return (503, {"error": str(error)})
+        return (200, {"rows": rows, "generation": self.generation, "epoch": self.epoch})
+
+    def _health_route(self, params: dict, body):
+        if self.store is None:
+            return (503, {"status": "bootstrapping"})
+        return (
+            200,
+            {
+                "status": "ok",
+                "generation": self.generation,
+                "epoch": self.epoch,
+                "applied": self.applied,
+                "triples": self.store.triple_count,
+            },
+        )
+
+    def serve(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        network: Optional[SimulatedNetwork] = None,
+    ):
+        """Start a :class:`~repro.serve.server.QueryServer` for this replica.
+
+        The server answers plain ``/sparql`` against the replica's local
+        store *and* the ``/cluster/op`` + ``/cluster/health`` work-unit
+        routes; the caller owns the returned (started) server's lifecycle.
+        """
+        from repro.serve.server import QueryServer
+        from repro.serve.service import QueryService
+
+        if self.store is None:
+            self.bootstrap()
+        service = QueryService(self.store)
+        return QueryServer(
+            service, host=host, port=port, network=network, routes=self.routes()
+        ).start()
+
+
+# --------------------------------------------------------------------------- #
+# the coordinator side
+# --------------------------------------------------------------------------- #
+
+
+class ReplicaSet:
+    """The coordinator's replica directory: health, routing, hedging.
+
+    * **Routing** is shard-affine (shard ``i`` prefers replica ``i mod R``
+      — per-shard working sets stay warm in each replica's page cache) with
+      the remaining healthy replicas as failover candidates in rotation.
+    * **Health**: a transport failure marks the replica down and the unit
+      fails over; :meth:`refresh_health` probes ``/cluster/health`` and
+      readmits recovered replicas (the engine calls it between attempts).
+    * **Hedging**: when a unit has no answer after ``hedge_after_s``, the
+      same unit is also sent to the next candidate and the first success
+      wins — a lagging or slow replica adds one hedge interval, not its
+      full stall, to the query.
+    * **Deadline**: ``deadline_at`` (a ``perf_counter`` instant) bounds the
+      whole dispatch; past it :class:`ClusterTimeout` is raised and never
+      retried.
+
+    An :class:`EpochConflict` from one replica does *not* mark it down
+    (the replica is healthy, just elsewhere in history); the dispatch
+    tries the other candidates and re-raises the conflict only when no
+    candidate can serve the pinned position.
+    """
+
+    def __init__(
+        self,
+        urls: Sequence[str],
+        networks: Optional[Sequence[Optional[SimulatedNetwork]]] = None,
+        request_timeout_s: float = 30.0,
+        hedge_after_s: float = 0.05,
+    ) -> None:
+        if not urls:
+            raise ValueError("a replica set needs at least one replica URL")
+        self.urls = [url.rstrip("/") for url in urls]
+        if networks is None:
+            networks = [None] * len(self.urls)
+        if len(networks) != len(self.urls):
+            raise ValueError("networks must align with urls")
+        self._clients = [
+            _JsonHttp(url, network=network, timeout_s=request_timeout_s)
+            for url, network in zip(self.urls, networks)
+        ]
+        self.healthy = [True] * len(self.urls)
+        self.dispatches = [0] * len(self.urls)
+        self.hedges = 0
+        self.failovers = 0
+        self.hedge_after_s = hedge_after_s
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(4, 2 * len(self.urls)),
+            thread_name_prefix="succinctedge-cluster",
+        )
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self.urls)
+
+    # -- health ---------------------------------------------------------- #
+
+    def mark_down(self, index: int) -> None:
+        """Exclude one replica from routing until a health probe readmits it."""
+        with self._lock:
+            self.healthy[index] = False
+
+    def refresh_health(self) -> List[bool]:
+        """Probe every replica's ``/cluster/health``; returns the new flags."""
+        for index, client in enumerate(self._clients):
+            try:
+                status, _ = client.json("/cluster/health")
+                alive = status == 200
+            except ClusterError:
+                alive = False
+            with self._lock:
+                self.healthy[index] = alive
+        return list(self.healthy)
+
+    def _candidates(self, shard_hint: int) -> List[int]:
+        count = len(self.urls)
+        start = shard_hint % count
+        with self._lock:
+            flags = list(self.healthy)
+        return [
+            (start + offset) % count
+            for offset in range(count)
+            if flags[(start + offset) % count]
+        ]
+
+    # -- dispatch --------------------------------------------------------- #
+
+    def _call(self, index: int, payload: dict, deadline_at: Optional[float]):
+        with self._lock:
+            self.dispatches[index] += 1
+        remaining = None if deadline_at is None else deadline_at - time.perf_counter()
+        if remaining is not None and remaining <= 0:
+            raise ClusterTimeout("cluster deadline passed before the unit was sent")
+        status, document = self._clients[index].json(
+            "/cluster/op", payload, timeout_s=remaining
+        )
+        if status == 200:
+            return document["rows"]
+        if status == 409:
+            raise EpochConflict(
+                document.get("error") or f"replica {self.urls[index]} epoch conflict"
+            )
+        raise ReplicaUnavailable(
+            f"replica {self.urls[index]} answered {status}: {document.get('error')}"
+        )
+
+    def dispatch(
+        self,
+        op: str,
+        args,
+        reasoning: bool,
+        generation: int,
+        epoch: int,
+        shard_hint: int = 0,
+        deadline_at: Optional[float] = None,
+    ):
+        """Run one work unit somewhere in the set; first success wins."""
+        payload = {
+            "op": op,
+            "args": args,
+            "reasoning": reasoning,
+            "generation": generation,
+            "epoch": epoch,
+        }
+        candidates = self._candidates(shard_hint)
+        if not candidates:
+            raise ReplicaUnavailable("no healthy replicas in the set")
+        pending = list(candidates)
+        in_flight = {}
+        conflict: Optional[EpochConflict] = None
+        last_error: Optional[ClusterError] = None
+
+        def launch() -> None:
+            index = pending.pop(0)
+            in_flight[self._pool.submit(self._call, index, payload, deadline_at)] = index
+
+        launch()
+        while in_flight:
+            remaining = None if deadline_at is None else deadline_at - time.perf_counter()
+            if remaining is not None and remaining <= 0:
+                raise ClusterTimeout(
+                    f"work unit {op!r} missed the cluster deadline "
+                    f"({len(in_flight)} attempt(s) still in flight)"
+                )
+            timeout = self.hedge_after_s if pending else remaining
+            if remaining is not None:
+                timeout = remaining if timeout is None else min(timeout, remaining)
+            done, _ = wait(set(in_flight), timeout=timeout, return_when=FIRST_COMPLETED)
+            if not done:
+                if pending:  # hedge: race the next candidate against the slow one
+                    with self._lock:
+                        self.hedges += 1
+                    launch()
+                continue
+            for future in done:
+                index = in_flight.pop(future)
+                try:
+                    rows = future.result()
+                except ClusterTimeout:
+                    raise
+                except EpochConflict as error:
+                    conflict = error
+                except ClusterError as error:
+                    self.mark_down(index)
+                    last_error = error
+                except Exception as error:  # defensive: treat as unavailable
+                    self.mark_down(index)
+                    last_error = ReplicaUnavailable(f"{self.urls[index]}: {error}")
+                else:
+                    return rows
+            if not in_flight and pending:
+                with self._lock:
+                    self.failovers += 1
+                launch()
+        if conflict is not None:
+            raise conflict
+        raise last_error if last_error is not None else ReplicaUnavailable(
+            "every candidate replica failed"
+        )
+
+    def close(self) -> None:
+        """Shut the dispatch pool down (abandoning stragglers)."""
+        self._pool.shutdown(wait=False)
+
+    def info(self) -> dict:
+        """Routing and health accounting (tests and ``/stats`` consumers)."""
+        with self._lock:
+            return {
+                "urls": list(self.urls),
+                "healthy": list(self.healthy),
+                "dispatches": list(self.dispatches),
+                "hedges": self.hedges,
+                "failovers": self.failovers,
+            }
+
+    def __enter__(self) -> "ReplicaSet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ClusterExecutor(ParallelExecutor):
+    """:class:`ParallelExecutor` whose fan-out crosses the network.
+
+    Inherits the scatter decisions, per-shard cardinality pruning, batch
+    sizing and the windowed ordered drain; only the transport differs —
+    work units go through :meth:`ReplicaSet.dispatch` (stamped with the
+    pinned position), raced on the inherited thread pool so per-shard
+    round trips overlap.  Bound-subject probes the planner prunes to a
+    single shard stay local on the coordinator's primary store, like the
+    single-shard cases of the thread and process backends.
+    """
+
+    def __init__(
+        self,
+        store: SuccinctEdge,
+        replicas: ReplicaSet,
+        source: ReplicationSource,
+        reasoning: bool = True,
+        inner: Optional[TriplePatternEvaluator] = None,
+        max_workers: Optional[int] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        if max_workers is None:
+            max_workers = max(2, 2 * len(replicas))
+        super().__init__(
+            store,
+            reasoning=reasoning,
+            inner=inner,
+            max_workers=max_workers,
+            batch_size=batch_size,
+        )
+        self.replicas = replicas
+        self.source = source
+        self._local = threading.local()
+
+    # -- position pinning ------------------------------------------------- #
+
+    @contextmanager
+    def pinned(self, generation: int, epoch: int, deadline_at: Optional[float] = None):
+        """Stamp every work unit dispatched from this thread with one position."""
+        previous = getattr(self._local, "pin", None)
+        self._local.pin = (generation, epoch, deadline_at)
+        try:
+            yield
+        finally:
+            self._local.pin = previous
+
+    def _pin(self) -> Tuple[int, int, Optional[float]]:
+        pin = getattr(self._local, "pin", None)
+        if pin is not None:
+            return pin
+        generation, epoch = self.source.position()
+        return generation, epoch, None
+
+    def _dispatch(self, op: str, args, shard_hint: int, pin=None):
+        generation, epoch, deadline_at = self._pin() if pin is None else pin
+        return self.replicas.dispatch(
+            op,
+            args,
+            self.reasoning,
+            generation,
+            epoch,
+            shard_hint=shard_hint,
+            deadline_at=deadline_at,
+        )
+
+    # -- scatter/gather over the replica set ------------------------------ #
+
+    def _scatter_rdf_type(
+        self, subject_var: str, object_term: URI, binding: Binding
+    ) -> Iterator[Binding]:
+        store = self.store
+        concept_id = store.concepts.try_locate(object_term)
+        if concept_id is None:
+            return
+        pin = self._pin()
+        pool = self._ensure_pool()
+        if self.reasoning:
+            low, high = store.concepts.interval(object_term)
+            indexes = self._shard_indexes_holding(self._concept_shard_counts(low, high))
+            futures = [
+                pool.submit(self._dispatch, "type_interval", (low, high, index), index, pin)
+                for index in indexes
+            ]
+        else:
+            indexes = self._shard_indexes_holding(
+                self._concept_shard_counts(concept_id, concept_id + 1)
+            )
+            futures = [
+                pool.submit(self._dispatch, "type_concept", (concept_id, index), index, pin)
+                for index in indexes
+            ]
+        extract = store.instances.extract
+        extend = binding.extended
+        for future in futures:
+            for subject_id in future.result():
+                yield extend(subject_var, extract(subject_id))
+
+    def _scatter_property(
+        self,
+        predicate_term: URI,
+        subject_var: str,
+        object_slot,
+        binding: Binding,
+    ) -> Iterator[Binding]:
+        object_term, object_var = object_slot
+        store = self.store
+        property_ids = self.inner._candidate_property_ids(predicate_term)
+        if not property_ids:
+            return
+        pin = self._pin()
+        pool = self._ensure_pool()
+        instances = store.instances
+        extract = instances.extract
+        extend = binding.extended
+
+        if object_term is not None:
+            op = "subjects_lit" if isinstance(object_term, Literal) else "subjects_obj"
+            object_code = _value_term(object_term)
+            futures = []
+            for property_id in property_ids:
+                for index in self._shard_indexes_holding(
+                    self._property_shard_counts(property_id)
+                ):
+                    futures.append(
+                        pool.submit(
+                            self._dispatch, op, (property_id, object_code, index), index, pin
+                        )
+                    )
+            for future in futures:
+                for found_subject in future.result():
+                    yield extend(subject_var, extract(found_subject))
+            return
+
+        # (?s, p, ?o): one "pairs" unit per (property × holding shard),
+        # scheduled one property ahead — the monolithic emission order is
+        # property-major, object layout before datatype layout, shard-minor.
+        diagonal = subject_var == object_var
+        base = binding.as_dict()
+        adopt = Binding._adopt
+
+        def schedule(property_id: int):
+            indexes = self._shard_indexes_holding(self._property_shard_counts(property_id))
+            return [
+                pool.submit(self._dispatch, "pairs", (property_id, index), index, pin)
+                for index in indexes
+            ]
+
+        window = []  # at most 2 scheduled properties: current + next
+        position = 0
+        while position < len(property_ids) or window:
+            while position < len(property_ids) and len(window) < 2:
+                window.append(schedule(property_ids[position]))
+                position += 1
+            replies = [future.result() for future in window.pop(0)]
+            for object_pairs, _ in replies:
+                for found_subject, found_object in object_pairs:
+                    if diagonal:
+                        if found_subject == found_object:
+                            yield extend(subject_var, extract(found_subject))
+                        continue
+                    values = dict(base)
+                    values[subject_var] = extract(found_subject)
+                    values[object_var] = extract(found_object)
+                    yield adopt(values)
+            for _, datatype_pairs in replies:
+                for found_subject, literal_code in datatype_pairs:
+                    if diagonal:
+                        continue  # a subject URI never equals a literal
+                    values = dict(base)
+                    values[subject_var] = extract(found_subject)
+                    values[object_var] = _decode_term(literal_code, instances)
+                    yield adopt(values)
+
+    def evaluate_many(
+        self, pattern: TriplePattern, bindings: Iterable[Binding]
+    ) -> Iterator[Binding]:
+        """Batched bind join across the replica set, in upstream order.
+
+        Batches rotate across replicas (the hint advances per batch) and
+        race on the local thread pool so several round trips overlap; the
+        inherited windowed drain keeps emission in upstream order.
+        """
+        instances = self.store.instances
+        pattern_code = _value_pattern(pattern)
+        pin = self._pin()
+        pool = self._ensure_pool()
+        counter = itertools.count()
+
+        def submit(chunk: List[Binding]):
+            codes = tuple(_value_binding(one) for one in chunk)
+            hint = next(counter)
+            return pool.submit(
+                self._dispatch, "eval_many", (pattern_code, codes), hint, pin
+            )
+
+        def drain(future) -> List[Binding]:
+            return [_decode_binding(code, instances) for code in future.result()]
+
+        return self._windowed_many(pattern, bindings, submit=submit, drain=drain)
+
+
+class ClusterQueryEngine(QueryEngine):
+    """A :class:`~repro.query.engine.QueryEngine` over a replica set.
+
+    Same construction pattern as the thread and process engines (the
+    optimizer keeps the sequential runtime estimator over the primary, so
+    plans — and with them row order — cannot diverge).  ``execute`` /
+    ``ask`` / ``stream`` pin one ``(generation, epoch)`` position for the
+    whole query and stamp it on every work unit; :class:`ClusterError`
+    aborts the attempt before any row escapes, health is refreshed, and
+    the query retries once at a *fresh* pin.  :class:`ClusterTimeout` is
+    never retried — the deadline is already spent.
+    """
+
+    #: Exceptions the serving layer may retry after calling :meth:`heal`.
+    retryable_exceptions = (ClusterError,)
+
+    def __init__(
+        self,
+        store: SuccinctEdge,
+        replicas: ReplicaSet,
+        source: ReplicationSource,
+        reasoning: bool = True,
+        join_strategy: str = "auto",
+        max_workers: Optional[int] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        planner: str = "cost",
+        deadline_s: Optional[float] = None,
+        retries: int = 1,
+    ) -> None:
+        super().__init__(
+            store, reasoning=reasoning, join_strategy=join_strategy, planner=planner
+        )
+        self.deadline_s = deadline_s
+        self.retries = max(0, retries)
+        self.evaluator = ClusterExecutor(
+            store,
+            replicas=replicas,
+            source=source,
+            reasoning=reasoning,
+            inner=self.evaluator,
+            max_workers=max_workers,
+            batch_size=batch_size,
+        )
+
+    @property
+    def replicas(self) -> ReplicaSet:
+        """The replica set work units are routed through."""
+        return self.evaluator.replicas
+
+    def heal(self) -> None:
+        """Refresh replica health (the between-attempts retry hook)."""
+        self.replicas.refresh_health()
+
+    @contextmanager
+    def _pinned(self):
+        generation, epoch = self.evaluator.source.position()
+        deadline_at = (
+            None if self.deadline_s is None else time.perf_counter() + self.deadline_s
+        )
+        with self.evaluator.pinned(generation, epoch, deadline_at):
+            yield
+
+    def _retrying(self, call, query):
+        for attempt in range(self.retries + 1):
+            try:
+                with self._pinned():
+                    return call(query)
+            except ClusterTimeout:
+                raise
+            except ClusterError:
+                if attempt >= self.retries:
+                    raise
+                self.heal()
+        raise AssertionError("unreachable")
+
+    def execute(self, query):
+        """Execute at one pinned position, re-pinning and retrying on failure."""
+        return self._retrying(super().execute, query)
+
+    def ask(self, query):
+        """ASK at one pinned position, with the same retry semantics."""
+        return self._retrying(super().ask, query)
+
+    def stream(self, query):
+        """Stream rows, the whole iteration pinned at one position.
+
+        Streaming cannot retry mid-flight (rows may already be consumed);
+        a :class:`ClusterError` propagates to the caller — the serving
+        layer materializes and re-runs whole queries, so partial rows
+        never reach a client.
+        """
+        def generate():
+            with self._pinned():
+                yield from super(ClusterQueryEngine, self).stream(query)
+
+        return generate()
+
+    def close(self) -> None:
+        """Release the executor's thread pool (the replica set is shared)."""
+        self.evaluator.close()
+
+    def __enter__(self) -> "ClusterQueryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

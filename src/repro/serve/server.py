@@ -82,6 +82,8 @@ class _SparqlRequestHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
         url = urlsplit(self.path)
+        if self._serve_custom(url, None):
+            return
         if url.path == "/sparql":
             params = parse_qs(url.query)
             self._serve_query(params)
@@ -104,11 +106,14 @@ class _SparqlRequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib casing
         url = urlsplit(self.path)
+        length = int(self.headers.get("Content-Length", "0") or "0")
+        raw = self.rfile.read(length) if length else b""
+        if self._serve_custom(url, raw):
+            return
         if url.path != "/sparql":
             self._send_json(404, {"error": f"unknown path {url.path!r}"})
             return
-        length = int(self.headers.get("Content-Length", "0") or "0")
-        body = self.rfile.read(length).decode("utf-8") if length else ""
+        body = raw.decode("utf-8") if raw else ""
         content_type = (self.headers.get("Content-Type") or "").split(";")[0].strip()
         params = parse_qs(url.query)
         if content_type == "application/x-www-form-urlencoded":
@@ -116,6 +121,37 @@ class _SparqlRequestHandler(BaseHTTPRequestHandler):
         elif body:
             params["query"] = [body]
         self._serve_query(params)
+
+    def _serve_custom(self, url, body: Optional[bytes]) -> bool:
+        """Dispatch to a server-attached extension route, if one matches.
+
+        Extension routes (``QueryServer(routes=...)``) let co-located
+        subsystems — the cluster replication endpoints of
+        :mod:`repro.serve.cluster` — ride the same HTTP front door.  A
+        handler receives ``(params, body)`` and returns
+        ``(status, document[, headers])`` where the document is a JSON-able
+        dict or raw ``bytes`` (served as ``application/octet-stream`` —
+        the image-shipping path).  Returns ``False`` when no route matches,
+        letting the built-in endpoints answer.
+        """
+        routes = getattr(self.server, "routes", None)
+        handler = routes.get(url.path) if routes else None
+        if handler is None:
+            return False
+        try:
+            reply = handler(parse_qs(url.query), body)
+        except Exception as exc:
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+            return True
+        status, document = reply[0], reply[1]
+        headers = reply[2] if len(reply) > 2 else None
+        if isinstance(document, (bytes, bytearray)):
+            self._send_payload(
+                status, bytes(document), headers, content_type="application/octet-stream"
+            )
+        else:
+            self._send_json(status, document, headers)
+        return True
 
     # ------------------------------------------------------------------ #
     # query serving
@@ -199,9 +235,15 @@ class _SparqlRequestHandler(BaseHTTPRequestHandler):
         # uplink: only query responses travel to remote clients.
         self._send_payload(status, json.dumps(document).encode("utf-8"), headers)
 
-    def _send_payload(self, status: int, payload: bytes, headers: Optional[dict] = None) -> None:
+    def _send_payload(
+        self,
+        status: int,
+        payload: bytes,
+        headers: Optional[dict] = None,
+        content_type: str = "application/json",
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
@@ -214,10 +256,17 @@ class _ServiceHTTPServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address, service: QueryService, network: Optional[SimulatedNetwork]):
+    def __init__(
+        self,
+        address,
+        service: QueryService,
+        network: Optional[SimulatedNetwork],
+        routes: Optional[dict] = None,
+    ):
         super().__init__(address, _SparqlRequestHandler)
         self.service = service
         self.network = network
+        self.routes = dict(routes) if routes else {}
 
 
 class QueryServer:
@@ -235,9 +284,10 @@ class QueryServer:
         host: str = "127.0.0.1",
         port: int = 0,
         network: Optional[SimulatedNetwork] = None,
+        routes: Optional[dict] = None,
     ) -> None:
         self.service = service
-        self._httpd = _ServiceHTTPServer((host, port), service, network)
+        self._httpd = _ServiceHTTPServer((host, port), service, network, routes=routes)
         self._thread: Optional[threading.Thread] = None
         self._closed = False
 

@@ -765,6 +765,45 @@ class ShardedStore(SuccinctEdge):
                 tuple(self._delta_log),
             )
 
+    def replication_slice(self, generation: int, applied: int, upto_epoch=None) -> dict:
+        """The facade write-log suffix a replica is missing (sharded analogue).
+
+        Same contract as
+        :meth:`~repro.store.updatable.UpdatableSuccinctEdge.replication_slice`,
+        against the facade-level log and the image-directory generation: a
+        replica bootstraps from a :meth:`save_image_directory` tree and
+        replays the routed facade writes.  Saving a new image directory
+        clears the log and bumps the generation (the shards' visible state
+        is unchanged — pending deltas are compacted into the images), so a
+        stale generation means *re-bootstrap*, exactly like a monolithic
+        compaction.  The facade's ``data_epoch`` (the sum of per-shard
+        epochs) advances by one per logged write and is untouched by the
+        generation bump, so ``data_epoch - len(log)`` is again the constant
+        epoch of the shipped images.
+        """
+        with self._write_lock:
+            log = self._delta_log
+            if generation != self._image_generation or applied > len(log):
+                return {
+                    "resync": True,
+                    "generation": self._image_generation,
+                    "epoch": self.data_epoch,
+                }
+            base_epoch = self.data_epoch - len(log)
+            end = len(log)
+            if upto_epoch is not None:
+                end = min(end, max(0, upto_epoch - base_epoch))
+            start = max(0, applied)
+            if start > end:
+                end = start
+            return {
+                "resync": False,
+                "generation": generation,
+                "applied": end,
+                "epoch": base_epoch + end,
+                "operations": list(log[start:end]),
+            }
+
     def snapshot_info(self) -> dict:
         """Aggregated accounting plus the per-shard breakdown."""
         return {

@@ -443,6 +443,57 @@ class UpdatableSuccinctEdge(SuccinctEdge):
                 path = image_provider(self._base, self.compaction_epoch)
             return str(path), self.compaction_epoch, self.data_epoch, tuple(self._delta_log)
 
+    def replication_slice(self, generation: int, applied: int, upto_epoch=None) -> dict:
+        """The delta-log suffix a replica at ``(generation, applied)`` is missing.
+
+        The replication protocol's pull primitive (see
+        :mod:`repro.serve.cluster`): a replica that bootstrapped from this
+        store's generation-``G`` base image and has replayed ``applied``
+        operations of the current log asks for the rest.  Returns a dict:
+
+        * ``resync: True`` when the replica's generation is stale (a
+          compaction installed a new base and cleared the log) or its
+          applied count exceeds the log — the replica must re-bootstrap
+          from a fresh image; ``generation``/``epoch`` report the current
+          position so the replica can tell how far behind it was;
+        * otherwise ``operations`` holds ``log[applied:end]`` (term-level
+          ``(op, triple)`` pairs — replaying them through the replica's own
+          ``insert``/``delete`` reproduces identifier assignment exactly),
+          ``applied`` the replica's op count after replay and ``epoch`` the
+          data epoch it lands on.
+
+        ``upto_epoch`` caps the slice: a coordinator pinning a query at
+        snapshot epoch ``E`` syncs its replicas to *exactly* ``E``, never
+        past it, so concurrently shipped writes cannot leak into an older
+        query's rows.  Within one generation the log only grows and
+        ``data_epoch - len(log)`` is the constant epoch of the base image,
+        so the cap is a plain index computation.
+        """
+        with self._write_lock:
+            log = self._delta_log
+            if generation != self.compaction_epoch or applied > len(log):
+                return {
+                    "resync": True,
+                    "generation": self.compaction_epoch,
+                    "epoch": self.data_epoch,
+                }
+            base_epoch = self.data_epoch - len(log)
+            end = len(log)
+            if upto_epoch is not None:
+                end = min(end, max(0, upto_epoch - base_epoch))
+            start = max(0, applied)
+            if start > end:
+                # The replica is already past the cap: nothing to send, and
+                # never regress it (the epoch conflict surfaces replica-side).
+                end = start
+            return {
+                "resync": False,
+                "generation": generation,
+                "applied": end,
+                "epoch": base_epoch + end,
+                "operations": list(log[start:end]),
+            }
+
     def snapshot_info(self) -> dict:
         """One consistent accounting snapshot (sizes, epochs, overflow)."""
         with self._write_lock:

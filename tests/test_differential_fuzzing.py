@@ -191,3 +191,124 @@ def test_differential_process_backend(worker_pool, dataset, patterns, reasoning)
         assert _multiset(engine.execute(query), names) == expected
     finally:
         engine.close()
+
+
+# --------------------------------------------------------------------------- #
+# replication fuzzing (repro.serve.cluster)
+# --------------------------------------------------------------------------- #
+
+
+def _store_scan_multiset(store, reasoning=False):
+    """Every triple in ``store`` as a multiset, via exhaustive pattern scans.
+
+    One ``?x p ?y`` scan per property plus one ``?x rdf:type ?c`` scan
+    enumerates the full dataset (the fuzz vocabulary is closed), giving a
+    store-independent way to compare a replica against its primary.
+    """
+    from repro.query.materializing import MaterializingQueryEngine
+
+    engine = MaterializingQueryEngine(store, reasoning=reasoning)
+    x, y = Variable("x"), Variable("y")
+    counts = Counter()
+    for predicate in _PROPERTIES + _DATA_PROPERTIES:
+        query = SelectQuery(
+            projection=[x, y],
+            where=GroupGraphPattern(
+                bgp=BasicGraphPattern(patterns=[TriplePattern(x, predicate, y)])
+            ),
+        )
+        for binding in engine.execute(query):
+            counts[(predicate.value, binding.get("x"), binding.get("y"))] += 1
+    query = SelectQuery(
+        projection=[x, y],
+        where=GroupGraphPattern(
+            bgp=BasicGraphPattern(patterns=[TriplePattern(x, RDF.type, y)])
+        ),
+    )
+    for binding in engine.execute(query):
+        counts[(RDF.type.value, binding.get("x"), binding.get("y"))] += 1
+    return counts
+
+
+@st.composite
+def replication_script(draw):
+    """A random interleaving of writes, compactions and replica syncs.
+
+    ``("insert"|"delete", triple)`` mutate the primary (deleting an absent
+    triple is a no-op, which is itself worth covering), ``("sync", None)``
+    ships the log suffix to the replica mid-stream, and the rare
+    ``("compact", None)`` rotates the primary's generation so the replica
+    must detect the stale image and re-bootstrap.
+    """
+    ops = []
+    for _ in range(draw(st.integers(min_value=1, max_value=25))):
+        kind = draw(
+            st.sampled_from(
+                ["insert", "insert", "insert", "delete", "sync", "compact"]
+            )
+        )
+        if kind in ("insert", "delete"):
+            subject = draw(st.sampled_from(_INDIVIDUALS))
+            shape = draw(st.integers(min_value=0, max_value=2))
+            if shape == 0:
+                triple = Triple(subject, RDF.type, draw(st.sampled_from(_CONCEPTS)))
+            elif shape == 1:
+                triple = Triple(
+                    subject,
+                    draw(st.sampled_from(_PROPERTIES)),
+                    draw(st.sampled_from(_INDIVIDUALS)),
+                )
+            else:
+                triple = Triple(
+                    subject,
+                    draw(st.sampled_from(_DATA_PROPERTIES)),
+                    draw(st.sampled_from(_LITERALS)),
+                )
+            ops.append((kind, triple))
+        else:
+            ops.append((kind, None))
+    return ops
+
+
+@settings(max_examples=15, deadline=None)
+@given(dataset=random_dataset(), script=replication_script())
+def test_differential_replication_convergence(dataset, script):
+    """After any write/ship/query interleaving the replica equals the primary.
+
+    A replica driven through :class:`~repro.serve.cluster.LocalReplicationClient`
+    (the same wire documents as HTTP, minus the socket) bootstraps from the
+    primary's image and replays whatever log suffix each mid-stream sync
+    finds.  Once converged it must sit at the primary's exact position and
+    hold the **same triple multiset** — across inserts, deletes, no-op
+    deletes, mid-stream syncs and even generation-rotating compactions.
+    """
+    import shutil
+    import tempfile
+
+    from repro.serve.cluster import ClusterReplica, LocalReplicationClient, ReplicationSource
+    from repro.store.updatable import UpdatableSuccinctEdge
+
+    ontology, data = dataset
+    primary = UpdatableSuccinctEdge.from_graph(data, ontology=ontology)
+    workspace = tempfile.mkdtemp(prefix="fuzz-repl-")
+    try:
+        source = ReplicationSource(primary, workspace=workspace + "/ship")
+        replica = ClusterReplica(
+            LocalReplicationClient(source), workspace + "/replica"
+        ).bootstrap()
+        for kind, triple in script:
+            if kind == "insert":
+                primary.insert(triple)
+            elif kind == "delete":
+                primary.delete(triple)
+            elif kind == "compact":
+                primary.compact()
+            else:
+                replica.sync()
+        generation, epoch = source.position()
+        replica.sync(upto_epoch=epoch)
+        assert (replica.generation, replica.epoch) == (generation, epoch)
+        assert _store_scan_multiset(replica.store) == _store_scan_multiset(primary)
+        source.close()
+    finally:
+        shutil.rmtree(workspace, ignore_errors=True)

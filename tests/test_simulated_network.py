@@ -1,0 +1,149 @@
+"""Unit tests pinning :class:`~repro.edge.device.SimulatedNetwork` exactly.
+
+The cluster's fault-injection suites lean on this class for every injected
+failure, so its semantics are pinned here at the unit level: the latency
+math of both legs of a hop (``transmission_ms`` for the response,
+``one_way_ms`` for the request), the partition / heal / drop-next fault
+knobs, and the traffic counters the tests assert against.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.edge.device import (
+    EDGE_UPLINK,
+    LOCAL_LAN,
+    LTE_UPLINK,
+    DeviceProfile,
+    EdgeDevice,
+    NetworkPartitioned,
+    NetworkProfile,
+    SimulatedNetwork,
+)
+
+
+# --------------------------------------------------------------------------- #
+# latency math
+# --------------------------------------------------------------------------- #
+
+
+def test_transmission_ms_is_rtt_plus_serialisation():
+    profile = NetworkProfile(name="t", rtt_ms=40.0, bandwidth_kbps=500.0)
+    # rtt + bytes * 8 bits / kbps: 1000 bytes over 500 kbps = 16 ms on the wire.
+    assert profile.transmission_ms(1000) == pytest.approx(40.0 + 16.0)
+    assert profile.transmission_ms(0) == pytest.approx(40.0)
+
+
+def test_one_way_ms_is_half_rtt_plus_serialisation():
+    profile = NetworkProfile(name="t", rtt_ms=40.0, bandwidth_kbps=500.0)
+    # The request leg charges half the round trip but the full payload time.
+    assert profile.one_way_ms(1000) == pytest.approx(20.0 + 16.0)
+    assert profile.one_way_ms(0) == pytest.approx(20.0)
+
+
+def test_zero_bandwidth_charges_latency_only():
+    profile = NetworkProfile(name="t", rtt_ms=30.0, bandwidth_kbps=0.0)
+    # bandwidth <= 0 means "don't model serialisation time" — any payload
+    # costs the bare latency, never a division by zero.
+    assert profile.transmission_ms(10_000_000) == pytest.approx(30.0)
+    assert profile.one_way_ms(10_000_000) == pytest.approx(15.0)
+
+
+@pytest.mark.parametrize("profile", [EDGE_UPLINK, LTE_UPLINK, LOCAL_LAN])
+def test_builtin_profiles_are_consistent(profile):
+    # one_way never exceeds transmission for the same payload, and both
+    # grow monotonically with payload size (when bandwidth is modelled).
+    for payload in (0, 512, 65_536):
+        assert profile.one_way_ms(payload) <= profile.transmission_ms(payload)
+    if profile.bandwidth_kbps > 0:
+        assert profile.transmission_ms(2048) > profile.transmission_ms(1024)
+
+
+def test_local_lan_is_free():
+    network = SimulatedNetwork(LOCAL_LAN)
+    assert network.transmit(1_000_000) == 0.0
+    assert network.transmit_request(1_000_000) == 0.0
+
+
+# --------------------------------------------------------------------------- #
+# counters
+# --------------------------------------------------------------------------- #
+
+
+def test_counters_track_both_legs():
+    network = SimulatedNetwork(LOCAL_LAN)
+    network.transmit(100)
+    network.transmit(50)
+    network.transmit_request(25)
+    assert network.transmissions == 2
+    assert network.requests == 1
+    assert network.bytes_transmitted == 175
+    assert network.drops == 0
+
+
+def test_device_energy_is_charged_for_both_legs():
+    profile = DeviceProfile(name="d", ram_bytes=1 << 20, network_energy_joule_per_kb=0.05)
+    device = EdgeDevice(profile)
+    network = SimulatedNetwork(LOCAL_LAN, device=device)
+    network.transmit(1024)
+    network.transmit_request(1024)
+    # 2 KiB at 0.05 J/KB: both legs charge the device, symmetrically.
+    assert device.energy_spent_joules == pytest.approx(2 * 0.05)
+    assert device.bytes_sent == 2048
+
+
+# --------------------------------------------------------------------------- #
+# fault injection
+# --------------------------------------------------------------------------- #
+
+
+def test_partition_downs_both_legs_until_heal():
+    network = SimulatedNetwork(LOCAL_LAN)
+    network.partition()
+    with pytest.raises(NetworkPartitioned):
+        network.transmit(10)
+    with pytest.raises(NetworkPartitioned):
+        network.transmit_request(10)
+    assert network.drops == 2
+    # Nothing was delivered while down.
+    assert network.transmissions == 0
+    assert network.requests == 0
+    assert network.bytes_transmitted == 0
+    network.heal()
+    network.transmit(10)
+    network.transmit_request(10)
+    assert (network.transmissions, network.requests) == (1, 1)
+
+
+def test_partition_raises_a_connection_error():
+    # The cluster transport catches ConnectionError for real sockets; the
+    # simulated failure must flow through the same handler.
+    network = SimulatedNetwork(LOCAL_LAN)
+    network.partition()
+    with pytest.raises(ConnectionError):
+        network.transmit(1)
+
+
+def test_drop_next_drops_exactly_n_then_recovers():
+    network = SimulatedNetwork(LOCAL_LAN)
+    network.drop_next(2)
+    with pytest.raises(NetworkPartitioned):
+        network.transmit(10)
+    with pytest.raises(NetworkPartitioned):
+        network.transmit_request(10)
+    # Budget exhausted: the third transmission sails through.
+    network.transmit(10)
+    assert network.drops == 2
+    assert network.transmissions == 1
+
+
+def test_drop_budgets_accumulate():
+    network = SimulatedNetwork(LOCAL_LAN)
+    network.drop_next()
+    network.drop_next()
+    for _ in range(2):
+        with pytest.raises(NetworkPartitioned):
+            network.transmit(1)
+    network.transmit(1)
+    assert network.drops == 2
