@@ -80,3 +80,63 @@ def test_kernel_calls_do_not_regress(context):
         "If the plan change is intentional, regenerate with "
         "REPRO_UPDATE_PLAN_BASELINE=1."
     )
+
+
+# --------------------------------------------------------------------------- #
+# property-path kernel budgets (adversarial workload, own baseline file)
+# --------------------------------------------------------------------------- #
+
+
+def _path_baseline_path() -> pathlib.Path:
+    return BASELINE_DIR / f"path_kernel_calls_{bench_scale()}.json"
+
+
+def test_path_kernel_calls_do_not_regress():
+    """The adversarial path queries must stay inside their pinned budget.
+
+    Same contract as the BGP check above, over the closure-heavy workload of
+    :mod:`repro.workloads.adversarial`: a change to the frontier BFS, the
+    probe-vs-scan constants or the path cost model that silently inflates
+    kernel calls fails here instead of shipping.
+    """
+    from repro.workloads.adversarial import scaled_workload
+
+    workload = scaled_workload(bench_scale())
+    store = SuccinctEdge.from_graph(workload.graph(), ontology=workload.ontology())
+    engine = QueryEngine(store, reasoning=False, planner="cost")
+    measured = {}
+    for query in workload.queries():
+        engine.execute(query.sparql)  # warm the plan cache
+        before = total_kernel_calls()
+        result = engine.execute(query.sparql)
+        len(result)  # materialize
+        measured[query.identifier] = total_kernel_calls() - before
+    total = sum(measured.values())
+
+    path = _path_baseline_path()
+    if _UPDATE or not path.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps({"scale": bench_scale(), "queries": measured, "total": total}, indent=2)
+            + "\n"
+        )
+        if not _UPDATE:
+            pytest.skip(f"baseline {path.name} was just created")
+        return
+
+    baseline = json.loads(path.read_text())
+    budget = baseline["total"] * _TOLERANCE
+    per_query = "\n".join(
+        f"  {identifier}: {calls} (baseline {baseline['queries'].get(identifier)})"
+        for identifier, calls in measured.items()
+    )
+    print(
+        f"\npath plan regression check ({bench_scale()} scale): "
+        f"total {total} vs baseline {baseline['total']} (budget {budget:.0f})\n{per_query}"
+    )
+    assert total <= budget, (
+        f"path kernel calls regressed: {total} > {budget:.0f} "
+        f"(baseline {baseline['total']} + 10%).\n{per_query}\n"
+        "If the plan change is intentional, regenerate with "
+        "REPRO_UPDATE_PLAN_BASELINE=1."
+    )

@@ -112,6 +112,23 @@ class QueryEngine:
         # instead of replaying orders chosen under stale cardinalities.
         self._plan_cache = LruCache(_PLAN_CACHE_CAPACITY)
 
+    def _path_evaluator(self):
+        """The (lazily created) property-path evaluator over this engine's backend.
+
+        Created on first use and re-created if :attr:`evaluator` has been
+        replaced since — the parallel / process / cluster engines install
+        their executor *after* ``super().__init__``, and the path evaluator
+        must drive that executor's ``expand_frontier`` hook, not the plain
+        sequential one captured at construction.
+        """
+        cached = getattr(self, "_paths", None)
+        if cached is None or cached.evaluator is not self.evaluator:
+            from repro.query.paths import PathEvaluator
+
+            cached = PathEvaluator(self.evaluator)
+            self._paths = cached
+        return cached
+
     def _statistics_version(self) -> Optional[int]:
         statistics = self.store.statistics
         return None if statistics is None else statistics.version
@@ -135,8 +152,15 @@ class QueryEngine:
         The same compilation feeds execution and ``explain()`` — there is no
         second code path that could disagree with the rendering.
         """
+        bgp_plan = self._plan_bgp(list(group.bgp.patterns))
+        bound = {
+            name
+            for step in bgp_plan.steps
+            for name in step.pattern.variable_names()
+        }
         return GroupPlan(
-            bgp=self._plan_bgp(list(group.bgp.patterns)),
+            bgp=bgp_plan,
+            paths=self.optimizer.plan_paths(list(group.paths), bound),
             unions=[
                 [self.compile_group(branch) for branch in union.branches]
                 for union in group.unions
@@ -257,6 +281,10 @@ class QueryEngine:
         ``ASK``/``LIMIT`` early termination survives pipeline construction.
         """
         stream = self._bgp_stream(plan.bgp, seed)
+        if plan.paths:
+            paths = self._path_evaluator()
+            for step in plan.paths:
+                stream = paths.evaluate_many(step.pattern, stream)
         for union in plan.unions:
             branch_solutions: List[Binding] = []
             for branch in union:

@@ -282,6 +282,15 @@ def _dispatch(spec, op, args, reasoning):
         return list(shard.type_store.subjects_of_interval(args[0], args[1]))
     if op == "type_concept":
         return list(shard.type_store.subjects_of(args[0]))
+    if op == "expand":
+        from repro.query.paths import expand_frontier_local
+
+        forward_pids, inverse_pids, frontier_ids, literal_codes = args[:4]
+        literals = [_decode_term(code, instances) for code in literal_codes]
+        out_ids, out_literals = expand_frontier_local(
+            shard, forward_pids, inverse_pids, frontier_ids, literals
+        )
+        return [out_ids, [_encode_term(literal, instances) for literal in out_literals]]
     raise ValueError(f"unknown worker op {op!r}")
 
 
@@ -752,6 +761,57 @@ class ProcessExecutor(ParallelExecutor):
             return [_decode_binding(code, instances) for code in pool.result(future)]
 
         return self._windowed_many(pattern, bindings, submit=submit, drain=drain)
+
+    def expand_frontier(self, forward_pids, inverse_pids, frontier_ids, frontier_literals):
+        """One property-path BFS round, shipped to the worker pool.
+
+        Sharded stores get one ``expand`` task per shard holding any of the
+        candidate properties; monolithic stores ship one whole-store task
+        (index ``None``) — the BFS round is the compute bulk of a transitive
+        query, so it always crosses the process boundary.  Literal frontier
+        members travel through the wire codec; ids are global and need none.
+        """
+        from repro.query.paths import merge_expansions
+
+        store = self.store
+        if isinstance(store, ShardedStore) and len(self.shards) >= 2:
+            indexes: List[Optional[int]] = []
+            seen = set()
+            for property_id in list(forward_pids) + list(inverse_pids):
+                holding = self._shard_indexes_holding(
+                    self._property_shard_counts(property_id)
+                )
+                for index in holding:
+                    if index not in seen:
+                        seen.add(index)
+                        indexes.append(index)
+            if not indexes:
+                return [], []
+        else:
+            indexes = [None]
+        spec = self._attach_spec()
+        pool = self.pool
+        instances = store.instances
+        literal_codes = tuple(
+            _encode_term(literal, instances) for literal in frontier_literals
+        )
+        task = (
+            tuple(forward_pids),
+            tuple(inverse_pids),
+            tuple(frontier_ids),
+            literal_codes,
+        )
+        futures = [
+            pool.submit(spec, "expand", task + (index,), self.reasoning)
+            for index in indexes
+        ]
+        replies = []
+        for future in futures:
+            reply_ids, reply_codes = pool.result(future)
+            replies.append(
+                (reply_ids, [_decode_term(code, instances) for code in reply_codes])
+            )
+        return merge_expansions(replies)
 
 
 class ProcessPoolQueryEngine(QueryEngine):

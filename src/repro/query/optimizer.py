@@ -42,11 +42,13 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.dictionary.statistics import DictionaryStatistics
 from repro.query.cardinality import CardinalityEstimator, JoinState, PatternEstimate
+from repro.query.paths import path_access_label
 from repro.query.plan import (
     AccessPath,
     JoinMethod,
     ModifierOp,
     ModifierStep,
+    PathStep,
     PhysicalPlan,
     PlanStep,
     classify_access_path,
@@ -289,6 +291,61 @@ class _PlannerBase:
                     ModifierOp.SLICE,
                     " ".join(detail),
                     payload=(query.offset, query.limit),
+                )
+            )
+        return steps
+
+    # ------------------------------------------------------------------ #
+    # property-path placement
+    # ------------------------------------------------------------------ #
+
+    def plan_paths(self, paths, bound_names: Set[str]) -> List[PathStep]:
+        """Order the group's property-path patterns for bind-propagation.
+
+        Paths join after the BGP (they cannot anchor a merge join), so the
+        only planning freedom is their order: paths with a bound endpoint —
+        a constant, or a variable the BGP already binds — run first (each
+        upstream row prunes the BFS to one source), ranked by estimated
+        rows ascending; unbound-unbound paths (full relation
+        materializations) run last.  The heuristic planner shares this
+        placement, just without the cost estimates.
+        """
+        if not paths:
+            return []
+        estimator = getattr(self, "estimator", None)
+        cost_model = getattr(self, "cost_model", None)
+
+        def endpoint_bound(slot) -> bool:
+            if isinstance(slot, Variable):
+                return slot.name in bound_names
+            return True
+
+        ranked = []
+        for index, pattern in enumerate(paths):
+            bound = endpoint_bound(pattern.subject) or endpoint_bound(pattern.object)
+            rows = estimator.estimate_path(pattern) if estimator is not None else None
+            ranked.append((0 if bound else 1, rows if rows is not None else 0.0, index, pattern))
+            if isinstance(pattern.subject, Variable):
+                bound_names = bound_names | {pattern.subject.name}
+            if isinstance(pattern.object, Variable):
+                bound_names = bound_names | {pattern.object.name}
+        ranked.sort(key=lambda entry: (entry[0], entry[1], entry[2]))
+        steps: List[PathStep] = []
+        for boundedness, rows, index, pattern in ranked:
+            estimated_cardinality = None
+            estimated_cost = None
+            if estimator is not None:
+                estimated_cardinality = int(round(rows))
+                scan = cost_model.pso_scan if cost_model is not None else 8.0
+                per_row = cost_model.pso_row if cost_model is not None else 0.4
+                estimated_cost = scan + rows * per_row
+            steps.append(
+                PathStep(
+                    pattern_index=index,
+                    pattern=pattern,
+                    access_label=path_access_label(pattern.path),
+                    estimated_cardinality=estimated_cardinality,
+                    estimated_cost=estimated_cost,
                 )
             )
         return steps

@@ -149,6 +149,49 @@ class ParallelExecutor:
         """Delegated to the wrapped evaluator (sharded views sum exactly)."""
         return self.inner.estimate_cardinality(pattern)
 
+    def expand_frontier(self, forward_pids, inverse_pids, frontier_ids, frontier_literals):
+        """One property-path BFS round, scattered shard-parallel.
+
+        Each shard expands the *whole* frontier against its local triples
+        (frontier ids are global dictionary ids, so no routing is needed);
+        the sorted distinct union of the per-shard one-step results equals
+        the monolithic expansion.  Shards holding none of the candidate
+        properties are pruned via the epoch-keyed shard-cardinality cache.
+        """
+        from repro.query.paths import expand_frontier_local, merge_expansions
+
+        if len(self.shards) < 2:
+            return self.inner.expand_frontier(
+                forward_pids, inverse_pids, frontier_ids, frontier_literals
+            )
+        holding: List[SuccinctEdge] = []
+        seen = set()
+        for property_id in list(forward_pids) + list(inverse_pids):
+            counts = self._property_shard_counts(property_id)
+            for shard in self._shards_holding(counts):
+                if id(shard) not in seen:
+                    seen.add(id(shard))
+                    holding.append(shard)
+        if not holding:
+            return [], []
+        if len(holding) == 1:
+            return expand_frontier_local(
+                holding[0], forward_pids, inverse_pids, frontier_ids, frontier_literals
+            )
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(
+                expand_frontier_local,
+                shard,
+                forward_pids,
+                inverse_pids,
+                frontier_ids,
+                frontier_literals,
+            )
+            for shard in holding
+        ]
+        return merge_expansions(future.result() for future in futures)
+
     def evaluate(self, pattern: TriplePattern, binding: Binding) -> Iterator[Binding]:
         """One pattern evaluation; leaf patterns scatter across shards."""
         scattered = self._try_scatter(pattern, binding)

@@ -131,6 +131,35 @@ class PhysicalPlan:
         return "\n".join(step.describe() for step in self.steps)
 
 
+@dataclass
+class PathStep:
+    """One property-path pattern, joined by bind propagation after the BGP.
+
+    ``access_label`` names the algebra form and — for the transitive forms —
+    whether the closure runs the id-level interval BFS or the term-level
+    fallback (see :func:`repro.query.paths.path_access_label`).  The
+    cardinality and cost figures come from
+    :meth:`~repro.query.cardinality.CardinalityEstimator.estimate_path`;
+    like BGP steps, cost is in SDS-kernel-call units.
+    """
+
+    pattern_index: int
+    pattern: Any  # PropertyPathPattern (typed loosely to keep plan.py AST-light)
+    access_label: str
+    estimated_cardinality: Optional[int] = None
+    estimated_cost: Optional[float] = None
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        parts = [f"path{self.pattern_index + 1} [{self.access_label}]"]
+        if self.estimated_cardinality is not None:
+            parts.append(f"card~{self.estimated_cardinality}")
+        if self.estimated_cost is not None:
+            parts.append(f"cost~{self.estimated_cost:.1f}")
+        parts.append(str(self.pattern))
+        return " ".join(parts)
+
+
 class ModifierOp(enum.Enum):
     """Solution-modifier operators applied after the WHERE-clause pipeline."""
 
@@ -174,6 +203,8 @@ class GroupPlan:
     """
 
     bgp: PhysicalPlan
+    #: Property-path steps, bind-joined right after the BGP.
+    paths: List[PathStep] = field(default_factory=list)
     #: One entry per UNION: the plans of its branches.
     unions: List[List["GroupPlan"]] = field(default_factory=list)
     #: One nested plan per OPTIONAL group.
@@ -191,6 +222,8 @@ class GroupPlan:
         lines: List[str] = []
         if self.bgp.steps:
             lines.extend(pad + line for line in self.bgp.explain().splitlines())
+        for step in self.paths:
+            lines.append(pad + step.describe())
         for union in self.unions:
             lines.append(pad + "union:")
             for branch in union:

@@ -73,6 +73,19 @@ class TriplePatternEvaluator:
         for binding in bindings:
             yield from self.evaluate(pattern, binding)
 
+    def expand_frontier(self, forward_pids, inverse_pids, frontier_ids, frontier_literals):
+        """One property-path BFS round against this evaluator's store.
+
+        The sequential implementation of the hook the parallel / process /
+        cluster executors override to scatter per-shard frontier expansion
+        (see :func:`repro.query.paths.expand_frontier_local`).
+        """
+        from repro.query.paths import expand_frontier_local
+
+        return expand_frontier_local(
+            self.store, forward_pids, inverse_pids, frontier_ids, frontier_literals
+        )
+
     def estimate_cardinality(self, pattern: TriplePattern) -> int:
         """Run-time cardinality estimate computed on the SDS structures.
 

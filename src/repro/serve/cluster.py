@@ -678,6 +678,18 @@ class ClusterReplica:
             return list(shard.type_store.subjects_of_interval(args[0], args[1]))
         if op == "type_concept":
             return list(shard.type_store.subjects_of(args[0]))
+        if op == "expand":
+            from repro.query.paths import expand_frontier_local
+
+            forward_pids, inverse_pids, frontier_ids, literal_codes = args[:4]
+            literals = [_decode_term(code, instances) for code in literal_codes]
+            out_ids, out_literals = expand_frontier_local(
+                shard, forward_pids, inverse_pids, frontier_ids, literals
+            )
+            return [
+                list(out_ids),
+                [_encode_term(literal, instances) for literal in out_literals],
+            ]
         raise ValueError(f"unknown cluster op {op!r}")
 
     # -- HTTP face -------------------------------------------------------- #
@@ -1016,6 +1028,59 @@ class ClusterExecutor(ParallelExecutor):
         )
 
     # -- scatter/gather over the replica set ------------------------------ #
+
+    def expand_frontier(self, forward_pids, inverse_pids, frontier_ids, frontier_literals):
+        """One property-path BFS round as epoch-pinned cluster work units.
+
+        One ``expand`` unit per shard holding a candidate property (one
+        whole-store unit for monolithic stores), every unit stamped with
+        the query's pinned ``(generation, epoch)`` so each round reads the
+        same snapshot on whichever replica serves it.  Frontier ids travel
+        raw — the dictionary is append-only and replayed identically from
+        the delta log, so identifiers agree across the cluster at any
+        pinned position; literals go through the wire codec.
+        """
+        from repro.query.paths import merge_expansions
+
+        store = self.store
+        if isinstance(store, ShardedStore) and len(self.shards) >= 2:
+            indexes: List[Optional[int]] = []
+            seen = set()
+            for property_id in list(forward_pids) + list(inverse_pids):
+                holding = self._shard_indexes_holding(
+                    self._property_shard_counts(property_id)
+                )
+                for index in holding:
+                    if index not in seen:
+                        seen.add(index)
+                        indexes.append(index)
+            if not indexes:
+                return [], []
+        else:
+            indexes = [None]
+        pin = self._pin()
+        pool = self._ensure_pool()
+        instances = store.instances
+        literal_codes = [
+            _encode_term(literal, instances) for literal in frontier_literals
+        ]
+        unit = (
+            list(forward_pids),
+            list(inverse_pids),
+            list(frontier_ids),
+            literal_codes,
+        )
+        futures = [
+            pool.submit(self._dispatch, "expand", unit + (index,), index or 0, pin)
+            for index in indexes
+        ]
+        replies = []
+        for future in futures:
+            reply_ids, reply_codes = future.result()
+            replies.append(
+                (reply_ids, [_decode_term(code, instances) for code in reply_codes])
+            )
+        return merge_expansions(replies)
 
     def _scatter_rdf_type(
         self, subject_var: str, object_term: URI, binding: Binding

@@ -74,6 +74,154 @@ class TriplePattern:
 
 
 # --------------------------------------------------------------------- #
+# property paths (SPARQL 1.1 §9)
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class PathLink:
+    """A single predicate step of a property path (``p``)."""
+
+    predicate: URI
+
+    def __str__(self) -> str:
+        return self.predicate.n3()
+
+
+@dataclass(frozen=True)
+class PathInverse:
+    """An inverse path ``^P`` (traverses the inner path backwards)."""
+
+    path: "PathExpression"
+
+    def __str__(self) -> str:
+        return f"^{_path_atom(self.path)}"
+
+
+@dataclass(frozen=True)
+class PathSequence:
+    """A sequence path ``P1 / P2 / ...`` (joined end to start)."""
+
+    steps: Tuple["PathExpression", ...]
+
+    def __str__(self) -> str:
+        return "/".join(_path_atom(step) for step in self.steps)
+
+
+@dataclass(frozen=True)
+class PathAlternative:
+    """An alternation ``P1 | P2 | ...`` (multiset union of the branches)."""
+
+    branches: Tuple["PathExpression", ...]
+
+    def __str__(self) -> str:
+        return "|".join(_path_atom(branch) for branch in self.branches)
+
+
+@dataclass(frozen=True)
+class PathZeroOrOne:
+    """``P?`` — zero-length match or one traversal of ``P`` (distinct)."""
+
+    path: "PathExpression"
+
+    def __str__(self) -> str:
+        return f"{_path_atom(self.path)}?"
+
+
+@dataclass(frozen=True)
+class PathZeroOrMore:
+    """``P*`` — reflexive-transitive closure of ``P`` (distinct, ALP)."""
+
+    path: "PathExpression"
+
+    def __str__(self) -> str:
+        return f"{_path_atom(self.path)}*"
+
+
+@dataclass(frozen=True)
+class PathOneOrMore:
+    """``P+`` — transitive closure of ``P`` (distinct, ALP)."""
+
+    path: "PathExpression"
+
+    def __str__(self) -> str:
+        return f"{_path_atom(self.path)}+"
+
+
+@dataclass(frozen=True)
+class PathNegatedSet:
+    """A negated property set ``!(p1 | ^p2 | ...)``.
+
+    ``forward`` lists the excluded forward predicates, ``inverse`` the
+    excluded predicates appearing under ``^`` — per SPARQL 1.1 §9.1 the two
+    directions are evaluated independently and unioned.
+    """
+
+    forward: Tuple[URI, ...] = ()
+    inverse: Tuple[URI, ...] = ()
+
+    def __str__(self) -> str:
+        members = [p.n3() for p in self.forward] + [f"^{p.n3()}" for p in self.inverse]
+        if len(members) == 1:
+            return f"!{members[0]}"
+        return "!(" + "|".join(members) + ")"
+
+
+#: Any property-path expression node.
+PathExpression = TypingUnion[
+    PathLink,
+    PathInverse,
+    PathSequence,
+    PathAlternative,
+    PathZeroOrOne,
+    PathZeroOrMore,
+    PathOneOrMore,
+    PathNegatedSet,
+]
+
+#: Path nodes that print without parentheses when nested.
+_ATOMIC_PATHS = (PathLink, PathNegatedSet, PathZeroOrOne, PathZeroOrMore, PathOneOrMore, PathInverse)
+
+
+def _path_atom(path: "PathExpression") -> str:
+    """Render a sub-path, parenthesizing composite nodes."""
+    text = str(path)
+    if isinstance(path, _ATOMIC_PATHS):
+        return text
+    return f"({text})"
+
+
+@dataclass(frozen=True)
+class PropertyPathPattern:
+    """A triple pattern whose predicate slot is a non-trivial property path.
+
+    Plain constant-predicate patterns stay :class:`TriplePattern` (so the
+    BGP planner is untouched); this node only appears when the path uses at
+    least one path operator.
+    """
+
+    subject: PatternTerm
+    path: PathExpression
+    object: PatternTerm
+
+    def variables(self) -> List[Variable]:
+        """Variables of the endpoint slots, in subject/object order."""
+        return [slot for slot in (self.subject, self.object) if isinstance(slot, Variable)]
+
+    def variable_names(self) -> List[str]:
+        """Names of the endpoint variables."""
+        return [variable.name for variable in self.variables()]
+
+    def __str__(self) -> str:
+        def fmt(slot: PatternTerm) -> str:
+            if isinstance(slot, Variable):
+                return str(slot)
+            return slot.n3()
+
+        return f"{fmt(self.subject)} {self.path} {fmt(self.object)} ."
+
+
+# --------------------------------------------------------------------- #
 # FILTER / BIND expression nodes
 # --------------------------------------------------------------------- #
 
@@ -212,7 +360,7 @@ class InlineData:
 
 @dataclass
 class GroupGraphPattern:
-    """A WHERE-clause group: BGP + filters + binds + unions + optionals + values."""
+    """A WHERE-clause group: BGP + paths + filters + binds + unions + optionals + values."""
 
     bgp: BasicGraphPattern = field(default_factory=BasicGraphPattern)
     filters: List[Filter] = field(default_factory=list)
@@ -220,10 +368,15 @@ class GroupGraphPattern:
     unions: List[Union] = field(default_factory=list)
     optionals: List["GroupGraphPattern"] = field(default_factory=list)
     values: List[InlineData] = field(default_factory=list)
+    paths: List[PropertyPathPattern] = field(default_factory=list)
 
     def variables(self) -> List[str]:
-        """All variable names bound in the group (BGP, BINDs, UNION/OPTIONAL branches, VALUES)."""
+        """All variable names bound in the group (BGP, paths, BINDs, UNION/OPTIONAL branches, VALUES)."""
         names = self.bgp.variables()
+        for path in self.paths:
+            for name in path.variable_names():
+                if name not in names:
+                    names.append(name)
         for bind in self.binds:
             if bind.variable.name not in names:
                 names.append(bind.variable.name)

@@ -43,7 +43,6 @@ from repro.sparql.ast import (
     Aggregate,
     Arithmetic,
     AskQuery,
-    BasicGraphPattern,
     Bind,
     BooleanExpression,
     Comparison,
@@ -54,8 +53,18 @@ from repro.sparql.ast import (
     InlineData,
     Negation,
     OrderCondition,
+    PathAlternative,
+    PathExpression,
+    PathInverse,
+    PathLink,
+    PathNegatedSet,
+    PathOneOrMore,
+    PathSequence,
+    PathZeroOrMore,
+    PathZeroOrOne,
     PatternTerm,
     ProjectionItem,
+    PropertyPathPattern,
     Query,
     SelectExpression,
     SelectQuery,
@@ -115,7 +124,7 @@ _TOKEN = re.compile(
   | (?P<keyword>\b(?:SELECT|DISTINCT|WHERE|FILTER|BIND|AS|UNION|OPTIONAL|VALUES|UNDEF|ASK|ORDER|GROUP|HAVING|BY|ASC|DESC|PREFIX|BASE|LIMIT|OFFSET|true|false|a)\b)
   | (?P<pname>[A-Za-z_][\w\-]*:[\w.\-]*|:[\w.\-]+)
   | (?P<name>[A-Za-z_][\w]*)
-  | (?P<punct>[{}().;,!*/+\-])
+  | (?P<punct>[{}().;,!*/+\-^|?])
   | (?P<ws>\s+)
     """,
     re.VERBOSE | re.IGNORECASE,
@@ -454,7 +463,7 @@ class SparqlParser:
                 group.unions.append(self._parse_union())
                 self._accept_punct(".")
                 continue
-            self._parse_triples_block(group.bgp)
+            self._parse_triples_block(group)
 
     def _parse_union(self) -> Union:
         branches = [self._parse_group()]
@@ -542,13 +551,16 @@ class SparqlParser:
     # triples
     # -------------------------------------------------------------- #
 
-    def _parse_triples_block(self, bgp: BasicGraphPattern) -> None:
+    def _parse_triples_block(self, group: GroupGraphPattern) -> None:
         subject = self._parse_pattern_term()
         while True:
-            predicate = self._parse_pattern_term(allow_a=True)
+            predicate = self._parse_verb()
             while True:
                 obj = self._parse_pattern_term()
-                bgp.patterns.append(TriplePattern(subject, predicate, obj))
+                if isinstance(predicate, (Variable, URI)):
+                    group.bgp.patterns.append(TriplePattern(subject, predicate, obj))
+                else:
+                    group.paths.append(PropertyPathPattern(subject, predicate, obj))
                 if self._accept_punct(","):
                     continue
                 break
@@ -561,6 +573,118 @@ class SparqlParser:
                 continue
             self._accept_punct(".")
             return
+
+    # -------------------------------------------------------------- #
+    # property paths (SPARQL 1.1 §9: Path grammar, rules 88-96)
+    # -------------------------------------------------------------- #
+
+    def _parse_verb(self):
+        """The predicate slot: a variable, a plain IRI, or a property path.
+
+        A path expression that degenerates to a single forward predicate
+        (no path operators) is returned as its bare :class:`URI`, so plain
+        triple patterns take the existing BGP route unchanged.
+        """
+        token = self._peek()
+        if token and token[0] == "var":
+            self._index += 1
+            return Variable(token[1][1:])
+        path = self._parse_path()
+        if isinstance(path, PathLink):
+            return path.predicate
+        return path
+
+    def _parse_path(self) -> PathExpression:
+        """``PathAlternative := PathSequence ('|' PathSequence)*``."""
+        branches = [self._parse_path_sequence()]
+        while self._accept_punct("|"):
+            branches.append(self._parse_path_sequence())
+        if len(branches) == 1:
+            return branches[0]
+        return PathAlternative(branches=tuple(branches))
+
+    def _parse_path_sequence(self) -> PathExpression:
+        """``PathSequence := PathEltOrInverse ('/' PathEltOrInverse)*``."""
+        steps = [self._parse_path_elt_or_inverse()]
+        while self._accept_punct("/"):
+            steps.append(self._parse_path_elt_or_inverse())
+        if len(steps) == 1:
+            return steps[0]
+        return PathSequence(steps=tuple(steps))
+
+    def _parse_path_elt_or_inverse(self) -> PathExpression:
+        if self._accept_punct("^"):
+            return PathInverse(path=self._parse_path_elt())
+        return self._parse_path_elt()
+
+    def _parse_path_elt(self) -> PathExpression:
+        """``PathElt := PathPrimary ('?' | '*' | '+')?``."""
+        primary = self._parse_path_primary()
+        if self._accept_punct("?"):
+            return PathZeroOrOne(path=primary)
+        if self._accept_punct("*"):
+            return PathZeroOrMore(path=primary)
+        if self._accept_punct("+"):
+            return PathOneOrMore(path=primary)
+        return primary
+
+    def _parse_path_primary(self) -> PathExpression:
+        token = self._peek()
+        if token is None:
+            raise self._error("unexpected end of property path")
+        if token == ("punct", "("):
+            self._index += 1
+            path = self._parse_path()
+            self._expect_punct(")")
+            return path
+        if token == ("punct", "!"):
+            self._index += 1
+            return self._parse_negated_property_set()
+        iri = self._parse_path_iri()
+        if iri is None:
+            raise self._error("expected an IRI, 'a', '!' or '(' in property path")
+        return PathLink(predicate=iri)
+
+    def _parse_path_iri(self) -> Optional[URI]:
+        """An IRI / prefixed name / ``a`` inside a path, or ``None``."""
+        token = self._peek()
+        if token is None:
+            return None
+        kind, value = token
+        if kind == "iri":
+            self._index += 1
+            return URI(value[1:-1])
+        if kind == "pname":
+            self._index += 1
+            return self._resolve_pname(value)
+        if kind == "keyword" and value.upper() == "A":
+            self._index += 1
+            return RDF.type
+        return None
+
+    def _parse_negated_property_set(self) -> PathNegatedSet:
+        """``!iri``, ``!^iri``, or ``!( iri | ^iri | ... )``."""
+        forward: List[URI] = []
+        inverse: List[URI] = []
+
+        def one_member() -> None:
+            inverted = self._accept_punct("^")
+            iri = self._parse_path_iri()
+            if iri is None:
+                raise self._error("expected an IRI or 'a' in negated property set")
+            (inverse if inverted else forward).append(iri)
+
+        if self._accept_punct("("):
+            if not self._accept_punct(")"):
+                while True:
+                    one_member()
+                    if self._accept_punct("|"):
+                        continue
+                    self._expect_punct(")")
+                    break
+        else:
+            one_member()
+        return PathNegatedSet(forward=tuple(forward), inverse=tuple(inverse))
 
     def _parse_pattern_term(self, allow_a: bool = False) -> PatternTerm:
         kind, value = self._next()

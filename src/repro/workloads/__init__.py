@@ -6,9 +6,13 @@
 * :mod:`repro.workloads.engie` — the ENGIE water-distribution sensor graphs
   (250 and 500 triples) of the motivating example, annotated with SOSA/QUDT;
 * :mod:`repro.workloads.queries` — the 26 evaluation queries (S1-S15, M1-M5,
-  R1-R6) instantiated against a generated dataset.
+  R1-R6) instantiated against a generated dataset;
+* :mod:`repro.workloads.adversarial` — deterministic property-path stress
+  graphs (long chains, high-fanout hubs, deep hierarchies) with their
+  worst-case closure query set.
 """
 
+from repro.workloads.adversarial import AdversarialPathWorkload, PathQuery, scaled_workload
 from repro.workloads.engie import (
     engie_ontology,
     water_distribution_graph,
@@ -20,11 +24,14 @@ from repro.workloads.queries import BenchmarkQuery, QueryCatalog
 from repro.workloads.serving import ServingOp, ServingWorkload
 
 __all__ = [
+    "AdversarialPathWorkload",
     "BenchmarkQuery",
     "LubmDataset",
+    "PathQuery",
     "QueryCatalog",
     "ServingOp",
     "ServingWorkload",
+    "scaled_workload",
     "engie_ontology",
     "generate_lubm",
     "lubm_ontology",

@@ -312,3 +312,174 @@ def test_differential_replication_convergence(dataset, script):
         source.close()
     finally:
         shutil.rmtree(workspace, ignore_errors=True)
+
+
+# --------------------------------------------------------------------------- #
+# property-path fuzzing (repro.query.paths vs the naive oracle)
+# --------------------------------------------------------------------------- #
+
+from repro.sparql.ast import (  # noqa: E402  (section-local, keeps the BGP half standalone)
+    PathAlternative,
+    PathInverse,
+    PathLink,
+    PathNegatedSet,
+    PathOneOrMore,
+    PathSequence,
+    PathZeroOrMore,
+    PathZeroOrOne,
+    PropertyPathPattern,
+)
+
+_PATH_PREDICATES = _PROPERTIES + _DATA_PROPERTIES
+#: A term that never appears in any random dataset — SPARQL's zero-length
+#: paths must still match it to itself (§9.3 ALP starts from the given term).
+_GHOST = EX["ghost"]
+
+
+@st.composite
+def random_path(draw, depth: int = 3):
+    """A random path expression of operator-nesting depth ≤ ``depth`` + leaf.
+
+    The distribution leans toward links (so most paths stay satisfiable)
+    but every operator of the grammar — inverse, sequence, alternation,
+    ``?``/``*``/``+`` and negated property sets with forward *and* inverse
+    members — appears under every other operator, including closures over
+    alternations (the id-steppable fast path) and closures over sequences
+    (the term-level fallback).
+    """
+    if depth <= 0:
+        return PathLink(draw(st.sampled_from(_PATH_PREDICATES)))
+    kind = draw(
+        st.sampled_from(
+            [
+                "link",
+                "link",
+                "inverse",
+                "sequence",
+                "alternative",
+                "zero-or-one",
+                "zero-or-more",
+                "one-or-more",
+                "negated",
+            ]
+        )
+    )
+    if kind == "link":
+        return PathLink(draw(st.sampled_from(_PATH_PREDICATES)))
+    if kind == "inverse":
+        return PathInverse(draw(random_path(depth=depth - 1)))
+    if kind == "sequence":
+        count = draw(st.integers(min_value=2, max_value=3))
+        return PathSequence(tuple(draw(random_path(depth=depth - 1)) for _ in range(count)))
+    if kind == "alternative":
+        count = draw(st.integers(min_value=2, max_value=3))
+        return PathAlternative(tuple(draw(random_path(depth=depth - 1)) for _ in range(count)))
+    if kind == "zero-or-one":
+        return PathZeroOrOne(draw(random_path(depth=depth - 1)))
+    if kind == "zero-or-more":
+        return PathZeroOrMore(draw(random_path(depth=depth - 1)))
+    if kind == "one-or-more":
+        return PathOneOrMore(draw(random_path(depth=depth - 1)))
+    forward = tuple(draw(st.lists(st.sampled_from(_PATH_PREDICATES), max_size=3)))
+    inverse = tuple(draw(st.lists(st.sampled_from(_PATH_PREDICATES), max_size=2)))
+    if not forward and not inverse:
+        forward = (draw(st.sampled_from(_PATH_PREDICATES)),)
+    return PathNegatedSet(forward=forward, inverse=inverse)
+
+
+@st.composite
+def random_path_pattern(draw):
+    """A random path pattern: random endpoints around a random path.
+
+    Endpoint shapes cover all four bound/unbound combinations, the diagonal
+    ``?x path ?x`` (both slots one variable), literal objects and the
+    off-graph ghost term on either side.
+    """
+    x, y = Variable("x"), Variable("y")
+    subject = draw(
+        st.one_of(
+            st.sampled_from([x, x, y]),
+            st.sampled_from(_INDIVIDUALS),
+            st.just(_GHOST),
+        )
+    )
+    obj = draw(
+        st.one_of(
+            st.sampled_from([y, y, x]),
+            st.sampled_from(_INDIVIDUALS),
+            st.sampled_from(_LITERALS),
+            st.just(_GHOST),
+        )
+    )
+    return PropertyPathPattern(subject, draw(random_path(depth=3)), obj)
+
+
+def _path_query(pattern: PropertyPathPattern) -> SelectQuery:
+    names = sorted(set(pattern.variable_names()))
+    return SelectQuery(
+        projection=[Variable(name) for name in names] or None,
+        where=GroupGraphPattern(paths=[pattern]),
+    )
+
+
+def _check_path_example(dataset, pattern, reasoning):
+    """One fuzz example: streaming interval-BFS vs the naive oracle."""
+    from repro.query.engine import QueryEngine
+    from repro.query.materializing import MaterializingQueryEngine
+
+    ontology, data = dataset
+    store = SuccinctEdge.from_graph(data, ontology=ontology)
+    query = _path_query(pattern)
+    names = sorted(set(pattern.variable_names()))
+    expected = _multiset(MaterializingQueryEngine(store, reasoning=reasoning).execute(query), names)
+    actual = _multiset(QueryEngine(store, reasoning=reasoning).execute(query), names)
+    assert actual == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(dataset=random_dataset(), pattern=random_path_pattern(), reasoning=st.booleans())
+def test_differential_path_fuzzing(dataset, pattern, reasoning):
+    """Any path over any graph: production must equal the naive fixpoint.
+
+    The datasets freely contain cycles (properties connect arbitrary
+    individuals), so this continuously exercises cycle-safe termination;
+    multiset equality over the projected rows catches dropped solutions,
+    duplicate solutions (the ``?``/``*``/``+`` forms are DISTINCT, the
+    algebraic forms are not) and wrong bindings alike.
+    """
+    _check_path_example(dataset, pattern, reasoning)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    dataset=random_dataset(),
+    inner=random_path(depth=2),
+    start=st.sampled_from(_INDIVIDUALS + [_GHOST]),
+    closure_kind=st.sampled_from([PathZeroOrMore, PathZeroOrOne]),
+    direction=st.sampled_from(["forward", "backward", "diagonal"]),
+    reasoning=st.booleans(),
+)
+def test_differential_zero_length_paths(dataset, inner, start, closure_kind, direction, reasoning):
+    """Zero-length semantics on bound and unbound endpoints, incl. off-graph.
+
+    ``start p* ?o`` must emit ``start`` itself even when ``start`` appears
+    in no triple (the ghost), ``?s p* end`` symmetrically, and the fully
+    bound ``start p* start`` always holds — exactly what the spec's ALP
+    procedure produces and a naive "filter the closure relation" gets wrong.
+    """
+    path = closure_kind(inner)
+    if direction == "forward":
+        pattern = PropertyPathPattern(start, path, Variable("o"))
+    elif direction == "backward":
+        pattern = PropertyPathPattern(Variable("s"), path, start)
+    else:
+        pattern = PropertyPathPattern(start, path, start)
+    _check_path_example(dataset, pattern, reasoning)
+
+
+@pytest.mark.slow
+@settings(max_examples=250, deadline=None)
+@given(dataset=random_dataset(), pattern=random_path_pattern(), reasoning=st.booleans())
+def test_differential_path_fuzzing_deep(dataset, pattern, reasoning):
+    """The raised-example-count sweep for the dedicated CI paths job."""
+    _check_path_example(dataset, pattern, reasoning)

@@ -87,3 +87,92 @@ def test_snapshots_cover_all_32_queries():
 def test_plans_name_their_planner():
     text = SNAPSHOT_PATH.read_text()
     assert "plan [cost-dp]" in text
+
+
+# --------------------------------------------------------------------------- #
+# property-path plans (pinned separately so the 32-query set stays stable)
+# --------------------------------------------------------------------------- #
+
+PATH_SNAPSHOT_PATH = pathlib.Path(__file__).parent / "plan_snapshots" / "property_paths_explain.txt"
+
+_PATH_PREFIXES = (
+    "PREFIX ex: <http://example.org/>\n"
+    "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+)
+
+#: One query per access label of :func:`repro.query.paths.path_access_label`,
+#: plus the joined and nested shapes whose ordering the cost model decides.
+PATH_SNAPSHOT_QUERIES = [
+    ("P1", "SELECT ?s ?o WHERE { ?s ex:subOrganizationOf+ ?o }"),
+    ("P2", "SELECT ?o WHERE { ex:dept1 ex:subOrganizationOf* ?o }"),
+    ("P3", "SELECT ?x ?y WHERE { ?x (ex:advisor/ex:memberOf)* ?y }"),
+    ("P4", "SELECT ?x ?y WHERE { ?x ex:advisor? ?y }"),
+    ("P5", "SELECT ?x ?y WHERE { ?x ex:advisor/ex:memberOf ?y }"),
+    ("P6", "SELECT ?x ?y WHERE { ?x (ex:memberOf|ex:worksFor) ?y }"),
+    ("P7", "SELECT ?x ?y WHERE { ?x ^ex:advisor ?y }"),
+    ("P8", "SELECT ?s ?o WHERE { ?s !(ex:name|ex:age|rdf:type) ?o }"),
+    ("P9", "SELECT ?x ?o WHERE { ?x rdf:type ex:Department . ?x ex:subOrganizationOf+ ?o }"),
+    ("P10", "SELECT ?x ?n WHERE { ?x ex:advisor+/ex:name ?n }"),
+]
+
+#: Labels that must each be pinned by at least one snapshot.
+PATH_ACCESS_LABELS = [
+    "one-or-more/interval-bfs",
+    "zero-or-more/interval-bfs",
+    "zero-or-more/term-bfs",
+    "zero-or-one",
+    "sequence",
+    "alternation",
+    "inverse",
+    "negated-set",
+]
+
+
+def render_path_snapshot(store) -> str:
+    engine = QueryEngine(store, reasoning=True, planner="cost")
+    sections = []
+    for identifier, query in PATH_SNAPSHOT_QUERIES:
+        sections.append(f"### {identifier}\n{engine.explain(_PATH_PREFIXES + query)}\n")
+    return "\n".join(sections)
+
+
+@pytest.fixture(scope="module")
+def rendered_paths(toy_store) -> str:
+    return render_path_snapshot(toy_store)
+
+
+def test_path_snapshot_file_exists_or_is_written(rendered_paths):
+    if _UPDATE or not PATH_SNAPSHOT_PATH.exists():
+        PATH_SNAPSHOT_PATH.parent.mkdir(parents=True, exist_ok=True)
+        PATH_SNAPSHOT_PATH.write_text(rendered_paths)
+    assert PATH_SNAPSHOT_PATH.exists()
+
+
+def test_every_path_plan_matches_snapshot(rendered_paths):
+    if not PATH_SNAPSHOT_PATH.exists():  # first run just wrote it
+        pytest.skip("snapshot file was just created")
+    expected = parse_snapshot(PATH_SNAPSHOT_PATH.read_text())
+    actual = parse_snapshot(rendered_paths)
+    assert set(expected) == set(actual), "path snapshot query set drifted — regenerate"
+    for identifier, _query in PATH_SNAPSHOT_QUERIES:
+        assert actual[identifier] == expected[identifier], (
+            f"plan for {identifier} changed:\n"
+            f"--- pinned ---\n{expected[identifier]}\n"
+            f"--- current ---\n{actual[identifier]}\n"
+            "If intentional, regenerate with REPRO_UPDATE_PLAN_SNAPSHOTS=1."
+        )
+
+
+def test_path_snapshots_pin_every_access_label():
+    text = PATH_SNAPSHOT_PATH.read_text()
+    for label in PATH_ACCESS_LABELS:
+        assert f"[{label}]" in text, f"no pinned plan uses access label {label}"
+
+
+def test_path_snapshots_are_costed():
+    # Every path step must render a cardinality and a kernel-call cost.
+    for section in parse_snapshot(PATH_SNAPSHOT_PATH.read_text()).values():
+        path_lines = [line for line in section.splitlines() if line.lstrip().startswith("path")]
+        assert path_lines, section
+        for line in path_lines:
+            assert "card~" in line and "cost~" in line, line
